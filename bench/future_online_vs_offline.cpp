@@ -1,0 +1,110 @@
+// The paper's future-work experiment (Section IX): "apply Active Harmony to
+// scientific programs with parameters that can be changed during runtime.
+// The experiment will compare the results when tuning the parameters
+// on-line and off-line separately."
+//
+// Target: the POP runtime parameters on Hockney (32 CPUs). All of them are
+// namelist values POP reads at startup — but several (the mixing and
+// interpolation choices) could be switched between steps. We compare:
+//
+//   on-line  — one continuous run; every tuning iteration costs exactly one
+//              simulated time step at the candidate configuration;
+//   off-line — one representative short run (10 steps) per iteration, plus
+//              the restart and warm-up overhead the paper bills.
+//
+// Both use the same Nelder-Mead kernel and the same budget of distinct
+// configurations.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/harmony.hpp"
+#include "minipop/minipop.hpp"
+#include "simcluster/simcluster.hpp"
+
+using namespace minipop;
+using harmony::Config;
+
+int main() {
+  std::printf("== Future work (Section IX): on-line vs off-line tuning ==\n\n");
+  const PopGrid grid = PopGrid::production();
+  const PopModel model(grid);
+  const auto machine = simcluster::presets::hockney(8, 4);
+  const auto space = make_param_space(32);
+  const auto start = default_config(space);
+  const double t_default =
+      model.step_time(machine, 4, {180, 100},
+                      evaluate_multipliers(space, start))
+          .total_s;
+
+  const int budget = 80;
+
+  // --- on-line: Session drives the running application ------------------
+  double online_best = 0.0;
+  double online_cost = 0.0;
+  int online_steps = 0;
+  {
+    harmony::Session session("pop-online");
+    // Bind every parameter through the Session API.
+    session.add_int("num_iotasks", 1, 32);
+    for (const auto& spec : parameter_table()) {
+      session.add_enum(spec.name, spec.choices);
+    }
+    harmony::NelderMeadOptions opts;
+    opts.max_restarts = 4;
+    opts.max_stall = 2 * budget;
+    session.set_nelder_mead_options(opts);
+
+    while (session.fetch() && online_steps < budget) {
+      // One tuning iteration = one simulated time step under the candidate.
+      const double step =
+          model.step_time(machine, 4, {180, 100},
+                          evaluate_multipliers(space, session.current()))
+              .total_s;
+      online_cost += step;  // tuning happens inside the production run
+      ++online_steps;
+      session.report(step);
+    }
+    online_best = session.best_performance();
+  }
+
+  // --- off-line: representative short runs -----------------------------
+  harmony::OfflineOptions oopts;
+  oopts.short_run_steps = 10;
+  oopts.max_runs = budget;
+  oopts.restart_overhead_s = 30.0;  // batch-queue relaunch
+  harmony::OfflineDriver driver(space, oopts);
+  harmony::NelderMeadOptions nm_opts;
+  nm_opts.max_restarts = 4;
+  nm_opts.max_stall = 2 * budget;
+  harmony::NelderMead nm(space, nm_opts, start);
+  const auto offline = driver.tune(nm, [&](const Config& c, int steps) {
+    harmony::ShortRunResult r;
+    r.measured_s = steps * model.step_time(machine, 4, {180, 100},
+                                           evaluate_multipliers(space, c))
+                               .total_s;
+    r.warmup_s = 0.2 * r.measured_s;
+    return r;
+  });
+
+  harmony::TextTable t({"mode", "best step time (s)", "improvement",
+                        "total tuning cost (s)", "iterations"});
+  t.add_row({"default (no tuning)", harmony::fmt(t_default, 4), "-", "0", "-"});
+  t.add_row({"on-line", harmony::fmt(online_best, 4),
+             harmony::percent_improvement(t_default, online_best),
+             harmony::fmt(online_cost, 1), std::to_string(online_steps)});
+  t.add_row({"off-line", harmony::fmt(offline.best_measured_s / 10.0, 4),
+             harmony::percent_improvement(t_default,
+                                          offline.best_measured_s / 10.0),
+             harmony::fmt(offline.total_tuning_cost_s, 1),
+             std::to_string(offline.runs)});
+  t.print(std::cout);
+
+  std::printf("\nboth modes find comparable configurations; the off-line bill "
+              "is dominated\nby restart/warm-up overhead (%.0f s of restarts "
+              "alone), which is the paper's\nrationale for preferring on-line "
+              "tuning whenever a parameter can be changed\nduring the run "
+              "(Section VII).\n",
+              30.0 * offline.runs);
+  return 0;
+}

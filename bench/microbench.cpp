@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical pieces
+// of the library itself: the tuning kernel's propose/report cycle, the real
+// numerical kernels, the simulated-machine models, and the wire protocol.
+
+#include <benchmark/benchmark.h>
+
+#include "core/harmony.hpp"
+#include "minigs2/minigs2.hpp"
+#include "minipetsc/minipetsc.hpp"
+#include "minipop/minipop.hpp"
+#include "simcluster/simcluster.hpp"
+
+namespace {
+
+void BM_NelderMeadCycle(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  harmony::ParamSpace space;
+  for (std::size_t i = 0; i < dims; ++i) {
+    space.add(harmony::Parameter::Integer("p" + std::to_string(i), 0, 1000));
+  }
+  harmony::NelderMeadOptions opts;
+  opts.max_restarts = 1000000;  // never stop during the benchmark
+  harmony::NelderMead nm(space, opts);
+  for (auto _ : state) {
+    auto proposal = nm.propose();
+    if (!proposal) break;
+    harmony::EvaluationResult r;
+    double v = 0;
+    for (const auto& val : proposal->values) {
+      const double x = static_cast<double>(std::get<std::int64_t>(val));
+      v += (x - 500) * (x - 500);
+    }
+    r.objective = v;
+    nm.report(*proposal, r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NelderMeadCycle)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_EvalCacheLookup(benchmark::State& state) {
+  harmony::ParamSpace space;
+  space.add(harmony::Parameter::Integer("a", 0, 1000));
+  space.add(harmony::Parameter::Integer("b", 0, 1000));
+  harmony::EvalCache cache(space);
+  harmony::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    cache.store(space.random_config(rng), harmony::EvaluationResult{});
+  }
+  const auto probe = space.random_config(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(probe));
+  }
+}
+BENCHMARK(BM_EvalCacheLookup);
+
+void BM_SpMV(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto A = minipetsc::laplacian2d(n, n);
+  minipetsc::Vec x(static_cast<std::size_t>(n) * n, 1.0);
+  minipetsc::Vec y;
+  for (auto _ : state) {
+    A.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * A.nnz());
+}
+BENCHMARK(BM_SpMV)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_CgSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto A = minipetsc::laplacian2d(n, n);
+  const minipetsc::PcJacobi pc(A);
+  minipetsc::Vec b(static_cast<std::size_t>(n) * n, 1.0);
+  for (auto _ : state) {
+    minipetsc::Vec x;
+    const auto res = minipetsc::cg_solve(A, b, x, pc);
+    benchmark::DoNotOptimize(res.iterations);
+  }
+}
+BENCHMARK(BM_CgSolve)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CavityResidual(benchmark::State& state) {
+  minipetsc::CavityProblem p;
+  p.nx = 33;
+  p.ny = 33;
+  const auto F = p.residual();
+  const minipetsc::Vec x = p.initial_guess();
+  minipetsc::Vec f;
+  for (auto _ : state) {
+    F(x, f);
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.nx * p.ny);
+}
+BENCHMARK(BM_CavityResidual);
+
+void BM_PopBlockDecomposition(benchmark::State& state) {
+  const minipop::PopGrid grid = minipop::PopGrid::production();
+  for (auto _ : state) {
+    const minipop::BlockDecomposition d(grid, {180, 100}, 480);
+    benchmark::DoNotOptimize(d.ocean_blocks());
+  }
+}
+BENCHMARK(BM_PopBlockDecomposition);
+
+void BM_PopStepModel(benchmark::State& state) {
+  const minipop::PopGrid grid = minipop::PopGrid::production();
+  const minipop::PopModel model(grid);
+  const auto machine = simcluster::presets::nersc_sp3(60, 8);
+  const auto space = minipop::make_param_space(32);
+  const auto mult =
+      minipop::evaluate_multipliers(space, minipop::default_config(space));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.step_time(machine, 8, {180, 100}, mult).total_s);
+  }
+}
+BENCHMARK(BM_PopStepModel);
+
+void BM_Gs2StepModel(benchmark::State& state) {
+  const minigs2::Gs2Model model;
+  const auto machine = simcluster::presets::seaborg(8, 16);
+  minigs2::Resolution res;
+  res.ntheta = 26;
+  res.negrid = 16;
+  const minigs2::Layout layout("yxles");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model
+            .step_time(machine, 128, res, layout, minigs2::CollisionModel::None)
+            .step_s);
+  }
+}
+BENCHMARK(BM_Gs2StepModel);
+
+void BM_ProtocolRoundtrip(benchmark::State& state) {
+  harmony::ParamSpace space;
+  space.add(harmony::Parameter::Integer("n", 1, 64));
+  space.add(harmony::Parameter::Real("alpha", 0.0, 2.0));
+  space.add(harmony::Parameter::Enum("layout", {"lxyes", "yxles"}));
+  const auto config = space.default_config();
+  for (auto _ : state) {
+    const auto line = harmony::proto::encode_config(space, config);
+    const auto msg = harmony::proto::parse_line("CONFIG " + line);
+    benchmark::DoNotOptimize(harmony::proto::decode_config(space, msg->args));
+  }
+}
+BENCHMARK(BM_ProtocolRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

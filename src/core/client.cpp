@@ -1,0 +1,119 @@
+#include "core/client.hpp"
+
+#include <sstream>
+
+#include "core/protocol.hpp"
+
+namespace harmony {
+
+bool TuningClient::connect(int port, const std::string& app_name) {
+  socket_ = net::connect_loopback(port);
+  if (!socket_.valid()) {
+    error_ = "connect failed";
+    return false;
+  }
+  reader_.emplace(socket_);
+  ok_ = true;
+  const auto reply = transact("HELLO " + app_name);
+  return reply.has_value() && expect_ok(*reply);
+}
+
+std::optional<std::string> TuningClient::transact(const std::string& line) {
+  if (!ok_) return std::nullopt;
+  if (!socket_.send_line(line)) {
+    ok_ = false;
+    error_ = "send failed";
+    return std::nullopt;
+  }
+  auto reply = reader_->read_line();
+  if (!reply) {
+    ok_ = false;
+    error_ = "server closed connection";
+    return std::nullopt;
+  }
+  return reply;
+}
+
+bool TuningClient::expect_ok(const std::string& line) {
+  if (line.rfind("OK", 0) == 0) return true;
+  error_ = line;
+  return false;
+}
+
+bool TuningClient::add_int(const std::string& name, std::int64_t lo,
+                           std::int64_t hi, std::int64_t step) {
+  auto p = Parameter::Integer(name, lo, hi, step);
+  const auto reply = transact(proto::encode_param(p));
+  if (!reply || !expect_ok(*reply)) return false;
+  space_.add(std::move(p));
+  return true;
+}
+
+bool TuningClient::add_real(const std::string& name, double lo, double hi) {
+  auto p = Parameter::Real(name, lo, hi);
+  const auto reply = transact(proto::encode_param(p));
+  if (!reply || !expect_ok(*reply)) return false;
+  space_.add(std::move(p));
+  return true;
+}
+
+bool TuningClient::add_enum(const std::string& name,
+                            std::vector<std::string> choices) {
+  auto p = Parameter::Enum(name, std::move(choices));
+  const auto reply = transact(proto::encode_param(p));
+  if (!reply || !expect_ok(*reply)) return false;
+  space_.add(std::move(p));
+  return true;
+}
+
+bool TuningClient::start(int max_iterations) {
+  std::ostringstream os;
+  os << "START " << max_iterations;
+  const auto reply = transact(os.str());
+  return reply.has_value() && expect_ok(*reply);
+}
+
+std::optional<Config> TuningClient::fetch() {
+  const auto reply = transact("FETCH");
+  if (!reply) return std::nullopt;
+  const auto msg = proto::parse_line(*reply);
+  if (!msg) {
+    error_ = "unparseable reply";
+    return std::nullopt;
+  }
+  if (msg->verb == "DONE") return std::nullopt;
+  if (msg->verb != "CONFIG") {
+    error_ = *reply;
+    return std::nullopt;
+  }
+  auto config = proto::decode_config(space_, msg->args);
+  if (!config) error_ = "undecodable CONFIG: " + *reply;
+  return config;
+}
+
+bool TuningClient::report(double objective) {
+  std::ostringstream os;
+  os << "REPORT " << objective;
+  const auto reply = transact(os.str());
+  return reply.has_value() && expect_ok(*reply);
+}
+
+std::optional<Config> TuningClient::best() {
+  const auto reply = transact("BEST");
+  if (!reply) return std::nullopt;
+  const auto msg = proto::parse_line(*reply);
+  if (!msg || msg->verb != "CONFIG") {
+    if (reply) error_ = *reply;
+    return std::nullopt;
+  }
+  return proto::decode_config(space_, msg->args);
+}
+
+void TuningClient::bye() {
+  if (!ok_) return;
+  (void)transact("BYE");
+  socket_.close();
+  ok_ = false;
+}
+
+}  // namespace harmony

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file client.hpp
+/// Application-side stub for the Harmony tuning server. Mirrors the Session
+/// API but runs the Adaptation Controller in a separate server process (or
+/// thread), which is how the paper's applications were deployed: "the
+/// developers can easily hook up the application with the Active Harmony
+/// tuning server" (Section III).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/net.hpp"
+#include "core/param_space.hpp"
+#include "core/types.hpp"
+
+namespace harmony {
+
+class TuningClient {
+ public:
+  TuningClient() = default;
+
+  /// Connect to a server on loopback and perform the HELLO exchange.
+  [[nodiscard]] bool connect(int port, const std::string& app_name);
+
+  /// Register parameters (before start()). Returns false on protocol error.
+  [[nodiscard]] bool add_int(const std::string& name, std::int64_t lo,
+                             std::int64_t hi, std::int64_t step = 1);
+  [[nodiscard]] bool add_real(const std::string& name, double lo, double hi);
+  [[nodiscard]] bool add_enum(const std::string& name,
+                              std::vector<std::string> choices);
+
+  /// Begin the search with an iteration budget.
+  [[nodiscard]] bool start(int max_iterations);
+
+  /// Next candidate configuration; nullopt when the server says DONE (or on
+  /// a connection error — check ok() to distinguish).
+  [[nodiscard]] std::optional<Config> fetch();
+
+  /// Report the objective for the configuration from the last fetch().
+  [[nodiscard]] bool report(double objective);
+
+  /// Best configuration the server has seen so far.
+  [[nodiscard]] std::optional<Config> best();
+
+  /// Polite shutdown.
+  void bye();
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] const std::string& last_error() const noexcept { return error_; }
+  [[nodiscard]] const ParamSpace& space() const noexcept { return space_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> transact(const std::string& line);
+  [[nodiscard]] bool expect_ok(const std::string& line);
+
+  net::Socket socket_;
+  std::optional<net::LineReader> reader_;
+  ParamSpace space_;
+  bool ok_ = false;
+  std::string error_;
+};
+
+}  // namespace harmony

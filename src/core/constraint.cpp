@@ -1,0 +1,122 @@
+#include "core/constraint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace harmony {
+
+MonotoneConstraint::MonotoneConstraint(std::size_t first, std::size_t n,
+                                       double min_gap)
+    : first_(first), n_(n), min_gap_(min_gap) {
+  if (n < 1) throw std::invalid_argument("MonotoneConstraint: need n >= 1");
+  if (min_gap < 0) throw std::invalid_argument("MonotoneConstraint: negative gap");
+}
+
+void MonotoneConstraint::project(const ParamSpace& space,
+                                 std::vector<double>& coords) const {
+  if (first_ + n_ > coords.size()) {
+    throw std::invalid_argument("MonotoneConstraint: block out of range");
+  }
+  // Clamp into each parameter's coordinate box first.
+  for (std::size_t i = first_; i < first_ + n_; ++i) {
+    const auto& p = space.param(i);
+    coords[i] = std::clamp(coords[i], p.coord_min(), p.coord_max());
+  }
+  std::sort(coords.begin() + static_cast<std::ptrdiff_t>(first_),
+            coords.begin() + static_cast<std::ptrdiff_t>(first_ + n_));
+  // Forward sweep: enforce the minimum gap.
+  for (std::size_t i = first_ + 1; i < first_ + n_; ++i) {
+    if (coords[i] < coords[i - 1] + min_gap_) coords[i] = coords[i - 1] + min_gap_;
+  }
+  // Backward sweep: pull overshoot back under the upper bound.
+  const double hi = space.param(first_ + n_ - 1).coord_max();
+  if (coords[first_ + n_ - 1] > hi) coords[first_ + n_ - 1] = hi;
+  for (std::size_t i = first_ + n_ - 1; i > first_; --i) {
+    if (coords[i - 1] > coords[i] - min_gap_) coords[i - 1] = coords[i] - min_gap_;
+  }
+}
+
+double MonotoneConstraint::penalty(const ParamSpace& space, const Config& c) const {
+  const auto coords = space.coords(c);
+  double pen = 0.0;
+  for (std::size_t i = first_ + 1; i < first_ + n_; ++i) {
+    const double violation = (coords[i - 1] + min_gap_) - coords[i];
+    if (violation > 0) pen += violation;
+  }
+  return pen;
+}
+
+ProductConstraint::ProductConstraint(std::size_t a, std::size_t b,
+                                     std::int64_t product)
+    : a_(a), b_(b), product_(product) {
+  if (product < 1) throw std::invalid_argument("ProductConstraint: product < 1");
+}
+
+void ProductConstraint::project(const ParamSpace& space,
+                                std::vector<double>& coords) const {
+  const auto& pa = space.param(a_);
+  const auto& pb = space.param(b_);
+  coords[a_] = std::clamp(coords[a_], pa.coord_min(), pa.coord_max());
+  // Snap a to its lattice value, then derive b = product / a. If a does not
+  // divide the product, walk a towards the nearest divisor.
+  auto a_val = std::get<std::int64_t>(pa.coord_to_value(coords[a_]));
+  std::int64_t best_a = 0;
+  for (std::int64_t delta = 0;; ++delta) {
+    bool progressed = false;
+    for (const std::int64_t cand : {a_val - delta, a_val + delta}) {
+      if (!pa.contains(Value{cand})) continue;
+      progressed = true;
+      if (product_ % cand == 0 && pb.contains(Value{product_ / cand})) {
+        best_a = cand;
+        break;
+      }
+    }
+    if (best_a != 0) break;
+    if (!progressed && delta > 0) break;  // exhausted the range
+  }
+  if (best_a == 0) return;  // no feasible divisor; leave coords, penalty applies
+  coords[a_] = pa.value_to_coord(Value{best_a});
+  coords[b_] = pb.value_to_coord(Value{product_ / best_a});
+}
+
+double ProductConstraint::penalty(const ParamSpace& space, const Config& c) const {
+  const auto av = std::get<std::int64_t>(c.values.at(a_));
+  const auto bv = std::get<std::int64_t>(c.values.at(b_));
+  (void)space;
+  return av * bv == product_ ? 0.0
+                             : static_cast<double>(std::abs(av * bv - product_));
+}
+
+FunctionConstraint::FunctionConstraint(ProjectFn project, PenaltyFn penalty)
+    : project_(std::move(project)), penalty_(std::move(penalty)) {
+  if (!project_) throw std::invalid_argument("FunctionConstraint: null projection");
+}
+
+void FunctionConstraint::project(const ParamSpace& space,
+                                 std::vector<double>& coords) const {
+  project_(space, coords);
+}
+
+double FunctionConstraint::penalty(const ParamSpace& space, const Config& c) const {
+  return penalty_ ? penalty_(space, c) : 0.0;
+}
+
+ConstraintSet& ConstraintSet::add(std::shared_ptr<const Constraint> c) {
+  if (!c) throw std::invalid_argument("ConstraintSet::add: null constraint");
+  constraints_.push_back(std::move(c));
+  return *this;
+}
+
+void ConstraintSet::project(const ParamSpace& space,
+                            std::vector<double>& coords) const {
+  for (const auto& c : constraints_) c->project(space, coords);
+}
+
+double ConstraintSet::penalty(const ParamSpace& space, const Config& c) const {
+  double pen = 0.0;
+  for (const auto& cn : constraints_) pen += cn->penalty(space, c);
+  return pen;
+}
+
+}  // namespace harmony

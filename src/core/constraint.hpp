@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file constraint.hpp
+/// Dependent-variable handling (paper Section II footnote 2, citing the
+/// authors' SC'04 techniques). Raw search spaces for data decomposition are
+/// astronomically large — O(10^100) for the big PETSc matrix — because most
+/// raw points violate structural relations such as "partition boundaries must
+/// be strictly increasing". A Constraint projects an arbitrary coordinate
+/// vector onto the feasible subspace before snapping, so the simplex only
+/// ever evaluates feasible configurations, and can additionally assess a
+/// penalty for soft violations.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/param_space.hpp"
+#include "core/types.hpp"
+
+namespace harmony {
+
+class Constraint {
+ public:
+  virtual ~Constraint() = default;
+
+  /// Project continuous coordinates onto the feasible region (in place).
+  virtual void project(const ParamSpace& space, std::vector<double>& coords) const = 0;
+
+  /// Soft penalty added to the objective for a snapped configuration;
+  /// 0 when fully feasible.
+  [[nodiscard]] virtual double penalty(const ParamSpace& space,
+                                       const Config& c) const {
+    (void)space;
+    (void)c;
+    return 0.0;
+  }
+};
+
+/// Requires a contiguous block of integer parameters [first, first+n) to be
+/// strictly increasing with a minimum gap (in native units). Projection sorts
+/// the block and then spreads ties/violations apart while staying in range.
+/// This is exactly the shape of the PETSc row-decomposition boundaries.
+class MonotoneConstraint final : public Constraint {
+ public:
+  MonotoneConstraint(std::size_t first, std::size_t n, double min_gap = 1.0);
+
+  void project(const ParamSpace& space, std::vector<double>& coords) const override;
+  [[nodiscard]] double penalty(const ParamSpace& space, const Config& c) const override;
+
+ private:
+  std::size_t first_;
+  std::size_t n_;
+  double min_gap_;
+};
+
+/// Requires the product of two integer parameters to equal a constant
+/// (e.g. nodes * procs_per_node == total CPUs in the POP topology study).
+/// Projection fixes the second coordinate from the first.
+class ProductConstraint final : public Constraint {
+ public:
+  ProductConstraint(std::size_t a, std::size_t b, std::int64_t product);
+
+  void project(const ParamSpace& space, std::vector<double>& coords) const override;
+  [[nodiscard]] double penalty(const ParamSpace& space, const Config& c) const override;
+
+ private:
+  std::size_t a_;
+  std::size_t b_;
+  std::int64_t product_;
+};
+
+/// Wraps an arbitrary projection function.
+class FunctionConstraint final : public Constraint {
+ public:
+  using ProjectFn = std::function<void(const ParamSpace&, std::vector<double>&)>;
+  using PenaltyFn = std::function<double(const ParamSpace&, const Config&)>;
+
+  explicit FunctionConstraint(ProjectFn project, PenaltyFn penalty = {});
+
+  void project(const ParamSpace& space, std::vector<double>& coords) const override;
+  [[nodiscard]] double penalty(const ParamSpace& space, const Config& c) const override;
+
+ private:
+  ProjectFn project_;
+  PenaltyFn penalty_;
+};
+
+/// Ordered list of constraints applied in sequence.
+class ConstraintSet {
+ public:
+  ConstraintSet& add(std::shared_ptr<const Constraint> c);
+
+  void project(const ParamSpace& space, std::vector<double>& coords) const;
+  [[nodiscard]] double penalty(const ParamSpace& space, const Config& c) const;
+  [[nodiscard]] bool empty() const noexcept { return constraints_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return constraints_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const Constraint>> constraints_;
+};
+
+}  // namespace harmony

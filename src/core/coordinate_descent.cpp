@@ -1,0 +1,106 @@
+#include "core/coordinate_descent.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace harmony {
+
+CoordinateDescent::CoordinateDescent(const ParamSpace& space,
+                                     std::optional<Config> initial, int max_sweeps,
+                                     int line_samples)
+    : space_(&space),
+      incumbent_(initial.value_or(space.default_config())),
+      incumbent_value_(std::numeric_limits<double>::infinity()),
+      max_sweeps_(max_sweeps),
+      line_samples_(line_samples),
+      best_value_(std::numeric_limits<double>::infinity()) {
+  if (max_sweeps < 1) throw std::invalid_argument("CoordinateDescent: max_sweeps < 1");
+  if (line_samples < 0) {
+    throw std::invalid_argument("CoordinateDescent: negative line_samples");
+  }
+}
+
+void CoordinateDescent::refill_queue() {
+  queue_.clear();
+  if (line_samples_ == 0) {
+    for (auto& n : space_->neighbors(incumbent_)) queue_.push_back(std::move(n));
+  } else {
+    // Per-coordinate line search: sample each dimension across its range
+    // while the others stay at the incumbent.
+    const auto base = space_->coords(incumbent_);
+    for (std::size_t d = 0; d < space_->dim(); ++d) {
+      const auto& p = space_->param(d);
+      int want = line_samples_;
+      if (p.count() > 0 && static_cast<std::uint64_t>(want) > p.count()) {
+        want = static_cast<int>(p.count());
+      }
+      for (int k = 0; k < want; ++k) {
+        auto coords = base;
+        coords[d] = want == 1
+                        ? p.coord_min()
+                        : p.coord_min() + (p.coord_max() - p.coord_min()) * k /
+                              (want - 1);
+        Config candidate = space_->snap(coords);
+        if (!(candidate == incumbent_)) queue_.push_back(std::move(candidate));
+      }
+    }
+  }
+  improved_this_sweep_ = false;
+}
+
+std::optional<Config> CoordinateDescent::propose() {
+  if (done_) return std::nullopt;
+  if (pending_) return pending_;  // idempotent re-ask
+  if (!incumbent_evaluated_) {
+    pending_ = incumbent_;
+    return pending_;
+  }
+  if (queue_.empty()) {
+    if (!improved_this_sweep_ || ++sweeps_ >= max_sweeps_) {
+      done_ = true;
+      return std::nullopt;
+    }
+    refill_queue();
+    if (queue_.empty()) {
+      done_ = true;
+      return std::nullopt;
+    }
+  }
+  pending_ = queue_.front();
+  queue_.pop_front();
+  return pending_;
+}
+
+void CoordinateDescent::report(const Config& c, const EvaluationResult& r) {
+  if (!pending_) throw std::logic_error("CoordinateDescent::report without propose");
+  pending_.reset();
+  const double value =
+      r.valid ? r.objective : std::numeric_limits<double>::infinity();
+  if (r.valid && value < best_value_) {
+    best_value_ = value;
+    best_ = c;
+  }
+  if (!incumbent_evaluated_) {
+    incumbent_evaluated_ = true;
+    incumbent_value_ = value;
+    refill_queue();
+    return;
+  }
+  if (value < incumbent_value_) {
+    incumbent_ = c;
+    incumbent_value_ = value;
+    if (line_samples_ == 0) {
+      // Greedy: restart the neighbor sweep from the improved incumbent.
+      refill_queue();
+    }
+    improved_this_sweep_ = true;
+  }
+}
+
+bool CoordinateDescent::converged() const { return done_; }
+
+std::optional<Config> CoordinateDescent::best() const { return best_; }
+
+double CoordinateDescent::best_objective() const { return best_value_; }
+
+}  // namespace harmony

@@ -1,0 +1,34 @@
+#include "core/evaluation.hpp"
+
+#include <limits>
+
+namespace harmony {
+
+EvaluationResult EvaluationResult::infeasible() {
+  EvaluationResult r;
+  r.objective = std::numeric_limits<double>::infinity();
+  r.valid = false;
+  return r;
+}
+
+std::optional<EvaluationResult> EvalCache::lookup(const Config& c) const {
+  const auto it = table_.find(space_->key(c));
+  if (it == table_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void EvalCache::store(const Config& c, const EvaluationResult& r) {
+  table_[space_->key(c)] = r;
+}
+
+void EvalCache::clear() {
+  table_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace harmony

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file evaluation.hpp
+/// Objective evaluation plumbing. An Evaluator maps a configuration to a
+/// performance measurement (the paper always minimizes execution time, but
+/// the objective is user-defined, Section II). The EvalCache memoizes results
+/// per lattice point: the simplex frequently revisits configurations after
+/// snapping, and re-running a "representative short run" for a configuration
+/// already measured would waste tuning time (Section III counts each distinct
+/// short run as one tuning iteration).
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/param_space.hpp"
+#include "core/types.hpp"
+
+namespace harmony {
+
+/// Result of evaluating one configuration.
+struct EvaluationResult {
+  /// Objective value to minimize (simulated or measured seconds in all the
+  /// paper's experiments). Infinity marks an infeasible configuration.
+  double objective = 0.0;
+
+  /// False when the run failed / configuration was infeasible.
+  bool valid = true;
+
+  /// Auxiliary metrics for reporting (e.g. "comm_s", "imbalance").
+  std::map<std::string, double> metrics;
+
+  [[nodiscard]] static EvaluationResult infeasible();
+};
+
+/// User-supplied objective function.
+using Evaluator = std::function<EvaluationResult(const Config&)>;
+
+/// Memoization table keyed by the canonical lattice key of a configuration.
+class EvalCache {
+ public:
+  explicit EvalCache(const ParamSpace& space) : space_(&space) {}
+
+  /// Cached result, or nullopt when the configuration has not been evaluated.
+  [[nodiscard]] std::optional<EvaluationResult> lookup(const Config& c) const;
+
+  /// Record a result (overwrites any previous entry for the same point).
+  void store(const Config& c, const EvaluationResult& r);
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  void clear();
+
+ private:
+  const ParamSpace* space_;
+  std::unordered_map<std::string, EvaluationResult> table_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace harmony

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file history.hpp
+/// Record of a tuning run: every evaluated configuration in order, with the
+/// observed objective and whether it improved the incumbent. The paper's
+/// Table I ("parameter changes through iterations") is generated directly
+/// from this record, as are the CSV exports behind Figures 2-6.
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/param_space.hpp"
+#include "core/types.hpp"
+
+namespace harmony {
+
+struct HistoryEntry {
+  int iteration = 0;           ///< distinct-evaluation index (cache misses only)
+  Config config;
+  EvaluationResult result;
+  bool improved = false;       ///< true when this run improved the incumbent
+  bool cached = false;         ///< true when served from the evaluation cache
+};
+
+class History {
+ public:
+  explicit History(const ParamSpace& space) : space_(&space) {}
+
+  void record(const Config& c, const EvaluationResult& r, bool cached);
+
+  [[nodiscard]] const std::vector<HistoryEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Number of distinct (non-cached) evaluations — the paper's "iterations".
+  [[nodiscard]] int iterations() const noexcept { return iterations_; }
+
+  [[nodiscard]] std::optional<Config> best_config() const;
+  [[nodiscard]] double best_objective() const noexcept { return best_value_; }
+
+  /// Best objective seen after the first k distinct iterations (for
+  /// convergence curves); k past the end returns the final best.
+  [[nodiscard]] double best_after(int k) const;
+
+  /// For each improving iteration, which parameters changed relative to the
+  /// previous incumbent: the exact shape of the paper's Table I rows.
+  struct ParamChange {
+    int iteration;
+    std::string param;
+    std::string from;
+    std::string to;
+  };
+  [[nodiscard]] std::vector<ParamChange> improvement_trace() const;
+
+  /// CSV with one row per evaluation: iteration,cached,objective,valid,params...
+  void write_csv(std::ostream& os) const;
+
+ private:
+  const ParamSpace* space_;
+  std::vector<HistoryEntry> entries_;
+  int iterations_ = 0;
+  double best_value_ = 0.0;
+  bool have_best_ = false;
+  std::optional<Config> best_;
+};
+
+}  // namespace harmony

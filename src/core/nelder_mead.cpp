@@ -1,0 +1,302 @@
+#include "core/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace harmony {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+NelderMead::NelderMead(const ParamSpace& space, NelderMeadOptions opts,
+                       std::optional<Config> initial, ConstraintSet constraints)
+    : space_(&space),
+      opts_(opts),
+      constraints_(std::move(constraints)),
+      rng_(opts.seed),
+      best_value_(kInf),
+      current_step_fraction_(opts.initial_step_fraction) {
+  if (space.empty()) {
+    throw std::invalid_argument("NelderMead: empty parameter space");
+  }
+  const Config start = initial.value_or(space.default_config());
+  seed_simplex(space.coords(start), current_step_fraction_);
+}
+
+void NelderMead::seed_simplex(const std::vector<double>& center,
+                              double step_fraction) {
+  const std::size_t n = space_->dim();
+  simplex_.assign(n + 1, Vertex{});
+  simplex_[0].coords = center;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& p = space_->param(i);
+    const double range = p.coord_max() - p.coord_min();
+    // Never seed a degenerate edge: even a single-lattice-step displacement
+    // keeps the simplex non-flat in this dimension.
+    double step = std::max(step_fraction * range, range > 0.0 ? 1.0 : 0.0);
+    if (p.type() == ParamType::Real) step = std::max(step_fraction * range, 1e-9 * range);
+    auto coords = center;
+    // Step towards whichever side has room.
+    if (coords[i] + step <= p.coord_max()) {
+      coords[i] += step;
+    } else {
+      coords[i] -= step;
+    }
+    coords[i] = std::clamp(coords[i], p.coord_min(), p.coord_max());
+    simplex_[i + 1].coords = std::move(coords);
+  }
+  phase_ = Phase::BuildSimplex;
+  pending_index_ = 0;
+  awaiting_report_ = false;
+  stall_count_ = 0;
+}
+
+Config NelderMead::make_config(std::vector<double> coords) const {
+  constraints_.project(*space_, coords);
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    const auto& p = space_->param(i);
+    coords[i] = std::clamp(coords[i], p.coord_min(), p.coord_max());
+  }
+  return space_->snap(coords);
+}
+
+std::optional<Config> NelderMead::propose() {
+  if (phase_ == Phase::Done) return std::nullopt;
+  switch (phase_) {
+    case Phase::BuildSimplex:
+    case Phase::Shrink:
+      // Find the vertex currently needing evaluation.
+      while (pending_index_ < simplex_.size() && simplex_[pending_index_].evaluated) {
+        ++pending_index_;
+      }
+      if (pending_index_ >= simplex_.size()) {
+        // All vertices evaluated (can happen when report() finished the
+        // phase); fall through to the next iteration.
+        begin_iteration();
+        return propose();
+      }
+      pending_coords_ = simplex_[pending_index_].coords;
+      break;
+    case Phase::Reflect:
+    case Phase::Expand:
+    case Phase::ContractOutside:
+    case Phase::ContractInside:
+      // pending_coords_ already prepared by the transition.
+      break;
+    case Phase::Done:
+      return std::nullopt;
+  }
+  awaiting_report_ = true;
+  return make_config(pending_coords_);
+}
+
+void NelderMead::report(const Config& c, const EvaluationResult& r) {
+  if (!awaiting_report_) {
+    throw std::logic_error("NelderMead::report without a pending propose()");
+  }
+  awaiting_report_ = false;
+
+  double value = r.valid ? r.objective : kInf;
+  if (r.valid && !constraints_.empty()) value += constraints_.penalty(*space_, c);
+
+  if (r.valid && value < best_value_) {
+    best_value_ = value;
+    best_ = c;
+    stall_count_ = 0;
+  } else {
+    ++stall_count_;
+  }
+
+  switch (phase_) {
+    case Phase::BuildSimplex:
+    case Phase::Shrink: {
+      simplex_[pending_index_].value = value;
+      simplex_[pending_index_].evaluated = true;
+      ++pending_index_;
+      while (pending_index_ < simplex_.size() && simplex_[pending_index_].evaluated) {
+        ++pending_index_;
+      }
+      if (pending_index_ >= simplex_.size()) begin_iteration();
+      return;
+    }
+    case Phase::Reflect: {
+      reflected_value_ = value;
+      reflected_coords_ = pending_coords_;
+      const std::size_t n = simplex_.size() - 1;
+      const double f_best = simplex_.front().value;
+      const double f_second_worst = simplex_[n - 1].value;
+      const double f_worst = simplex_[n].value;
+      if (value < f_best) {
+        // Try to expand further along the same direction.
+        const auto centroid = centroid_excluding_worst();
+        std::vector<double> xe(centroid.size());
+        for (std::size_t i = 0; i < xe.size(); ++i) {
+          xe[i] = centroid[i] +
+                  opts_.expansion * (reflected_coords_[i] - centroid[i]);
+        }
+        pending_coords_ = std::move(xe);
+        phase_ = Phase::Expand;
+        return;
+      }
+      if (value < f_second_worst) {
+        simplex_[n] = Vertex{reflected_coords_, value, true};
+        ++transformations_;
+        begin_iteration();
+        return;
+      }
+      const auto centroid = centroid_excluding_worst();
+      if (value < f_worst) {
+        // Outside contraction between centroid and reflected point.
+        std::vector<double> xc(centroid.size());
+        for (std::size_t i = 0; i < xc.size(); ++i) {
+          xc[i] = centroid[i] +
+                  opts_.contraction * (reflected_coords_[i] - centroid[i]);
+        }
+        pending_coords_ = std::move(xc);
+        phase_ = Phase::ContractOutside;
+      } else {
+        // Inside contraction between centroid and the worst vertex.
+        std::vector<double> xcc(centroid.size());
+        for (std::size_t i = 0; i < xcc.size(); ++i) {
+          xcc[i] = centroid[i] -
+                   opts_.contraction * (centroid[i] - simplex_.back().coords[i]);
+        }
+        pending_coords_ = std::move(xcc);
+        phase_ = Phase::ContractInside;
+      }
+      return;
+    }
+    case Phase::Expand: {
+      const std::size_t n = simplex_.size() - 1;
+      if (value < reflected_value_) {
+        simplex_[n] = Vertex{pending_coords_, value, true};
+      } else {
+        simplex_[n] = Vertex{reflected_coords_, reflected_value_, true};
+      }
+      ++transformations_;
+      begin_iteration();
+      return;
+    }
+    case Phase::ContractOutside: {
+      const std::size_t n = simplex_.size() - 1;
+      if (value <= reflected_value_) {
+        simplex_[n] = Vertex{pending_coords_, value, true};
+        ++transformations_;
+        begin_iteration();
+      } else {
+        begin_shrink();
+      }
+      return;
+    }
+    case Phase::ContractInside: {
+      const std::size_t n = simplex_.size() - 1;
+      if (value < simplex_[n].value) {
+        simplex_[n] = Vertex{pending_coords_, value, true};
+        ++transformations_;
+        begin_iteration();
+      } else {
+        begin_shrink();
+      }
+      return;
+    }
+    case Phase::Done:
+      return;
+  }
+}
+
+void NelderMead::order_simplex() {
+  std::stable_sort(simplex_.begin(), simplex_.end(),
+                   [](const Vertex& a, const Vertex& b) { return a.value < b.value; });
+}
+
+std::vector<double> NelderMead::centroid_excluding_worst() const {
+  const std::size_t n = simplex_.size() - 1;
+  std::vector<double> c(space_->dim(), 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < c.size(); ++i) c[i] += simplex_[v].coords[i];
+  }
+  for (auto& x : c) x /= static_cast<double>(n);
+  return c;
+}
+
+double NelderMead::simplex_diameter() const {
+  double d = 0.0;
+  for (std::size_t a = 0; a < simplex_.size(); ++a) {
+    for (std::size_t b = a + 1; b < simplex_.size(); ++b) {
+      double dist = 0.0;
+      for (std::size_t i = 0; i < simplex_[a].coords.size(); ++i) {
+        dist = std::max(dist,
+                        std::abs(simplex_[a].coords[i] - simplex_[b].coords[i]));
+      }
+      d = std::max(d, dist);
+    }
+  }
+  return d;
+}
+
+void NelderMead::begin_iteration() {
+  order_simplex();
+  const bool collapsed = simplex_diameter() < opts_.diameter_tolerance;
+  const bool stalled = opts_.max_stall > 0 && stall_count_ >= opts_.max_stall;
+  if (collapsed || stalled) {
+    maybe_restart();
+    if (phase_ == Phase::Done) return;
+    // maybe_restart seeded a fresh simplex; evaluation resumes there.
+    return;
+  }
+  // Prepare the reflection candidate.
+  const auto centroid = centroid_excluding_worst();
+  const auto& worst = simplex_.back().coords;
+  std::vector<double> xr(centroid.size());
+  for (std::size_t i = 0; i < xr.size(); ++i) {
+    xr[i] = centroid[i] + opts_.reflection * (centroid[i] - worst[i]);
+  }
+  pending_coords_ = std::move(xr);
+  phase_ = Phase::Reflect;
+}
+
+void NelderMead::begin_shrink() {
+  // Shrink every vertex towards the best one, then re-evaluate them.
+  const auto& x1 = simplex_.front().coords;
+  for (std::size_t v = 1; v < simplex_.size(); ++v) {
+    auto& vert = simplex_[v];
+    for (std::size_t i = 0; i < vert.coords.size(); ++i) {
+      vert.coords[i] = x1[i] + opts_.shrink * (vert.coords[i] - x1[i]);
+    }
+    vert.evaluated = false;
+  }
+  ++transformations_;
+  phase_ = Phase::Shrink;
+  pending_index_ = 1;
+}
+
+void NelderMead::maybe_restart() {
+  if (restarts_used_ >= opts_.max_restarts || !best_.has_value()) {
+    phase_ = Phase::Done;
+    return;
+  }
+  ++restarts_used_;
+  current_step_fraction_ = std::max(current_step_fraction_ * opts_.restart_shrink,
+                                    1e-3);
+  // Jitter the restart center slightly so a re-seeded simplex does not
+  // retrace the identical lattice path.
+  auto center = space_->coords(*best_);
+  for (std::size_t i = 0; i < center.size(); ++i) {
+    const auto& p = space_->param(i);
+    const double range = p.coord_max() - p.coord_min();
+    center[i] = std::clamp(center[i] + 0.1 * range * (rng_.uniform() - 0.5),
+                           p.coord_min(), p.coord_max());
+  }
+  seed_simplex(center, current_step_fraction_);
+}
+
+bool NelderMead::converged() const { return phase_ == Phase::Done; }
+
+std::optional<Config> NelderMead::best() const { return best_; }
+
+double NelderMead::best_objective() const { return best_value_; }
+
+}  // namespace harmony

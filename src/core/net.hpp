@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file net.hpp
+/// Minimal RAII wrappers over POSIX TCP sockets used by the tuning server
+/// and client. Loopback-only by design: the Harmony server in this repo is a
+/// localhost coordination service, not an internet-facing daemon.
+
+#include <optional>
+#include <string>
+
+namespace harmony::net {
+
+/// RAII file-descriptor owner.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  /// Shut down both directions without releasing the fd. Unlike close(),
+  /// this reliably wakes a thread blocked in accept()/recv() on this socket
+  /// — required to stop the tuning server's accept loop.
+  void shutdown() noexcept;
+
+  /// Send an entire buffer; returns false on error/peer close.
+  [[nodiscard]] bool send_all(const std::string& data) const;
+
+  /// Send one protocol line (appends '\n').
+  [[nodiscard]] bool send_line(const std::string& line) const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Buffered line reader over a socket.
+class LineReader {
+ public:
+  explicit LineReader(const Socket& s) : socket_(&s) {}
+
+  /// Blocking read of the next '\n'-terminated line (terminator stripped).
+  /// nullopt on EOF or error.
+  [[nodiscard]] std::optional<std::string> read_line();
+
+ private:
+  const Socket* socket_;
+  std::string buffer_;
+};
+
+/// Listen on 127.0.0.1:port (port 0 picks an ephemeral port). Returns the
+/// listening socket and the bound port, or an invalid socket on failure.
+struct ListenResult {
+  Socket socket;
+  int port = 0;
+};
+[[nodiscard]] ListenResult listen_loopback(int port);
+
+/// Accept one connection (blocking).
+[[nodiscard]] Socket accept_connection(const Socket& listener);
+
+/// Connect to 127.0.0.1:port.
+[[nodiscard]] Socket connect_loopback(int port);
+
+}  // namespace harmony::net

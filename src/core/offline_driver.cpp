@@ -1,0 +1,70 @@
+#include "core/offline_driver.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/evaluation.hpp"
+
+namespace harmony {
+
+OfflineDriver::OfflineDriver(const ParamSpace& space, OfflineOptions opts)
+    : space_(&space), opts_(opts), history_(space) {
+  if (opts.max_runs < 1) throw std::invalid_argument("OfflineDriver: max_runs < 1");
+  if (opts.short_run_steps < 1) {
+    throw std::invalid_argument("OfflineDriver: short_run_steps < 1");
+  }
+  if (opts.restart_overhead_s < 0) {
+    throw std::invalid_argument("OfflineDriver: negative restart overhead");
+  }
+}
+
+OfflineResult OfflineDriver::tune(SearchStrategy& strategy, const ShortRunFn& run) {
+  if (!run) throw std::invalid_argument("OfflineDriver::tune: null run function");
+  history_ = History(*space_);
+  EvalCache cache(*space_);
+  OfflineResult out;
+  out.best_measured_s = std::numeric_limits<double>::infinity();
+
+  // A generous proposal guard: the strategy may propose cached points freely.
+  const int max_proposals = opts_.max_runs * 64 + 256;
+  int proposals = 0;
+
+  while (out.runs < opts_.max_runs && proposals < max_proposals) {
+    auto proposal = strategy.propose();
+    if (!proposal) break;
+    ++proposals;
+
+    EvaluationResult result;
+    bool cached = false;
+    if (opts_.use_cache) {
+      if (auto hit = cache.lookup(*proposal)) {
+        result = *hit;
+        cached = true;
+      }
+    }
+    if (!cached) {
+      // One tuning iteration == one representative short run (Section III):
+      // stop the application, apply the configuration, restart, warm up,
+      // measure. Every component of that cost is charged to the tuning bill.
+      const ShortRunResult r = run(*proposal, opts_.short_run_steps);
+      out.total_tuning_cost_s += opts_.restart_overhead_s + r.warmup_s + r.measured_s;
+      ++out.runs;
+      result.valid = r.ok;
+      result.objective =
+          r.ok ? r.measured_s : std::numeric_limits<double>::infinity();
+      result.metrics["warmup_s"] = r.warmup_s;
+      if (opts_.use_cache) cache.store(*proposal, result);
+    }
+    history_.record(*proposal, result, cached);
+    strategy.report(*proposal, result);
+
+    if (result.valid && result.objective < out.best_measured_s) {
+      out.best_measured_s = result.objective;
+      out.best = *proposal;
+    }
+  }
+  out.strategy_converged = strategy.converged();
+  return out;
+}
+
+}  // namespace harmony

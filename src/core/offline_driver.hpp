@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file offline_driver.hpp
+/// Off-line iterative tuning with representative short runs — the mechanism
+/// this paper adds to Active Harmony (Section III). One tuning iteration is
+/// one short benchmarking run of the application: the driver launches the
+/// run with a candidate configuration, measures it, feeds the result to the
+/// strategy, and restarts the application with the next candidate. All costs
+/// of a parameter change are accounted: restart overhead and warm-up time as
+/// well as the measured region, exactly as the paper's experiments do.
+
+#include <functional>
+#include <optional>
+
+#include "core/evaluation.hpp"
+#include "core/history.hpp"
+#include "core/strategy.hpp"
+#include "core/tuner.hpp"
+
+namespace harmony {
+
+/// One representative short run of the application under configuration `c`,
+/// executing `steps` time steps. Returns per-run measurements.
+struct ShortRunResult {
+  double measured_s = 0.0;  ///< time of the measured region (the objective)
+  double warmup_s = 0.0;    ///< time spent warming up before measurement
+  bool ok = true;           ///< false when the run failed under this config
+};
+
+using ShortRunFn = std::function<ShortRunResult(const Config&, int steps)>;
+
+struct OfflineOptions {
+  int short_run_steps = 10;       ///< paper: "typical benchmarking run of 10 time steps"
+  int max_runs = 40;              ///< tuning-iteration budget (distinct runs)
+  double restart_overhead_s = 0;  ///< stop/reconfigure/restart cost per run
+  bool use_cache = true;          ///< skip re-running configurations already measured
+};
+
+struct OfflineResult {
+  std::optional<Config> best;
+  double best_measured_s = 0.0;
+  int runs = 0;                     ///< distinct short runs actually launched
+  double total_tuning_cost_s = 0;   ///< restarts + warmups + measured regions
+  bool strategy_converged = false;
+};
+
+class OfflineDriver {
+ public:
+  OfflineDriver(const ParamSpace& space, OfflineOptions opts = {});
+
+  /// Run the tuning loop.
+  OfflineResult tune(SearchStrategy& strategy, const ShortRunFn& run);
+
+  [[nodiscard]] const History& history() const { return history_; }
+
+ private:
+  const ParamSpace* space_;
+  OfflineOptions opts_;
+  History history_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,159 @@
+#include "core/param_space.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace harmony {
+
+ParamSpace& ParamSpace::add(Parameter p) {
+  if (index_of(p.name()).has_value()) {
+    throw std::invalid_argument("ParamSpace::add: duplicate parameter '" + p.name() +
+                                "'");
+  }
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+std::optional<std::size_t> ParamSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name() == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> ParamSpace::names() const {
+  std::vector<std::string> out;
+  out.reserve(params_.size());
+  for (const auto& p : params_) out.push_back(p.name());
+  return out;
+}
+
+Config ParamSpace::snap(const std::vector<double>& coords) const {
+  if (coords.size() != params_.size()) {
+    throw std::invalid_argument("ParamSpace::snap: dimension mismatch");
+  }
+  Config c;
+  c.values.reserve(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    c.values.push_back(params_[i].coord_to_value(coords[i]));
+  }
+  return c;
+}
+
+std::vector<double> ParamSpace::coords(const Config& c) const {
+  if (c.size() != params_.size()) {
+    throw std::invalid_argument("ParamSpace::coords: dimension mismatch");
+  }
+  std::vector<double> out;
+  out.reserve(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    out.push_back(params_[i].value_to_coord(c.values[i]));
+  }
+  return out;
+}
+
+Config ParamSpace::default_config() const {
+  Config c;
+  c.values.reserve(params_.size());
+  for (const auto& p : params_) c.values.push_back(p.default_value());
+  return c;
+}
+
+Config ParamSpace::random_config(Rng& rng) const {
+  Config c;
+  c.values.reserve(params_.size());
+  for (const auto& p : params_) {
+    c.values.push_back(p.coord_to_value(rng.uniform(p.coord_min(), p.coord_max())));
+  }
+  return c;
+}
+
+double ParamSpace::total_points() const {
+  double total = 1.0;
+  for (const auto& p : params_) {
+    if (p.type() == ParamType::Real) return std::numeric_limits<double>::infinity();
+    total *= static_cast<double>(p.count());
+  }
+  return total;
+}
+
+std::string ParamSpace::key(const Config& c) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < c.values.size(); ++i) {
+    if (i != 0) os << '|';
+    os << to_string(c.values[i]);
+  }
+  return os.str();
+}
+
+bool ParamSpace::contains(const Config& c) const {
+  if (c.size() != params_.size()) return false;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (!params_[i].contains(c.values[i])) return false;
+  }
+  return true;
+}
+
+std::vector<Config> ParamSpace::neighbors(const Config& c,
+                                          double real_step_fraction) const {
+  std::vector<Config> out;
+  const auto base = coords(c);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const auto& p = params_[i];
+    double step = 1.0;
+    if (p.type() == ParamType::Real) {
+      step = real_step_fraction * (p.coord_max() - p.coord_min());
+      if (step <= 0.0) continue;
+    }
+    for (const double delta : {-step, step}) {
+      const double moved = base[i] + delta;
+      if (moved < p.coord_min() - 1e-12 || moved > p.coord_max() + 1e-12) continue;
+      auto coords2 = base;
+      coords2[i] = moved;
+      Config n = snap(coords2);
+      if (!(n == c)) out.push_back(std::move(n));
+    }
+  }
+  return out;
+}
+
+const Value& ParamSpace::get(const Config& c, const std::string& name) const {
+  const auto idx = index_of(name);
+  if (!idx) throw std::out_of_range("ParamSpace::get: unknown parameter '" + name + "'");
+  return c.values.at(*idx);
+}
+
+std::int64_t ParamSpace::get_int(const Config& c, const std::string& name) const {
+  return std::get<std::int64_t>(get(c, name));
+}
+
+double ParamSpace::get_real(const Config& c, const std::string& name) const {
+  const Value& v = get(c, name);
+  if (std::holds_alternative<std::int64_t>(v)) {
+    return static_cast<double>(std::get<std::int64_t>(v));
+  }
+  return std::get<double>(v);
+}
+
+const std::string& ParamSpace::get_enum(const Config& c,
+                                        const std::string& name) const {
+  return std::get<std::string>(get(c, name));
+}
+
+void ParamSpace::set(Config& c, const std::string& name, Value v) const {
+  const auto idx = index_of(name);
+  if (!idx) throw std::out_of_range("ParamSpace::set: unknown parameter '" + name + "'");
+  if (!params_[*idx].contains(v)) {
+    throw std::invalid_argument("ParamSpace::set: value out of range for '" + name +
+                                "'");
+  }
+  c.values.at(*idx) = std::move(v);
+}
+
+std::string ParamSpace::format(const Config& c) const {
+  return to_string(c, names());
+}
+
+}  // namespace harmony

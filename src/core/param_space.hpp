@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file param_space.hpp
+/// An ordered collection of tunable parameters: the search space. Each
+/// configuration is a point in this space (paper, Section II). The space
+/// provides the continuous-coordinate embedding used by the simplex search,
+/// plus utility operations (random points, lattice keys for the evaluation
+/// cache, neighbor enumeration for local search).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/parameter.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace harmony {
+
+class ParamSpace {
+ public:
+  /// Append a parameter; names must be unique (throws std::invalid_argument).
+  ParamSpace& add(Parameter p);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return params_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return params_.empty(); }
+
+  [[nodiscard]] const Parameter& param(std::size_t i) const { return params_.at(i); }
+  [[nodiscard]] const std::vector<Parameter>& params() const noexcept { return params_; }
+
+  /// Index of the named parameter, or nullopt.
+  [[nodiscard]] std::optional<std::size_t> index_of(const std::string& name) const;
+
+  /// All parameter names, in order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Snap a continuous coordinate vector to the nearest valid configuration.
+  /// Throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] Config snap(const std::vector<double>& coords) const;
+
+  /// Continuous coordinates of a configuration.
+  [[nodiscard]] std::vector<double> coords(const Config& c) const;
+
+  /// Configuration with every parameter at its default value.
+  [[nodiscard]] Config default_config() const;
+
+  /// Uniformly random configuration (real params sample the interval).
+  [[nodiscard]] Config random_config(Rng& rng) const;
+
+  /// Total number of lattice points, as a double because real scientific
+  /// search spaces overflow 64 bits (the paper quotes O(10^100) for the large
+  /// PETSc decomposition). Returns +inf when any parameter is continuous.
+  [[nodiscard]] double total_points() const;
+
+  /// Canonical string key for the evaluation cache. Two configurations that
+  /// snap to the same lattice point share a key.
+  [[nodiscard]] std::string key(const Config& c) const;
+
+  /// True when every value is in range and of the right kind.
+  [[nodiscard]] bool contains(const Config& c) const;
+
+  /// Lattice neighbors of a configuration: for each discrete parameter, the
+  /// configs one step up/down. Real parameters step by `real_step_fraction`
+  /// of their range. Used by coordinate descent and local refinement.
+  [[nodiscard]] std::vector<Config> neighbors(const Config& c,
+                                              double real_step_fraction = 0.05) const;
+
+  /// Look up a value by parameter name (throws std::out_of_range if absent).
+  [[nodiscard]] const Value& get(const Config& c, const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const Config& c, const std::string& name) const;
+  [[nodiscard]] double get_real(const Config& c, const std::string& name) const;
+  [[nodiscard]] const std::string& get_enum(const Config& c,
+                                            const std::string& name) const;
+
+  /// Set a value by parameter name (throws on unknown name or invalid value).
+  void set(Config& c, const std::string& name, Value v) const;
+
+  /// Human-readable "name=value ..." rendering.
+  [[nodiscard]] std::string format(const Config& c) const;
+
+ private:
+  std::vector<Parameter> params_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,145 @@
+#include "core/parameter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace harmony {
+
+std::string to_string(ParamType t) {
+  switch (t) {
+    case ParamType::Int: return "INT";
+    case ParamType::Real: return "REAL";
+    case ParamType::Enum: return "ENUM";
+  }
+  return "?";
+}
+
+Parameter Parameter::Integer(std::string name, std::int64_t lo, std::int64_t hi,
+                             std::int64_t step) {
+  if (lo > hi) throw std::invalid_argument("Parameter::Integer: lo > hi for " + name);
+  if (step < 1) throw std::invalid_argument("Parameter::Integer: step < 1 for " + name);
+  Parameter p(std::move(name), ParamType::Int);
+  p.ilo_ = lo;
+  p.ihi_ = lo + ((hi - lo) / step) * step;  // last reachable lattice value
+  p.istep_ = step;
+  return p;
+}
+
+Parameter Parameter::Real(std::string name, double lo, double hi) {
+  if (!(lo <= hi)) throw std::invalid_argument("Parameter::Real: lo > hi for " + name);
+  Parameter p(std::move(name), ParamType::Real);
+  p.rlo_ = lo;
+  p.rhi_ = hi;
+  return p;
+}
+
+Parameter Parameter::Enum(std::string name, std::vector<std::string> choices) {
+  if (choices.empty()) {
+    throw std::invalid_argument("Parameter::Enum: no choices for " + name);
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& c : choices) {
+    if (!seen.insert(c).second) {
+      throw std::invalid_argument("Parameter::Enum: duplicate choice '" + c + "'");
+    }
+  }
+  Parameter p(std::move(name), ParamType::Enum);
+  p.choices_ = std::move(choices);
+  return p;
+}
+
+std::uint64_t Parameter::count() const noexcept {
+  switch (type_) {
+    case ParamType::Int:
+      return static_cast<std::uint64_t>((ihi_ - ilo_) / istep_) + 1;
+    case ParamType::Enum:
+      return choices_.size();
+    case ParamType::Real:
+      return 0;
+  }
+  return 0;
+}
+
+double Parameter::coord_min() const noexcept {
+  return type_ == ParamType::Real ? rlo_ : 0.0;
+}
+
+double Parameter::coord_max() const noexcept {
+  if (type_ == ParamType::Real) return rhi_;
+  return static_cast<double>(count() - 1);
+}
+
+Value Parameter::coord_to_value(double coord) const {
+  const double c = std::clamp(coord, coord_min(), coord_max());
+  switch (type_) {
+    case ParamType::Real:
+      return c;
+    case ParamType::Int: {
+      const auto idx = static_cast<std::int64_t>(std::llround(c));
+      return ilo_ + idx * istep_;
+    }
+    case ParamType::Enum: {
+      const auto idx = static_cast<std::size_t>(std::llround(c));
+      return choices_[idx];
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+double Parameter::value_to_coord(const Value& v) const {
+  switch (type_) {
+    case ParamType::Real:
+      if (!std::holds_alternative<double>(v)) {
+        if (std::holds_alternative<std::int64_t>(v)) {
+          return std::clamp(static_cast<double>(std::get<std::int64_t>(v)), rlo_, rhi_);
+        }
+        throw std::invalid_argument("value_to_coord: expected real for " + name_);
+      }
+      return std::clamp(std::get<double>(v), rlo_, rhi_);
+    case ParamType::Int: {
+      if (!std::holds_alternative<std::int64_t>(v)) {
+        throw std::invalid_argument("value_to_coord: expected int for " + name_);
+      }
+      const std::int64_t raw = std::clamp(std::get<std::int64_t>(v), ilo_, ihi_);
+      return static_cast<double>((raw - ilo_ + istep_ / 2) / istep_);
+    }
+    case ParamType::Enum: {
+      if (!std::holds_alternative<std::string>(v)) {
+        throw std::invalid_argument("value_to_coord: expected enum label for " + name_);
+      }
+      const auto& label = std::get<std::string>(v);
+      const auto it = std::find(choices_.begin(), choices_.end(), label);
+      if (it == choices_.end()) {
+        throw std::invalid_argument("value_to_coord: unknown choice '" + label +
+                                    "' for " + name_);
+      }
+      return static_cast<double>(std::distance(choices_.begin(), it));
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+Value Parameter::default_value() const {
+  return coord_to_value(0.5 * (coord_min() + coord_max()));
+}
+
+bool Parameter::contains(const Value& v) const {
+  switch (type_) {
+    case ParamType::Real:
+      return std::holds_alternative<double>(v) && std::get<double>(v) >= rlo_ &&
+             std::get<double>(v) <= rhi_;
+    case ParamType::Int: {
+      if (!std::holds_alternative<std::int64_t>(v)) return false;
+      const std::int64_t x = std::get<std::int64_t>(v);
+      return x >= ilo_ && x <= ihi_ && (x - ilo_) % istep_ == 0;
+    }
+    case ParamType::Enum:
+      return std::holds_alternative<std::string>(v) &&
+             std::find(choices_.begin(), choices_.end(), std::get<std::string>(v)) !=
+                 choices_.end();
+  }
+  return false;
+}
+
+}  // namespace harmony

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file parameter.hpp
+/// Definition of one tunable parameter. The paper (Section II) treats each
+/// tunable parameter as a variable in an independent dimension of the search
+/// space; the simplex algorithm runs in a continuous coordinate space and
+/// snaps to the nearest valid lattice point when a configuration must be
+/// evaluated. Parameter provides that two-way mapping:
+///
+///   native value  <->  continuous coordinate
+///
+/// - Integer parameters have an inclusive range [lo, hi] and a stride; the
+///   coordinate is the lattice index (0 .. count-1).
+/// - Enum parameters are an ordered list of labels; coordinate = label index.
+/// - Real parameters are continuous in [lo, hi]; coordinate = the value.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace harmony {
+
+enum class ParamType { Int, Real, Enum };
+
+[[nodiscard]] std::string to_string(ParamType t);
+
+class Parameter {
+ public:
+  /// Integer parameter over {lo, lo+step, ..., <= hi}. Requires lo <= hi and
+  /// step >= 1; throws std::invalid_argument otherwise.
+  [[nodiscard]] static Parameter Integer(std::string name, std::int64_t lo,
+                                         std::int64_t hi, std::int64_t step = 1);
+
+  /// Continuous real parameter over [lo, hi]. Requires lo <= hi.
+  [[nodiscard]] static Parameter Real(std::string name, double lo, double hi);
+
+  /// Enumerated parameter over an ordered list of distinct labels.
+  [[nodiscard]] static Parameter Enum(std::string name,
+                                      std::vector<std::string> choices);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] ParamType type() const noexcept { return type_; }
+
+  /// Number of distinct lattice values; Real parameters report 0 (continuous).
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+  /// Continuous coordinate bounds used by search strategies.
+  [[nodiscard]] double coord_min() const noexcept;
+  [[nodiscard]] double coord_max() const noexcept;
+
+  /// Snap a continuous coordinate to the nearest valid native value
+  /// (clamping to the range first).
+  [[nodiscard]] Value coord_to_value(double coord) const;
+
+  /// Inverse of coord_to_value. Throws std::invalid_argument when the value
+  /// kind does not match the parameter type or an enum label is unknown.
+  [[nodiscard]] double value_to_coord(const Value& v) const;
+
+  /// Default value used to seed searches: integer/enum midpoint lattice
+  /// value, real midpoint.
+  [[nodiscard]] Value default_value() const;
+
+  /// True when the value is one this parameter can take.
+  [[nodiscard]] bool contains(const Value& v) const;
+
+  // Introspection for serialization and tests.
+  [[nodiscard]] std::int64_t int_lo() const { return ilo_; }
+  [[nodiscard]] std::int64_t int_hi() const { return ihi_; }
+  [[nodiscard]] std::int64_t int_step() const { return istep_; }
+  [[nodiscard]] double real_lo() const { return rlo_; }
+  [[nodiscard]] double real_hi() const { return rhi_; }
+  [[nodiscard]] const std::vector<std::string>& choices() const { return choices_; }
+
+ private:
+  Parameter(std::string name, ParamType type) : name_(std::move(name)), type_(type) {}
+
+  std::string name_;
+  ParamType type_;
+  std::int64_t ilo_ = 0, ihi_ = 0, istep_ = 1;
+  double rlo_ = 0.0, rhi_ = 0.0;
+  std::vector<std::string> choices_;
+};
+
+}  // namespace harmony

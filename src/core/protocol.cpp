@@ -1,0 +1,152 @@
+#include "core/protocol.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace harmony::proto {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(s);
+  while (std::getline(is, field, sep)) {
+    if (!field.empty()) out.push_back(field);
+  }
+  return out;
+}
+
+std::optional<std::int64_t> parse_i64(const std::string& s) {
+  std::int64_t v{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_f64(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<Message> parse_line(const std::string& line) {
+  std::istringstream is(line);
+  Message m;
+  if (!(is >> m.verb)) return std::nullopt;
+  std::string field;
+  while (is >> field) m.args.push_back(std::move(field));
+  return m;
+}
+
+std::string format(const Message& m) {
+  std::ostringstream os;
+  os << m.verb;
+  for (const auto& a : m.args) os << ' ' << a;
+  return os.str();
+}
+
+std::string encode_config(const ParamSpace& space, const Config& c) {
+  (void)space;
+  std::ostringstream os;
+  for (std::size_t i = 0; i < c.values.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << to_string(c.values[i]);
+  }
+  return os.str();
+}
+
+std::optional<Config> decode_config(const ParamSpace& space,
+                                    const std::vector<std::string>& args) {
+  if (args.size() != space.dim()) return std::nullopt;
+  Config c;
+  c.values.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto& p = space.param(i);
+    switch (p.type()) {
+      case ParamType::Int: {
+        const auto v = parse_i64(args[i]);
+        if (!v || !p.contains(Value{*v})) return std::nullopt;
+        c.values.emplace_back(*v);
+        break;
+      }
+      case ParamType::Real: {
+        const auto v = parse_f64(args[i]);
+        if (!v || !p.contains(Value{*v})) return std::nullopt;
+        c.values.emplace_back(*v);
+        break;
+      }
+      case ParamType::Enum: {
+        if (!p.contains(Value{args[i]})) return std::nullopt;
+        c.values.emplace_back(args[i]);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+std::string encode_param(const Parameter& p) {
+  std::ostringstream os;
+  os << "PARAM ";
+  switch (p.type()) {
+    case ParamType::Int:
+      os << "INT " << p.name() << ' ' << p.int_lo() << ' ' << p.int_hi() << ' '
+         << p.int_step();
+      break;
+    case ParamType::Real:
+      os << "REAL " << p.name() << ' ' << p.real_lo() << ' ' << p.real_hi();
+      break;
+    case ParamType::Enum: {
+      os << "ENUM " << p.name() << ' ';
+      const auto& cs = p.choices();
+      for (std::size_t i = 0; i < cs.size(); ++i) {
+        if (i != 0) os << ',';
+        os << cs[i];
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::optional<Parameter> decode_param(const std::vector<std::string>& args) {
+  if (args.size() < 2) return std::nullopt;
+  const std::string& kind = args[0];
+  const std::string& name = args[1];
+  try {
+    if (kind == "INT") {
+      if (args.size() != 5) return std::nullopt;
+      const auto lo = parse_i64(args[2]);
+      const auto hi = parse_i64(args[3]);
+      const auto step = parse_i64(args[4]);
+      if (!lo || !hi || !step) return std::nullopt;
+      return Parameter::Integer(name, *lo, *hi, *step);
+    }
+    if (kind == "REAL") {
+      if (args.size() != 4) return std::nullopt;
+      const auto lo = parse_f64(args[2]);
+      const auto hi = parse_f64(args[3]);
+      if (!lo || !hi) return std::nullopt;
+      return Parameter::Real(name, *lo, *hi);
+    }
+    if (kind == "ENUM") {
+      if (args.size() != 3) return std::nullopt;
+      auto choices = split(args[2], ',');
+      if (choices.empty()) return std::nullopt;
+      return Parameter::Enum(name, std::move(choices));
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace harmony::proto

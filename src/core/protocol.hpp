@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file protocol.hpp
+/// Line-oriented wire protocol between a tunable application and the Harmony
+/// tuning server (paper Fig. 1). One message per line, space-separated
+/// fields; enum labels therefore must not contain whitespace.
+///
+/// Client -> server:
+///   HELLO <app-name>
+///   PARAM INT <name> <lo> <hi> <step>
+///   PARAM REAL <name> <lo> <hi>
+///   PARAM ENUM <name> <choice1,choice2,...>
+///   START <max_iterations>
+///   FETCH
+///   REPORT <objective>
+///   BEST
+///   BYE
+///
+/// Server -> client:
+///   OK [detail]
+///   CONFIG <v1> <v2> ...      (positional, matching PARAM registration order)
+///   DONE                      (search converged; FETCH/BEST return incumbent)
+///   ERR <message>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/param_space.hpp"
+#include "core/types.hpp"
+
+namespace harmony::proto {
+
+/// A parsed protocol line: verb plus raw argument fields.
+struct Message {
+  std::string verb;
+  std::vector<std::string> args;
+};
+
+/// Split a line into verb + fields. Empty/whitespace-only lines yield nullopt.
+[[nodiscard]] std::optional<Message> parse_line(const std::string& line);
+
+/// Render a message back to one line (no trailing newline).
+[[nodiscard]] std::string format(const Message& m);
+
+/// Encode a configuration as the argument list of a CONFIG message.
+[[nodiscard]] std::string encode_config(const ParamSpace& space, const Config& c);
+
+/// Decode CONFIG arguments against a parameter space. Returns nullopt when
+/// the field count or any field fails to parse/validate.
+[[nodiscard]] std::optional<Config> decode_config(const ParamSpace& space,
+                                                  const std::vector<std::string>& args);
+
+/// Build a PARAM registration line for a parameter.
+[[nodiscard]] std::string encode_param(const Parameter& p);
+
+/// Parse a PARAM line's arguments (everything after the verb) into a
+/// Parameter. Returns nullopt on malformed input.
+[[nodiscard]] std::optional<Parameter> decode_param(const std::vector<std::string>& args);
+
+}  // namespace harmony::proto

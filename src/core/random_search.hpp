@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file random_search.hpp
+/// Uniform random sampling baseline. Used in ablation benches to show what
+/// the simplex search buys over naive exploration.
+
+#include <optional>
+
+#include "core/rng.hpp"
+#include "core/strategy.hpp"
+
+namespace harmony {
+
+class RandomSearch final : public SearchStrategy {
+ public:
+  RandomSearch(const ParamSpace& space, int max_samples, std::uint64_t seed = 1);
+
+  [[nodiscard]] std::optional<Config> propose() override;
+  void report(const Config& c, const EvaluationResult& r) override;
+  [[nodiscard]] bool converged() const override;
+  [[nodiscard]] std::optional<Config> best() const override;
+  [[nodiscard]] double best_objective() const override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  const ParamSpace* space_;
+  Rng rng_;
+  int max_samples_;
+  int proposed_ = 0;
+  std::optional<Config> best_;
+  double best_value_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,67 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace harmony {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+TextTable& TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string percent_improvement(double baseline, double tuned) {
+  if (baseline <= 0.0) return "n/a";
+  const double pct = 100.0 * (baseline - tuned) / baseline;
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << pct << '%';
+  return os.str();
+}
+
+std::string speedup(double baseline, double tuned) {
+  if (tuned <= 0.0) return "n/a";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << baseline / tuned << 'x';
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string bar(double value, double max_value, int width) {
+  if (max_value <= 0.0 || value < 0.0) return {};
+  const int n = static_cast<int>(std::lround(width * value / max_value));
+  return std::string(static_cast<std::size_t>(std::clamp(n, 0, width)), '#');
+}
+
+}  // namespace harmony

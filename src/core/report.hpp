@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file report.hpp
+/// Small text-report helpers shared by the benchmark harness: aligned tables
+/// in the style of the paper's Tables I-IV and simple horizontal bar charts
+/// for the figures.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace harmony {
+
+/// Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& add_row(std::vector<std::string> row);
+
+  /// Render with a rule under the header. Rows shorter than the header are
+  /// padded with empty cells.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3%" style improvement of `tuned` over `baseline` (positive = faster).
+[[nodiscard]] std::string percent_improvement(double baseline, double tuned);
+
+/// "3.4x" style speedup string.
+[[nodiscard]] std::string speedup(double baseline, double tuned);
+
+/// Fixed-precision formatting helper.
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+/// Horizontal ASCII bar scaled so `max_value` spans `width` characters.
+[[nodiscard]] std::string bar(double value, double max_value, int width = 40);
+
+}  // namespace harmony

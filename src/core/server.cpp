@@ -1,0 +1,173 @@
+#include "core/server.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "core/protocol.hpp"
+
+namespace harmony {
+
+TuningServer::TuningServer(ServerOptions opts) : opts_(opts) {}
+
+TuningServer::~TuningServer() { stop(); }
+
+bool TuningServer::start() {
+  auto lr = net::listen_loopback(opts_.port);
+  if (!lr.socket.valid()) return false;
+  listener_ = std::move(lr.socket);
+  port_ = lr.port;
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void TuningServer::stop() {
+  if (!running_.exchange(false)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // shutdown() (not close()) is what reliably unblocks a pending accept().
+  listener_.shutdown();
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void TuningServer::accept_loop() {
+  while (running_.load()) {
+    net::Socket client = net::accept_connection(listener_);
+    if (!client.valid()) break;  // listener closed by stop()
+    ++sessions_;
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back(
+        [this, c = std::move(client)]() mutable { serve_client(std::move(c)); });
+  }
+}
+
+void TuningServer::serve_client(net::Socket client) {
+  net::LineReader reader(client);
+  ParamSpace space;
+  std::unique_ptr<NelderMead> search;
+  std::optional<Config> pending;
+  int iterations_left = opts_.default_max_iterations;
+
+  const auto send = [&client](const std::string& line) {
+    return client.send_line(line);
+  };
+
+  while (running_.load()) {
+    const auto line = reader.read_line();
+    if (!line) return;  // peer closed
+    const auto msg = proto::parse_line(*line);
+    if (!msg) continue;
+
+    if (msg->verb == "HELLO") {
+      if (!send("OK harmony-server/1.0")) return;
+    } else if (msg->verb == "PARAM") {
+      if (search) {
+        if (!send("ERR session already started")) return;
+        continue;
+      }
+      auto p = proto::decode_param(msg->args);
+      if (!p) {
+        if (!send("ERR malformed PARAM")) return;
+        continue;
+      }
+      try {
+        space.add(std::move(*p));
+      } catch (const std::exception& e) {
+        if (!send(std::string("ERR ") + e.what())) return;
+        continue;
+      }
+      if (!send("OK")) return;
+    } else if (msg->verb == "START") {
+      if (space.empty()) {
+        if (!send("ERR no parameters registered")) return;
+        continue;
+      }
+      if (search) {
+        if (!send("ERR session already started")) return;
+        continue;
+      }
+      if (!msg->args.empty()) {
+        int v{};
+        const auto* s = msg->args[0].c_str();
+        const auto [ptr, ec] = std::from_chars(s, s + msg->args[0].size(), v);
+        if (ec != std::errc{} || ptr != s + msg->args[0].size() || v < 1) {
+          if (!send("ERR bad iteration budget")) return;
+          continue;
+        }
+        iterations_left = v;
+      }
+      search = std::make_unique<NelderMead>(space, opts_.search);
+      if (!send("OK started")) return;
+    } else if (msg->verb == "FETCH") {
+      if (!search) {
+        if (!send("ERR not started")) return;
+        continue;
+      }
+      if (pending) {
+        // Idempotent re-fetch of the outstanding candidate.
+        if (!send("CONFIG " + proto::encode_config(space, *pending))) return;
+        continue;
+      }
+      if (iterations_left <= 0) {
+        if (!send("DONE")) return;
+        continue;
+      }
+      auto proposal = search->propose();
+      if (!proposal) {
+        if (!send("DONE")) return;
+        continue;
+      }
+      pending = std::move(*proposal);
+      --iterations_left;
+      if (!send("CONFIG " + proto::encode_config(space, *pending))) return;
+    } else if (msg->verb == "REPORT") {
+      if (!search || !pending) {
+        if (!send("ERR nothing to report")) return;
+        continue;
+      }
+      if (msg->args.size() != 1) {
+        if (!send("ERR REPORT takes one value")) return;
+        continue;
+      }
+      double value{};
+      try {
+        value = std::stod(msg->args[0]);
+      } catch (const std::exception&) {
+        if (!send("ERR bad objective value")) return;
+        continue;
+      }
+      EvaluationResult r;
+      r.objective = value;
+      r.valid = std::isfinite(value);
+      search->report(*pending, r);
+      pending.reset();
+      if (!send("OK")) return;
+    } else if (msg->verb == "BEST") {
+      if (!search || !search->best()) {
+        if (!send("ERR no measurements yet")) return;
+        continue;
+      }
+      if (!send("CONFIG " + proto::encode_config(space, *search->best()))) return;
+    } else if (msg->verb == "BYE") {
+      (void)send("OK bye");
+      return;
+    } else {
+      if (!send("ERR unknown verb " + msg->verb)) return;
+    }
+  }
+}
+
+}  // namespace harmony

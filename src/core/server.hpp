@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file server.hpp
+/// The Harmony tuning server (paper Fig. 1): applications connect over
+/// loopback TCP, register their tunable parameters, then drive FETCH/REPORT
+/// rounds while the server's Adaptation Controller (a per-client Nelder-Mead
+/// search) steers the configuration. Each connection owns an independent
+/// tuning session, so several applications can be tuned concurrently — the
+/// coordination role the paper contrasts against per-application adapters
+/// like AppLeS (Section VIII).
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/nelder_mead.hpp"
+#include "core/net.hpp"
+
+namespace harmony {
+
+struct ServerOptions {
+  int port = 0;  ///< 0 = pick an ephemeral port
+  NelderMeadOptions search;
+  int default_max_iterations = 200;
+};
+
+class TuningServer {
+ public:
+  explicit TuningServer(ServerOptions opts = {});
+  ~TuningServer();
+
+  TuningServer(const TuningServer&) = delete;
+  TuningServer& operator=(const TuningServer&) = delete;
+
+  /// Bind and start the accept loop. Returns false when the port could not
+  /// be bound.
+  [[nodiscard]] bool start();
+
+  /// Stop accepting and join all session threads.
+  void stop();
+
+  [[nodiscard]] int port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept { return running_.load(); }
+
+  /// Number of sessions served since start (for tests).
+  [[nodiscard]] int sessions_served() const noexcept { return sessions_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_client(net::Socket client);
+
+  ServerOptions opts_;
+  net::Socket listener_;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<int> sessions_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace harmony

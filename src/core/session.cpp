@@ -1,0 +1,137 @@
+#include "core/session.hpp"
+
+#include <stdexcept>
+
+namespace harmony {
+
+Session::Session(std::string app_name) : app_name_(std::move(app_name)) {
+  nm_opts_.max_stall = 30;
+  nm_opts_.max_restarts = 2;
+}
+
+Session::~Session() = default;
+
+std::size_t Session::add_int(const std::string& name, std::int64_t lo,
+                             std::int64_t hi, std::int64_t step,
+                             std::int64_t* bound) {
+  if (strategy_) throw std::logic_error("Session: add after first fetch");
+  space_.add(Parameter::Integer(name, lo, hi, step));
+  Binding b;
+  b.i = bound;
+  bindings_.push_back(b);
+  return space_.dim() - 1;
+}
+
+std::size_t Session::add_real(const std::string& name, double lo, double hi,
+                              double* bound) {
+  if (strategy_) throw std::logic_error("Session: add after first fetch");
+  space_.add(Parameter::Real(name, lo, hi));
+  Binding b;
+  b.r = bound;
+  bindings_.push_back(b);
+  return space_.dim() - 1;
+}
+
+std::size_t Session::add_enum(const std::string& name,
+                              std::vector<std::string> choices,
+                              std::string* bound) {
+  if (strategy_) throw std::logic_error("Session: add after first fetch");
+  space_.add(Parameter::Enum(name, std::move(choices)));
+  Binding b;
+  b.s = bound;
+  bindings_.push_back(b);
+  return space_.dim() - 1;
+}
+
+void Session::set_strategy(StrategyFactory factory) {
+  if (strategy_) throw std::logic_error("Session: set_strategy after first fetch");
+  factory_ = std::move(factory);
+}
+
+void Session::set_nelder_mead_options(NelderMeadOptions opts) {
+  if (strategy_) throw std::logic_error("Session: options after first fetch");
+  nm_opts_ = opts;
+}
+
+void Session::ensure_strategy() {
+  if (strategy_) return;
+  if (space_.empty()) throw std::logic_error("Session: no tunable variables added");
+  if (factory_) {
+    strategy_ = factory_(space_);
+    if (!strategy_) throw std::logic_error("Session: strategy factory returned null");
+  } else {
+    strategy_ = std::make_unique<NelderMead>(space_, nm_opts_);
+  }
+}
+
+void Session::write_bound(const Config& c) {
+  for (std::size_t i = 0; i < bindings_.size(); ++i) {
+    const auto& b = bindings_[i];
+    const auto& v = c.values[i];
+    if (b.i != nullptr) *b.i = std::get<std::int64_t>(v);
+    if (b.r != nullptr) *b.r = std::get<double>(v);
+    if (b.s != nullptr) *b.s = std::get<std::string>(v);
+  }
+}
+
+bool Session::fetch() {
+  ensure_strategy();
+  if (awaiting_report_) {
+    throw std::logic_error("Session::fetch: report() the previous candidate first");
+  }
+  auto proposal = strategy_->propose();
+  if (!proposal) {
+    // Converged: leave the best configuration in the bound variables.
+    if (auto b = strategy_->best()) {
+      current_ = *b;
+      write_bound(*b);
+    }
+    return false;
+  }
+  ++fetches_;
+  current_ = std::move(*proposal);
+  write_bound(*current_);
+  awaiting_report_ = true;
+  return true;
+}
+
+void Session::report(double performance) {
+  if (!awaiting_report_) {
+    throw std::logic_error("Session::report without a pending fetch()");
+  }
+  awaiting_report_ = false;
+  EvaluationResult r;
+  r.objective = performance;
+  r.valid = true;
+  strategy_->report(*current_, r);
+}
+
+const Config& Session::current() const {
+  if (!current_) throw std::logic_error("Session::current before first fetch");
+  return *current_;
+}
+
+std::optional<Config> Session::best() const {
+  return strategy_ ? strategy_->best() : std::nullopt;
+}
+
+double Session::best_performance() const {
+  if (!strategy_) throw std::logic_error("Session: no strategy yet");
+  return strategy_->best_objective();
+}
+
+bool Session::converged() const { return strategy_ && strategy_->converged(); }
+
+std::int64_t Session::get_int(std::size_t handle) const {
+  return std::get<std::int64_t>(current().values.at(handle));
+}
+
+double Session::get_real(std::size_t handle) const {
+  return std::get<double>(current().values.at(handle));
+}
+
+const std::string& Session::get_enum(std::size_t handle) const {
+  return std::get<std::string>(current().values.at(handle));
+}
+
+}  // namespace harmony

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file strategy.hpp
+/// Ask/tell interface implemented by every search strategy. The Adaptation
+/// Controller (paper Fig. 1) drives a strategy through this interface: it
+/// asks for the next configuration to try, evaluates it (on-line via the
+/// instrumented application, or off-line via one representative short run),
+/// and tells the strategy the observed performance. The ask/tell split is
+/// what lets the same strategy serve the in-process Tuner, the off-line
+/// driver, and the TCP tuning server.
+
+#include <optional>
+#include <string>
+
+#include "core/evaluation.hpp"
+#include "core/param_space.hpp"
+#include "core/types.hpp"
+
+namespace harmony {
+
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+
+  /// Next configuration the strategy wants evaluated, or nullopt when the
+  /// strategy has converged / exhausted its plan.
+  [[nodiscard]] virtual std::optional<Config> propose() = 0;
+
+  /// Report the evaluation of the most recently proposed configuration.
+  /// Strategies are sequential: propose() and report() alternate strictly.
+  virtual void report(const Config& c, const EvaluationResult& r) = 0;
+
+  /// True once the strategy considers the search finished.
+  [[nodiscard]] virtual bool converged() const = 0;
+
+  /// Best configuration observed so far (nullopt before any report).
+  [[nodiscard]] virtual std::optional<Config> best() const = 0;
+  [[nodiscard]] virtual double best_objective() const = 0;
+
+  /// Short identifier for logs ("nelder-mead", "random", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace harmony

@@ -1,0 +1,54 @@
+#include "core/tuner.hpp"
+
+#include <stdexcept>
+
+namespace harmony {
+
+Tuner::Tuner(const ParamSpace& space, TunerOptions opts)
+    : space_(&space), opts_(opts), cache_(space), history_(space) {
+  if (opts.max_iterations < 1) throw std::invalid_argument("Tuner: max_iterations < 1");
+  if (opts.max_proposals < 1) throw std::invalid_argument("Tuner: max_proposals < 1");
+}
+
+TuneResult Tuner::run(SearchStrategy& strategy, const Evaluator& evaluate) {
+  if (!evaluate) throw std::invalid_argument("Tuner::run: null evaluator");
+  history_ = History(*space_);
+  TuneResult out;
+  int distinct = 0;
+
+  while (distinct < opts_.max_iterations && out.proposals < opts_.max_proposals) {
+    auto proposal = strategy.propose();
+    if (!proposal) break;
+    ++out.proposals;
+
+    EvaluationResult result;
+    bool cached = false;
+    if (opts_.use_cache) {
+      if (auto hit = cache_.lookup(*proposal)) {
+        result = *hit;
+        cached = true;
+      }
+    }
+    if (!cached) {
+      result = evaluate(*proposal);
+      if (opts_.use_cache) cache_.store(*proposal, result);
+      ++distinct;
+    }
+    history_.record(*proposal, result, cached);
+    strategy.report(*proposal, result);
+  }
+
+  out.iterations = distinct;
+  out.cache_hits = cache_.hits();
+  out.strategy_converged = strategy.converged();
+  out.best = history_.best_config();
+  if (out.best) {
+    // The best result is whatever the history recorded for the incumbent.
+    for (const auto& e : history_.entries()) {
+      if (e.improved) out.best_result = e.result;
+    }
+  }
+  return out;
+}
+
+}  // namespace harmony

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file tuner.hpp
+/// The Adaptation Controller loop (paper Fig. 1): drives a SearchStrategy
+/// against an Evaluator, with memoization, iteration budgets and history
+/// recording. The Tuner is deployment-agnostic — the same loop serves
+/// in-process tuning, the off-line representative-short-run driver and the
+/// TCP tuning server.
+
+#include <memory>
+#include <optional>
+
+#include "core/evaluation.hpp"
+#include "core/history.hpp"
+#include "core/strategy.hpp"
+
+namespace harmony {
+
+struct TunerOptions {
+  /// Budget of *distinct* evaluations (cache misses). The paper reports
+  /// tuning cost in these units ("27 iterations", "120 tuning steps").
+  int max_iterations = 100;
+
+  /// Hard cap on strategy proposals, cached or not, as a loop guard.
+  int max_proposals = 100000;
+
+  /// Memoize evaluations per lattice point.
+  bool use_cache = true;
+};
+
+struct TuneResult {
+  std::optional<Config> best;
+  EvaluationResult best_result;
+  int iterations = 0;        ///< distinct evaluations actually run
+  int proposals = 0;         ///< total strategy proposals served
+  std::size_t cache_hits = 0;
+  bool strategy_converged = false;
+};
+
+class Tuner {
+ public:
+  Tuner(const ParamSpace& space, TunerOptions opts = {});
+
+  /// Run the strategy to convergence or budget exhaustion.
+  TuneResult run(SearchStrategy& strategy, const Evaluator& evaluate);
+
+  /// Evaluation history of the last run().
+  [[nodiscard]] const History& history() const { return history_; }
+
+  /// The memoization table (persists across run() calls so a second strategy
+  /// can reuse earlier measurements, as the paper's prior-runs work [12]
+  /// recommends).
+  [[nodiscard]] const EvalCache& cache() const { return cache_; }
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  const ParamSpace* space_;
+  TunerOptions opts_;
+  EvalCache cache_;
+  History history_;
+};
+
+}  // namespace harmony

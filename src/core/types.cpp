@@ -1,0 +1,29 @@
+#include "core/types.hpp"
+
+#include <sstream>
+
+namespace harmony {
+
+std::string to_string(const Value& v) {
+  std::ostringstream os;
+  if (std::holds_alternative<std::int64_t>(v)) {
+    os << std::get<std::int64_t>(v);
+  } else if (std::holds_alternative<double>(v)) {
+    os << std::get<double>(v);
+  } else {
+    os << std::get<std::string>(v);
+  }
+  return os.str();
+}
+
+std::string to_string(const Config& c, const std::vector<std::string>& names) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < c.values.size(); ++i) {
+    if (i != 0) os << ' ';
+    if (i < names.size()) os << names[i] << '=';
+    os << to_string(c.values[i]);
+  }
+  return os.str();
+}
+
+}  // namespace harmony

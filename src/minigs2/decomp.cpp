@@ -1,0 +1,44 @@
+#include "minigs2/decomp.hpp"
+
+#include <stdexcept>
+
+namespace minigs2 {
+
+DecompInfo decompose(const Layout& layout, const Resolution& res, int nranks) {
+  if (nranks < 1) throw std::invalid_argument("decompose: nranks < 1");
+  if (static_cast<long long>(nranks) > res.total_points()) {
+    throw std::invalid_argument("decompose: more ranks than mesh points");
+  }
+  DecompInfo info;
+  if (nranks == 1) return info;  // everything local on one rank
+
+  // Flatten outermost dimensions until their product covers the rank count;
+  // those dimensions carry the distribution.
+  long long outer = 1;
+  std::size_t k = 0;
+  while (k < 5 && outer < nranks) {
+    outer *= res.extent(layout.dim(k));
+    info.distributed.push_back(layout.dim(k));
+    ++k;
+  }
+
+  for (const char d : info.distributed) {
+    switch (d) {
+      case 'x': info.x_local = false; break;
+      case 'y': info.y_local = false; break;
+      case 'l': info.l_local = false; break;
+      case 'e': info.e_local = false; break;
+      case 's': info.s_local = false; break;
+      default: break;
+    }
+  }
+
+  // Block distribution of `outer` chunks over nranks ranks: a rank owns
+  // ceil or floor chunks; imbalance is the ceil/mean ratio.
+  const long long chunks_max = (outer + nranks - 1) / nranks;
+  info.imbalance = static_cast<double>(chunks_max) * nranks /
+                   static_cast<double>(outer);
+  return info;
+}
+
+}  // namespace minigs2

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file decomp.hpp
+/// Domain decomposition induced by a layout: the outermost dimensions of the
+/// 5-D array are flattened and block-distributed over ranks. A dimension is
+/// *distributed* when the per-rank block boundary can fall inside it, and
+/// *local* when every rank holds complete copies of it. What made the
+/// paper's layout tuning matter is captured here:
+///
+///   * imbalance — when the flattened outer extent does not divide evenly by
+///     the rank count, some ranks own one extra chunk ("proper data
+///     alignment with the number of processors is the major factor deciding
+///     the performance", Section VI);
+///   * phase locality — the FFT phase needs x,y local, the velocity-space
+///     integrals and the collision operator need l,e local; distributing
+///     those dimensions forces global transposes.
+
+#include <string>
+#include <vector>
+
+#include "minigs2/layout.hpp"
+
+namespace minigs2 {
+
+struct DecompInfo {
+  /// Dimensions (layout characters) the rank boundary cuts through.
+  std::string distributed;
+
+  /// max points per rank / mean points per rank (>= 1).
+  double imbalance = 1.0;
+
+  bool x_local = true;
+  bool y_local = true;
+  bool l_local = true;
+  bool e_local = true;
+  bool s_local = true;
+
+  /// FFT phase requires x and y local.
+  [[nodiscard]] bool needs_fft_transpose() const noexcept {
+    return !(x_local && y_local);
+  }
+  /// Velocity-space integrals / collisions require l and e local.
+  [[nodiscard]] bool needs_velocity_transpose() const noexcept {
+    return !(l_local && e_local);
+  }
+};
+
+/// Decompose `res` under `layout` over `nranks` ranks. Throws
+/// std::invalid_argument when nranks < 1 or exceeds the total mesh size.
+[[nodiscard]] DecompInfo decompose(const Layout& layout, const Resolution& res,
+                                   int nranks);
+
+}  // namespace minigs2

@@ -1,0 +1,92 @@
+#include "minigs2/gs2_model.hpp"
+
+#include <stdexcept>
+
+#include "simcluster/collectives.hpp"
+
+namespace minigs2 {
+
+Gs2StepReport Gs2Model::step_time(const simcluster::Machine& machine, int nranks,
+                                  const Resolution& res, const Layout& layout,
+                                  CollisionModel collisions) const {
+  if (nranks < 1 || nranks > machine.total_cpus()) {
+    throw std::invalid_argument("Gs2Model::step_time: bad nranks");
+  }
+  const DecompInfo decomp = decompose(layout, res, nranks);
+  Gs2StepReport rep;
+  rep.imbalance = decomp.imbalance;
+
+  const double points = static_cast<double>(res.total_points());
+  const double rate = cost_.ref_flops_per_s * machine.min_speed();
+
+  // --- Compute: implicit update (+ collisions). The parallel part scales
+  // with ranks (Amdahl serial fraction excepted) and is gated by the fullest
+  // rank; layouts whose distributed extent does not divide the rank count
+  // additionally pay a strided-access penalty (ragged chunks defeat the
+  // innermost-loop vectorization, which is also why the GS2 authors care
+  // about layout beyond communication).
+  double flops_pp = cost_.flops_per_point;
+  if (collisions == CollisionModel::Lorentz) {
+    flops_pp += cost_.collision_flops_per_point;
+  }
+  const double ragged_penalty =
+      decomp.imbalance > 1.0 ? cost_.ragged_compute_penalty : 1.0;
+  const double work_s = points * flops_pp / rate;
+  rep.compute_s =
+      work_s * (cost_.serial_fraction +
+                (1.0 - cost_.serial_fraction) * decomp.imbalance * ragged_penalty /
+                    nranks);
+
+  // --- Transposes: GS2 redistributes slice-by-slice (one y-plane batch per
+  // message wave), so each transpose is latency-bound at scale.
+  const double bytes_per_pair = points * cost_.bytes_per_point *
+                                cost_.slice_fraction /
+                                (static_cast<double>(nranks) * nranks);
+  const double one_transpose =
+      simcluster::alltoall_time(machine, nranks, bytes_per_pair);
+  const double ragged = decomp.imbalance > 1.0 ? cost_.irregular_factor : 1.0;
+
+  if (decomp.needs_fft_transpose()) {
+    rep.fft_comm_s = cost_.fft_transposes_per_step * one_transpose * ragged;
+  }
+  if (decomp.needs_velocity_transpose()) {
+    rep.velocity_comm_s =
+        cost_.velocity_transposes_per_step * one_transpose * ragged;
+    if (collisions == CollisionModel::Lorentz) {
+      rep.collision_comm_s =
+          cost_.collision_transposes_per_step * one_transpose * ragged;
+    }
+  }
+
+  rep.reduce_s = cost_.allreduces_per_step *
+                 simcluster::allreduce_time(machine, nranks, 8.0);
+
+  rep.step_s = rep.compute_s + rep.fft_comm_s + rep.velocity_comm_s +
+               rep.collision_comm_s + rep.reduce_s;
+  return rep;
+}
+
+double Gs2Model::init_time(const simcluster::Machine& machine, int nranks,
+                           const Resolution& res) const {
+  if (nranks < 1 || nranks > machine.total_cpus()) {
+    throw std::invalid_argument("Gs2Model::init_time: bad nranks");
+  }
+  // Response-matrix setup parallelizes over mesh points but has a serial
+  // fraction (reading input, field-line setup) that grows with ntheta.
+  const double points = static_cast<double>(res.total_points());
+  const double rate = cost_.ref_flops_per_s * machine.min_speed();
+  const double parallel = points * cost_.init_flops_per_point / (rate * nranks);
+  const double serial =
+      cost_.init_serial_s * (1.0 + 0.02 * res.ntheta) ;
+  return parallel + serial;
+}
+
+double Gs2Model::run_time(const simcluster::Machine& machine, int nranks,
+                          const Resolution& res, const Layout& layout,
+                          CollisionModel collisions, int steps) const {
+  if (steps < 1) throw std::invalid_argument("Gs2Model::run_time: steps < 1");
+  return init_time(machine, nranks, res) +
+         steps * step_time(machine, nranks, res, layout, collisions).step_s;
+}
+
+}  // namespace minigs2

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file gs2_model.hpp
+/// Simulated execution time for GS2-style gyrokinetic runs. One time step
+/// consists of (i) the implicit field/streaming update (compute over all
+/// mesh points), (ii) the pseudo-spectral nonlinear term, which needs x,y
+/// local — distributed spatial dimensions force FFT transposes — (iii)
+/// velocity-space integrals for the fields, which need l,e local, and (iv)
+/// optionally the collision operator, which also works in l,e and both adds
+/// compute and (for l,e-distributed layouts) additional redistributions.
+/// Transposes are priced by the machine's all-to-all cost; layouts whose
+/// distributed extent does not divide the rank count pay an irregularity
+/// factor (alltoallv with ragged counts) *and* the compute imbalance.
+///
+/// A run is init_time + steps * step_time: the initialization (response
+/// matrix setup) is the fixed cost that makes the paper's benchmark-run
+/// improvements (Table III) smaller than its production-run improvements
+/// (Table IV) for the same configurations.
+
+#include "minigs2/decomp.hpp"
+#include "minigs2/layout.hpp"
+#include "simcluster/machine.hpp"
+
+namespace minigs2 {
+
+enum class CollisionModel { None, Lorentz };
+
+struct Gs2CostModel {
+  double ref_flops_per_s = 1.5e9;
+  double flops_per_point = 20000.0;            ///< implicit update + streaming
+  double collision_flops_per_point = 50000.0;  ///< Lorentz operator
+  double serial_fraction = 0.01;               ///< Amdahl fraction of the update
+  double bytes_per_point = 16.0;               ///< complex double (g itself)
+  double slice_fraction = 1.0 / 32.0;          ///< volume of one transpose slice
+  int fft_transposes_per_step = 24;            ///< forward+inverse per plane batch
+  int velocity_transposes_per_step = 96;       ///< per velocity-integral batch
+  int collision_transposes_per_step = 48;      ///< extra redistributes if l,e split
+  double irregular_factor = 3.0;               ///< ragged alltoallv penalty
+  double ragged_compute_penalty = 1.3;         ///< strided access on ragged layouts
+  int allreduces_per_step = 4;
+  double init_flops_per_point = 8000.0;        ///< response-matrix setup
+  double init_serial_s = 0.15;                 ///< fixed startup
+};
+
+struct Gs2StepReport {
+  double step_s = 0.0;
+  double compute_s = 0.0;
+  double fft_comm_s = 0.0;
+  double velocity_comm_s = 0.0;
+  double collision_comm_s = 0.0;
+  double reduce_s = 0.0;
+  double imbalance = 1.0;
+};
+
+class Gs2Model {
+ public:
+  explicit Gs2Model(Gs2CostModel cost = {}) : cost_(cost) {}
+
+  /// Per-step breakdown for a configuration on `machine`, using `nranks`
+  /// of its CPUs.
+  [[nodiscard]] Gs2StepReport step_time(const simcluster::Machine& machine,
+                                        int nranks, const Resolution& res,
+                                        const Layout& layout,
+                                        CollisionModel collisions) const;
+
+  /// Initialization cost (response matrices etc.).
+  [[nodiscard]] double init_time(const simcluster::Machine& machine, int nranks,
+                                 const Resolution& res) const;
+
+  /// Full run: init + steps.
+  [[nodiscard]] double run_time(const simcluster::Machine& machine, int nranks,
+                                const Resolution& res, const Layout& layout,
+                                CollisionModel collisions, int steps) const;
+
+  [[nodiscard]] const Gs2CostModel& cost() const noexcept { return cost_; }
+
+ private:
+  const Gs2CostModel cost_;
+};
+
+}  // namespace minigs2

@@ -1,0 +1,53 @@
+#include "minigs2/layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace minigs2 {
+
+Layout::Layout(const std::string& order) : order_(order) {
+  std::string sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted != "elsxy") {
+    throw std::invalid_argument("Layout: '" + order +
+                                "' is not a permutation of x,y,l,e,s");
+  }
+}
+
+std::size_t Layout::position(char dim) const {
+  const auto pos = order_.find(dim);
+  if (pos == std::string::npos) {
+    throw std::invalid_argument(std::string("Layout::position: bad dim '") + dim +
+                                "'");
+  }
+  return pos;
+}
+
+std::vector<Layout> Layout::all() {
+  std::string chars = "elsxy";
+  std::vector<Layout> out;
+  out.reserve(120);
+  do {
+    out.emplace_back(chars);
+  } while (std::next_permutation(chars.begin(), chars.end()));
+  return out;
+}
+
+int Resolution::extent(char dim) const {
+  switch (dim) {
+    case 'x': return nx();
+    case 'y': return ny;
+    case 'l': return nl;
+    case 'e': return ne();
+    case 's': return ns;
+    default:
+      throw std::invalid_argument(std::string("Resolution::extent: bad dim '") +
+                                  dim + "'");
+  }
+}
+
+long long Resolution::total_points() const {
+  return static_cast<long long>(nx()) * ny * nl * ne() * ns;
+}
+
+}  // namespace minigs2

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file layout.hpp
+/// GS2 data layouts. The simulation state is a 5-D array over dimensions
+/// x, y (spatial), l, e (velocity: pitch angle and energy) and s (species);
+/// a layout string such as "lxyes" gives the dimension order of the array,
+/// outermost first, and the outermost dimensions are the ones distributed
+/// across processors. The layout is the paper's primary GS2 tunable (Fig. 5):
+/// the default was "lxyes"; tuning found "yxles"/"yxels" and the GS2 team
+/// adopted them as the new defaults.
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace minigs2 {
+
+class Layout {
+ public:
+  /// Parse a 5-character permutation of {x,y,l,e,s}. Throws
+  /// std::invalid_argument for anything else.
+  explicit Layout(const std::string& order);
+
+  [[nodiscard]] const std::string& order() const noexcept { return order_; }
+
+  /// Dimension character at position i (0 = outermost).
+  [[nodiscard]] char dim(std::size_t i) const { return order_.at(i); }
+
+  /// Position of a dimension in the order (0 = outermost).
+  [[nodiscard]] std::size_t position(char dim) const;
+
+  bool operator==(const Layout& other) const = default;
+
+  /// All 120 permutations, lexicographically ordered.
+  [[nodiscard]] static std::vector<Layout> all();
+
+  /// GS2's historical default.
+  [[nodiscard]] static Layout default_layout() { return Layout("lxyes"); }
+
+ private:
+  std::string order_;
+};
+
+/// Grid resolution. nx is set by ntheta (grid points per 2*pi field-line
+/// segment) and ne by negrid (energy grid) — the two resolution tunables of
+/// the paper's Tables III/IV; ny, nl, ns are held at typical values.
+struct Resolution {
+  int ntheta = 26;
+  int negrid = 16;
+  int ny = 64;
+  int nl = 20;
+  int ns = 2;
+
+  [[nodiscard]] int nx() const noexcept { return ntheta; }
+  [[nodiscard]] int ne() const noexcept { return negrid; }
+
+  /// Extent of a dimension by its layout character.
+  [[nodiscard]] int extent(char dim) const;
+
+  /// Total 5-D mesh points.
+  [[nodiscard]] long long total_points() const;
+};
+
+}  // namespace minigs2

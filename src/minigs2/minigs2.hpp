@@ -1,0 +1,8 @@
+#pragma once
+
+/// \file minigs2.hpp
+/// Umbrella header for the mini-GS2 substrate.
+
+#include "minigs2/decomp.hpp"
+#include "minigs2/gs2_model.hpp"
+#include "minigs2/layout.hpp"

@@ -1,0 +1,81 @@
+#include "minipetsc/cavity.hpp"
+
+#include <stdexcept>
+
+namespace minipetsc {
+
+ResidualFn CavityProblem::residual() const {
+  if (nx < 3 || ny < 3) throw std::invalid_argument("CavityProblem: grid too small");
+  if (reynolds <= 0) throw std::invalid_argument("CavityProblem: Re <= 0");
+  const CavityProblem p = *this;  // capture by value: problem is small
+
+  return [p](const Vec& x, Vec& f) {
+    if (static_cast<int>(x.size()) != p.unknowns()) {
+      throw std::invalid_argument("cavity residual: state size mismatch");
+    }
+    f.assign(x.size(), 0.0);
+    const double h = 1.0 / (p.nx - 1);
+    const double h2 = h * h;
+    const double inv_re = 1.0 / p.reynolds;
+
+    const auto psi = [&](int i, int j) { return x[static_cast<std::size_t>(p.psi_index(i, j))]; };
+    const auto omg = [&](int i, int j) { return x[static_cast<std::size_t>(p.omega_index(i, j))]; };
+
+    for (int j = 0; j < p.ny; ++j) {
+      for (int i = 0; i < p.nx; ++i) {
+        const auto fp = static_cast<std::size_t>(p.psi_index(i, j));
+        const auto fo = static_cast<std::size_t>(p.omega_index(i, j));
+        const bool bottom = j == 0;
+        const bool top = j == p.ny - 1;
+        const bool left = i == 0;
+        const bool right = i == p.nx - 1;
+
+        if (bottom || top || left || right) {
+          // psi = 0 on all walls.
+          f[fp] = psi(i, j);
+          // Thom's wall vorticity (corners default to the horizontal walls).
+          if (bottom) {
+            f[fo] = omg(i, j) + 2.0 * psi(i, 1) / h2;
+          } else if (top) {
+            f[fo] = omg(i, j) + 2.0 * psi(i, p.ny - 2) / h2 +
+                    2.0 * p.lid_velocity / h;
+          } else if (left) {
+            f[fo] = omg(i, j) + 2.0 * psi(1, j) / h2;
+          } else {
+            f[fo] = omg(i, j) + 2.0 * psi(p.nx - 2, j) / h2;
+          }
+          continue;
+        }
+
+        const double lap_psi = (psi(i + 1, j) + psi(i - 1, j) + psi(i, j + 1) +
+                                psi(i, j - 1) - 4.0 * psi(i, j)) / h2;
+        f[fp] = lap_psi + omg(i, j);
+
+        const double lap_omg = (omg(i + 1, j) + omg(i - 1, j) + omg(i, j + 1) +
+                                omg(i, j - 1) - 4.0 * omg(i, j)) / h2;
+        const double u = (psi(i, j + 1) - psi(i, j - 1)) / (2.0 * h);
+        const double v = -(psi(i + 1, j) - psi(i - 1, j)) / (2.0 * h);
+        const double domg_dx = (omg(i + 1, j) - omg(i - 1, j)) / (2.0 * h);
+        const double domg_dy = (omg(i, j + 1) - omg(i, j - 1)) / (2.0 * h);
+        f[fo] = inv_re * lap_omg - (u * domg_dx + v * domg_dy);
+      }
+    }
+  };
+}
+
+Vec CavityProblem::initial_guess() const {
+  return Vec(static_cast<std::size_t>(unknowns()), 0.0);
+}
+
+Vec CavityProblem::psi_field(const Vec& state) const {
+  Vec out(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny));
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      out[static_cast<std::size_t>(j * nx + i)] =
+          state[static_cast<std::size_t>(psi_index(i, j))];
+    }
+  }
+  return out;
+}
+
+}  // namespace minipetsc

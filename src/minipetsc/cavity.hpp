@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file cavity.hpp
+/// The nonlinear driven-cavity problem of the paper's second PETSc example,
+/// in the classic streamfunction-vorticity form: on the unit square,
+///
+///   laplacian(psi) + omega = 0
+///   (1/Re) laplacian(omega) - (u d(omega)/dx + v d(omega)/dy) = 0
+///   u = d(psi)/dy, v = -d(psi)/dx
+///
+/// with no-slip walls and a lid moving at speed U (Thom's wall-vorticity
+/// closure). The state vector interleaves [psi, omega] per node; SNES solves
+/// the coupled system matrix-free.
+
+#include "minipetsc/snes.hpp"
+#include "minipetsc/vec.hpp"
+
+namespace minipetsc {
+
+struct CavityProblem {
+  int nx = 17;
+  int ny = 17;
+  double reynolds = 10.0;
+  double lid_velocity = 1.0;
+
+  [[nodiscard]] int unknowns() const noexcept { return 2 * nx * ny; }
+
+  /// Flat index of psi at (i, j).
+  [[nodiscard]] int psi_index(int i, int j) const noexcept {
+    return 2 * (j * nx + i);
+  }
+  /// Flat index of omega at (i, j).
+  [[nodiscard]] int omega_index(int i, int j) const noexcept {
+    return 2 * (j * nx + i) + 1;
+  }
+
+  /// Residual callback for newton_solve().
+  [[nodiscard]] ResidualFn residual() const;
+
+  /// Zero initial state.
+  [[nodiscard]] Vec initial_guess() const;
+
+  /// Extract the psi field (nx*ny values, row-major) from a state vector.
+  [[nodiscard]] Vec psi_field(const Vec& state) const;
+};
+
+}  // namespace minipetsc

@@ -1,0 +1,60 @@
+#include "minipetsc/da.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace minipetsc {
+
+Da2D Da2D::even_strips(int nx, int ny, int nranks) {
+  if (nranks < 1 || ny < nranks) {
+    throw std::invalid_argument("Da2D::even_strips: need ny >= nranks >= 1");
+  }
+  std::vector<int> cuts;
+  cuts.reserve(static_cast<std::size_t>(nranks) - 1);
+  for (int k = 1; k < nranks; ++k) {
+    cuts.push_back(static_cast<int>(static_cast<long long>(ny) * k / nranks));
+  }
+  return from_cuts(nx, ny, std::move(cuts));
+}
+
+Da2D Da2D::from_cuts(int nx, int ny, std::vector<int> cuts) {
+  if (nx < 1 || ny < 1) throw std::invalid_argument("Da2D: bad shape");
+  int prev = 0;
+  for (const int c : cuts) {
+    if (c <= prev || c >= ny) {
+      throw std::invalid_argument("Da2D: cuts must be strictly increasing in (0, ny)");
+    }
+    prev = c;
+  }
+  Da2D da;
+  da.nx_ = nx;
+  da.ny_ = ny;
+  da.cuts_ = std::move(cuts);
+  return da;
+}
+
+std::pair<int, int> Da2D::row_range(int rank) const {
+  if (rank < 0 || rank >= nranks()) throw std::out_of_range("Da2D::row_range");
+  const int lo = rank == 0 ? 0 : cuts_[static_cast<std::size_t>(rank) - 1];
+  const int hi =
+      rank == nranks() - 1 ? ny_ : cuts_[static_cast<std::size_t>(rank)];
+  return {lo, hi};
+}
+
+int Da2D::owner_of_row(int j) const {
+  if (j < 0 || j >= ny_) throw std::out_of_range("Da2D::owner_of_row");
+  const auto it = std::upper_bound(cuts_.begin(), cuts_.end(), j);
+  return static_cast<int>(std::distance(cuts_.begin(), it));
+}
+
+std::vector<int> Da2D::points_per_rank() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(nranks()));
+  for (int r = 0; r < nranks(); ++r) {
+    const auto [lo, hi] = row_range(r);
+    out.push_back((hi - lo) * nx_);
+  }
+  return out;
+}
+
+}  // namespace minipetsc

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file da.hpp
+/// 2-D distributed array (PETSc DA/DMDA): ownership of an nx x ny structured
+/// grid across ranks. The paper's computation-distribution study tunes "how
+/// the grid points are distributed among processing nodes" (Section IV); the
+/// decomposition here is the strip layout of Fig. 3 — each rank owns a
+/// horizontal band whose extent is set by tunable cut positions — which is
+/// also what makes the 40,000-point/32-rank search space O(10^36)
+/// (C(199,31) ~ 10^36 cut placements on a 200-row grid).
+
+#include <utility>
+#include <vector>
+
+namespace minipetsc {
+
+class Da2D {
+ public:
+  /// Even horizontal strips (the default configuration).
+  [[nodiscard]] static Da2D even_strips(int nx, int ny, int nranks);
+
+  /// Strips with explicit cut rows: rank k owns grid rows [cuts[k-1],
+  /// cuts[k]) with implicit 0 and ny at the ends; cuts strictly increasing
+  /// in (0, ny). Throws std::invalid_argument otherwise.
+  [[nodiscard]] static Da2D from_cuts(int nx, int ny, std::vector<int> cuts);
+
+  [[nodiscard]] int nx() const noexcept { return nx_; }
+  [[nodiscard]] int ny() const noexcept { return ny_; }
+  [[nodiscard]] int nranks() const noexcept {
+    return static_cast<int>(cuts_.size()) + 1;
+  }
+  [[nodiscard]] const std::vector<int>& cuts() const noexcept { return cuts_; }
+
+  /// Grid-row range [lo, hi) owned by a rank.
+  [[nodiscard]] std::pair<int, int> row_range(int rank) const;
+
+  /// Owning rank of grid row j.
+  [[nodiscard]] int owner_of_row(int j) const;
+
+  /// Grid points owned by each rank.
+  [[nodiscard]] std::vector<int> points_per_rank() const;
+
+  /// Number of boundary values each rank pair exchanges per halo swap
+  /// (one grid row of nx values in each direction between strip neighbors).
+  [[nodiscard]] int halo_values_per_exchange() const noexcept { return nx_; }
+
+ private:
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<int> cuts_;
+};
+
+}  // namespace minipetsc

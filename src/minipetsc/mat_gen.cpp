@@ -1,0 +1,117 @@
+#include "minipetsc/mat_gen.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace minipetsc {
+
+CsrMatrix laplacian2d(int nx, int ny) {
+  if (nx < 1 || ny < 1) throw std::invalid_argument("laplacian2d: bad shape");
+  const int n = nx * ny;
+  std::vector<std::tuple<int, int, double>> t;
+  t.reserve(static_cast<std::size_t>(n) * 5);
+  const auto id = [nx](int i, int j) { return j * nx + i; };
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const int r = id(i, j);
+      t.emplace_back(r, r, 4.0);
+      if (i > 0) t.emplace_back(r, id(i - 1, j), -1.0);
+      if (i < nx - 1) t.emplace_back(r, id(i + 1, j), -1.0);
+      if (j > 0) t.emplace_back(r, id(i, j - 1), -1.0);
+      if (j < ny - 1) t.emplace_back(r, id(i, j + 1), -1.0);
+    }
+  }
+  return CsrMatrix::from_triplets(n, n, std::move(t));
+}
+
+CsrMatrix laplacian1d(int n) {
+  if (n < 1) throw std::invalid_argument("laplacian1d: bad size");
+  std::vector<std::tuple<int, int, double>> t;
+  t.reserve(static_cast<std::size_t>(n) * 3);
+  for (int i = 0; i < n; ++i) {
+    t.emplace_back(i, i, 2.0);
+    if (i > 0) t.emplace_back(i, i - 1, -1.0);
+    if (i < n - 1) t.emplace_back(i, i + 1, -1.0);
+  }
+  return CsrMatrix::from_triplets(n, n, std::move(t));
+}
+
+CsrMatrix dense_block_matrix(const std::vector<int>& block_sizes, double coupling) {
+  if (block_sizes.empty()) throw std::invalid_argument("dense_block_matrix: empty");
+  for (const int b : block_sizes) {
+    if (b < 1) throw std::invalid_argument("dense_block_matrix: bad block size");
+  }
+  const int n = std::accumulate(block_sizes.begin(), block_sizes.end(), 0);
+  std::vector<std::tuple<int, int, double>> t;
+  int base = 0;
+  for (const int b : block_sizes) {
+    for (int i = 0; i < b; ++i) {
+      for (int j = 0; j < b; ++j) {
+        const double v = i == j ? static_cast<double>(b) + 1.0 : -1.0 / b;
+        t.emplace_back(base + i, base + j, v);
+      }
+    }
+    base += b;
+  }
+  // Weak tridiagonal coupling across block boundaries keeps the matrix
+  // irreducible (and models the physical coupling in the paper's example).
+  for (int i = 0; i + 1 < n; ++i) {
+    t.emplace_back(i, i + 1, -coupling);
+    t.emplace_back(i + 1, i, -coupling);
+    t.emplace_back(i, i, coupling);
+    t.emplace_back(i + 1, i + 1, coupling);
+  }
+  return CsrMatrix::from_triplets(n, n, std::move(t));
+}
+
+CsrMatrix variable_band_spd(int n, int min_band, int max_band) {
+  if (n < 1 || min_band < 1 || max_band < min_band) {
+    throw std::invalid_argument("variable_band_spd: bad args");
+  }
+  std::vector<std::tuple<int, int, double>> t;
+  std::vector<double> row_sum(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < n; ++r) {
+    const double s = std::sin(M_PI * static_cast<double>(r) / n);
+    const int band = min_band + static_cast<int>((max_band - min_band) * s * s);
+    for (int k = 1; k <= band; ++k) {
+      const int c = r + k;
+      if (c >= n) break;
+      const double v = -1.0 / k;
+      t.emplace_back(r, c, v);
+      t.emplace_back(c, r, v);
+      row_sum[static_cast<std::size_t>(r)] += -v;
+      row_sum[static_cast<std::size_t>(c)] += -v;
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    t.emplace_back(r, r, row_sum[static_cast<std::size_t>(r)] + 1.0);
+  }
+  return CsrMatrix::from_triplets(n, n, std::move(t));
+}
+
+CsrMatrix random_spd(int n, int nnz_per_row, std::uint64_t seed) {
+  if (n < 1 || nnz_per_row < 0) throw std::invalid_argument("random_spd: bad args");
+  harmony::Rng rng(seed);
+  std::vector<std::tuple<int, int, double>> t;
+  std::vector<double> row_sum(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < nnz_per_row; ++k) {
+      const int j = static_cast<int>(rng.uniform_int(0, n - 1));
+      if (j == i) continue;
+      const double v = -rng.uniform(0.1, 1.0);
+      // Symmetrize.
+      t.emplace_back(i, j, v);
+      t.emplace_back(j, i, v);
+      row_sum[static_cast<std::size_t>(i)] += -v;
+      row_sum[static_cast<std::size_t>(j)] += -v;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    t.emplace_back(i, i, row_sum[static_cast<std::size_t>(i)] + 1.0);
+  }
+  return CsrMatrix::from_triplets(n, n, std::move(t));
+}
+
+}  // namespace minipetsc

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file mat_gen.hpp
+/// Test-problem matrix generators. dense_block_matrix reproduces the Fig. 2
+/// structure of the paper's first PETSc example: dense sub-blocks along the
+/// diagonal joined by weak coupling, so that a decomposition whose
+/// boundaries respect block edges ("line A") keeps communication local,
+/// while even splitting ("line B") smears dense blocks across ranks.
+
+#include <cstdint>
+#include <vector>
+
+#include "minipetsc/csr_matrix.hpp"
+
+namespace minipetsc {
+
+/// 5-point Laplacian on an nx x ny grid (SPD, row-major grid ordering).
+[[nodiscard]] CsrMatrix laplacian2d(int nx, int ny);
+
+/// 1-D Laplacian (tridiagonal SPD), for small solver tests.
+[[nodiscard]] CsrMatrix laplacian1d(int n);
+
+/// Block-structured SPD matrix of size n: dense diagonal blocks with the
+/// given sizes (must sum to n) and tridiagonal coupling of strength
+/// `coupling` between consecutive blocks. Diagonally dominant by
+/// construction.
+[[nodiscard]] CsrMatrix dense_block_matrix(const std::vector<int>& block_sizes,
+                                           double coupling = 0.1);
+
+/// Seeded random sparse diagonally-dominant SPD matrix with about
+/// `nnz_per_row` off-diagonals per row.
+[[nodiscard]] CsrMatrix random_spd(int n, int nnz_per_row, std::uint64_t seed);
+
+/// Banded SPD matrix whose half-bandwidth varies smoothly across the rows:
+/// b(r) = min_band + (max_band - min_band) * sin^2(pi r / n). Rows near the
+/// middle are much denser than rows near the edges, so an even row split is
+/// badly load-imbalanced — the Section IV "better load balance" scenario
+/// (discretizations refined in an interior region have exactly this shape).
+[[nodiscard]] CsrMatrix variable_band_spd(int n, int min_band, int max_band);
+
+}  // namespace minipetsc

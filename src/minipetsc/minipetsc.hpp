@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file minipetsc.hpp
+/// Umbrella header for the mini-PETSc substrate.
+
+#include "minipetsc/cavity.hpp"
+#include "minipetsc/csr_matrix.hpp"
+#include "minipetsc/da.hpp"
+#include "minipetsc/ksp.hpp"
+#include "minipetsc/mat_gen.hpp"
+#include "minipetsc/partition.hpp"
+#include "minipetsc/pc.hpp"
+#include "minipetsc/perf_model.hpp"
+#include "minipetsc/snes.hpp"
+#include "minipetsc/vec.hpp"

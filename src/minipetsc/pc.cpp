@@ -1,0 +1,113 @@
+#include "minipetsc/pc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace minipetsc {
+
+PcJacobi::PcJacobi(const CsrMatrix& A) : inv_diag_(A.diagonal()) {
+  for (auto& d : inv_diag_) {
+    if (d == 0.0) throw std::invalid_argument("PcJacobi: zero diagonal entry");
+    d = 1.0 / d;
+  }
+}
+
+void PcJacobi::apply(const Vec& r, Vec& z) const {
+  z = r;
+  pointwise_mult(z, inv_diag_);
+}
+
+DenseLu::DenseLu(std::vector<double> a, int n) : lu_(std::move(a)), n_(n) {
+  if (n < 1 || lu_.size() != static_cast<std::size_t>(n) * static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("DenseLu: bad shape");
+  }
+  piv_.resize(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    // Partial pivot.
+    int p = k;
+    double pmax = std::abs(lu_[static_cast<std::size_t>(k) * n + k]);
+    for (int i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_[static_cast<std::size_t>(i) * n + k]);
+      if (v > pmax) {
+        pmax = v;
+        p = i;
+      }
+    }
+    if (pmax == 0.0) throw std::runtime_error("DenseLu: singular block");
+    piv_[static_cast<std::size_t>(k)] = p;
+    if (p != k) {
+      for (int j = 0; j < n; ++j) {
+        std::swap(lu_[static_cast<std::size_t>(k) * n + j],
+                  lu_[static_cast<std::size_t>(p) * n + j]);
+      }
+    }
+    const double pivot = lu_[static_cast<std::size_t>(k) * n + k];
+    for (int i = k + 1; i < n; ++i) {
+      const double m = lu_[static_cast<std::size_t>(i) * n + k] / pivot;
+      lu_[static_cast<std::size_t>(i) * n + k] = m;
+      for (int j = k + 1; j < n; ++j) {
+        lu_[static_cast<std::size_t>(i) * n + j] -=
+            m * lu_[static_cast<std::size_t>(k) * n + j];
+      }
+    }
+  }
+}
+
+void DenseLu::solve(std::vector<double>& b) const {
+  if (b.size() != static_cast<std::size_t>(n_)) {
+    throw std::invalid_argument("DenseLu::solve: size mismatch");
+  }
+  for (int k = 0; k < n_; ++k) {
+    std::swap(b[static_cast<std::size_t>(k)],
+              b[static_cast<std::size_t>(piv_[static_cast<std::size_t>(k)])]);
+    for (int i = k + 1; i < n_; ++i) {
+      b[static_cast<std::size_t>(i)] -=
+          lu_[static_cast<std::size_t>(i) * n_ + k] * b[static_cast<std::size_t>(k)];
+    }
+  }
+  for (int k = n_ - 1; k >= 0; --k) {
+    for (int j = k + 1; j < n_; ++j) {
+      b[static_cast<std::size_t>(k)] -=
+          lu_[static_cast<std::size_t>(k) * n_ + j] * b[static_cast<std::size_t>(j)];
+    }
+    b[static_cast<std::size_t>(k)] /= lu_[static_cast<std::size_t>(k) * n_ + k];
+  }
+}
+
+PcBlockJacobi::PcBlockJacobi(const CsrMatrix& A, const RowPartition& part) {
+  if (A.rows() != part.rows()) {
+    throw std::invalid_argument("PcBlockJacobi: size mismatch");
+  }
+  blocks_.reserve(static_cast<std::size_t>(part.nranks()));
+  const auto& row_ptr = A.row_ptr();
+  const auto& col_idx = A.col_idx();
+  const auto& vals = A.values();
+  for (int rank = 0; rank < part.nranks(); ++rank) {
+    const auto [lo, hi] = part.range(rank);
+    const int b = hi - lo;
+    std::vector<double> dense(static_cast<std::size_t>(b) * b, 0.0);
+    for (int r = lo; r < hi; ++r) {
+      for (auto k = row_ptr[static_cast<std::size_t>(r)];
+           k < row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+        const int c = col_idx[static_cast<std::size_t>(k)];
+        if (c >= lo && c < hi) {
+          dense[static_cast<std::size_t>(r - lo) * b + (c - lo)] =
+              vals[static_cast<std::size_t>(k)];
+        }
+      }
+    }
+    blocks_.push_back(Block{lo, hi, DenseLu(std::move(dense), b)});
+  }
+}
+
+void PcBlockJacobi::apply(const Vec& r, Vec& z) const {
+  z.assign(r.size(), 0.0);
+  std::vector<double> local;
+  for (const auto& block : blocks_) {
+    local.assign(r.begin() + block.lo, r.begin() + block.hi);
+    block.lu.solve(local);
+    std::copy(local.begin(), local.end(), z.begin() + block.lo);
+  }
+}
+
+}  // namespace minipetsc

@@ -1,0 +1,81 @@
+#include "minipetsc/perf_model.hpp"
+
+#include <stdexcept>
+
+namespace minipetsc {
+
+simcluster::Phase spmv_phase(const PartitionStats& stats, const CostModel& cost) {
+  simcluster::Phase phase;
+  const auto nranks = stats.nnz_per_rank.size();
+  phase.compute_ref_s.resize(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    phase.compute_ref_s[r] = cost.flops_per_nnz *
+                             static_cast<double>(stats.nnz_per_rank[r]) /
+                             cost.ref_flops_per_s;
+  }
+  for (const auto& [pair, count] : stats.halo_counts) {
+    phase.messages.push_back(simcluster::Message{
+        pair.first, pair.second, cost.bytes_per_value * static_cast<double>(count)});
+  }
+  return phase;
+}
+
+simcluster::Phase cg_iteration_phase(const PartitionStats& stats,
+                                     const CostModel& cost) {
+  simcluster::Phase phase = spmv_phase(stats, cost);
+  for (std::size_t r = 0; r < phase.compute_ref_s.size(); ++r) {
+    phase.compute_ref_s[r] += cost.vec_flops_per_row *
+                              static_cast<double>(stats.rows_per_rank[r]) /
+                              cost.ref_flops_per_s;
+  }
+  phase.allreduce_count = 2;  // r.z and p.Ap
+  phase.allreduce_bytes = cost.bytes_per_value;
+  return phase;
+}
+
+simcluster::SimReport simulate_sles(const simcluster::Machine& machine,
+                                    const PartitionStats& stats,
+                                    int ksp_iterations, const CostModel& cost) {
+  if (ksp_iterations < 1) throw std::invalid_argument("simulate_sles: iterations < 1");
+  simcluster::Phase iteration = cg_iteration_phase(stats, cost);
+  iteration.repeat(ksp_iterations);
+  const simcluster::Simulator sim(machine,
+                                  static_cast<int>(stats.nnz_per_rank.size()));
+  return sim.run(iteration);
+}
+
+simcluster::Phase residual_phase(const Da2D& da, const CostModel& cost) {
+  simcluster::Phase phase;
+  const auto points = da.points_per_rank();
+  phase.compute_ref_s.resize(points.size());
+  for (std::size_t r = 0; r < points.size(); ++r) {
+    phase.compute_ref_s[r] = cost.flops_per_grid_point *
+                             static_cast<double>(points[r]) / cost.ref_flops_per_s;
+  }
+  // Strip neighbors exchange one halo row in each direction.
+  const double bytes = cost.bytes_per_value * da.halo_values_per_exchange();
+  for (int r = 0; r + 1 < da.nranks(); ++r) {
+    phase.messages.push_back(simcluster::Message{r, r + 1, bytes});
+    phase.messages.push_back(simcluster::Message{r + 1, r, bytes});
+  }
+  return phase;
+}
+
+simcluster::SimReport simulate_snes(const simcluster::Machine& machine,
+                                    const Da2D& da, const SnesWork& work,
+                                    const CostModel& cost) {
+  if (work.residual_evaluations < 1) {
+    throw std::invalid_argument("simulate_snes: no residual evaluations");
+  }
+  simcluster::Phase phase = residual_phase(da, cost);
+  phase.repeat(work.residual_evaluations);
+  // Inner Krylov orthogonalization: ~2 global reductions per iteration, plus
+  // one line-search norm per Newton step.
+  phase.allreduce_count =
+      2 * work.total_ksp_iterations + 2 * work.newton_iterations;
+  phase.allreduce_bytes = cost.bytes_per_value;
+  const simcluster::Simulator sim(machine, da.nranks());
+  return sim.run(phase);
+}
+
+}  // namespace minipetsc

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file perf_model.hpp
+/// Bridge from mini-PETSc execution structure to the cluster simulator.
+/// Numerical work (solves, iteration counts) is real; this file translates
+/// that work into per-rank compute seconds and halo/collective traffic so a
+/// Machine can price a configuration. The quantities fed in — per-rank
+/// nonzeros, per-rank grid points, halo volumes, Krylov iteration counts —
+/// are precisely the drivers of real PETSc performance on real clusters,
+/// which is why tuning against this model reproduces the paper's behaviour.
+
+#include "minipetsc/da.hpp"
+#include "minipetsc/partition.hpp"
+#include "simcluster/machine.hpp"
+#include "simcluster/simulator.hpp"
+#include "simcluster/workload.hpp"
+
+namespace minipetsc {
+
+struct CostModel {
+  double ref_flops_per_s = 1.5e9;  ///< reference-CPU floating-point rate
+  double bytes_per_value = 8.0;
+  double flops_per_nnz = 2.0;        ///< multiply-add per stored nonzero
+  double vec_flops_per_row = 12.0;   ///< axpy/dot bookkeeping per row per iter
+  double flops_per_grid_point = 60.0;  ///< stencil residual cost (cavity)
+};
+
+/// One SpMV superstep: per-rank nonzero work + halo messages.
+[[nodiscard]] simcluster::Phase spmv_phase(const PartitionStats& stats,
+                                           const CostModel& cost = {});
+
+/// One full CG iteration: SpMV + vector ops + two dot-product allreduces.
+[[nodiscard]] simcluster::Phase cg_iteration_phase(const PartitionStats& stats,
+                                                   const CostModel& cost = {});
+
+/// Simulated execution time of a KSP solve that ran `ksp_iterations`
+/// iterations under the given decomposition.
+[[nodiscard]] simcluster::SimReport
+simulate_sles(const simcluster::Machine& machine, const PartitionStats& stats,
+              int ksp_iterations, const CostModel& cost = {});
+
+/// Work actually performed by a SNES solve (taken from SnesResult).
+struct SnesWork {
+  int newton_iterations = 0;
+  int total_ksp_iterations = 0;
+  int residual_evaluations = 0;
+};
+
+/// One residual-evaluation superstep on a strip-decomposed grid: per-rank
+/// stencil work + strip-neighbor halo rows.
+[[nodiscard]] simcluster::Phase residual_phase(const Da2D& da,
+                                               const CostModel& cost = {});
+
+/// Simulated execution time of a SNES solve on a strip decomposition:
+/// every residual evaluation pays compute + halo; every inner Krylov
+/// iteration adds orthogonalization allreduces.
+[[nodiscard]] simcluster::SimReport
+simulate_snes(const simcluster::Machine& machine, const Da2D& da,
+              const SnesWork& work, const CostModel& cost = {});
+
+}  // namespace minipetsc

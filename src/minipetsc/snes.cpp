@@ -1,0 +1,82 @@
+#include "minipetsc/snes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace minipetsc {
+
+SnesResult newton_solve(const ResidualFn& F, Vec& x, const SnesOptions& opts) {
+  if (!F) throw std::invalid_argument("newton_solve: null residual");
+  SnesResult out;
+
+  Vec f;
+  F(x, f);
+  ++out.residual_evaluations;
+  double fnorm = norm2(f);
+  const double f0 = fnorm;
+  out.residual_norm = fnorm;
+  if (fnorm <= opts.atol) {
+    out.converged = true;
+    return out;
+  }
+
+  Vec ftmp;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    // Matrix-free Jacobian-vector product around the current x:
+    //   J v ~ (F(x + eps v) - F(x)) / eps.
+    const double xnorm = norm2(x);
+    const LinearOp jv = [&](const Vec& v, Vec& y) {
+      const double vnorm = norm2(v);
+      if (vnorm == 0.0) {
+        y.assign(v.size(), 0.0);
+        return;
+      }
+      const double eps = opts.fd_epsilon * (1.0 + xnorm) / vnorm;
+      Vec xp = x;
+      axpy(eps, v, xp);
+      F(xp, ftmp);
+      ++out.residual_evaluations;
+      y = ftmp;
+      axpy(-1.0, f, y);
+      scale(y, 1.0 / eps);
+    };
+
+    // Solve J s = -f.
+    Vec rhs = f;
+    scale(rhs, -1.0);
+    Vec s(x.size(), 0.0);
+    PcNone pc;
+    const KspResult ksp = gmres_solve(jv, rhs, s, pc, opts.ksp);
+    out.total_ksp_iterations += ksp.iterations;
+
+    // Backtracking line search on ||F||.
+    double lambda = 1.0;
+    bool accepted = false;
+    Vec x_trial;
+    for (int ls = 0; ls < opts.max_line_search; ++ls) {
+      x_trial = x;
+      axpy(lambda, s, x_trial);
+      F(x_trial, ftmp);
+      ++out.residual_evaluations;
+      const double fn = norm2(ftmp);
+      if (fn < fnorm) {
+        x = x_trial;
+        f = ftmp;
+        fnorm = fn;
+        accepted = true;
+        break;
+      }
+      lambda *= 0.5;
+    }
+    ++out.iterations;
+    out.residual_norm = fnorm;
+    if (!accepted) return out;  // stagnated: report non-convergence honestly
+    if (fnorm <= opts.atol || fnorm <= opts.rtol * f0) {
+      out.converged = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace minipetsc

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file snes.hpp
+/// Nonlinear solver (PETSc SNES): inexact Newton with a matrix-free
+/// finite-difference Jacobian-vector product and a backtracking line search.
+/// The paper's second PETSc case study solves the 2-D driven cavity with
+/// SNES; cavity.hpp provides that residual.
+
+#include <functional>
+
+#include "minipetsc/ksp.hpp"
+#include "minipetsc/vec.hpp"
+
+namespace minipetsc {
+
+/// f <- F(x).
+using ResidualFn = std::function<void(const Vec& x, Vec& f)>;
+
+struct SnesOptions {
+  double rtol = 1e-8;        ///< ||F|| relative decrease
+  double atol = 1e-10;       ///< absolute ||F||
+  int max_iterations = 50;
+  KspOptions ksp;            ///< inner (Jacobian) solve options
+  double fd_epsilon = 1e-7;  ///< finite-difference step scale
+  int max_line_search = 20;  ///< backtracking halvings
+};
+
+struct SnesResult {
+  bool converged = false;
+  int iterations = 0;            ///< Newton steps taken
+  int total_ksp_iterations = 0;  ///< summed inner Krylov iterations
+  int residual_evaluations = 0;  ///< total calls to F
+  double residual_norm = 0.0;
+};
+
+/// Solve F(x) = 0 starting from x (updated in place).
+[[nodiscard]] SnesResult newton_solve(const ResidualFn& F, Vec& x,
+                                      const SnesOptions& opts = {});
+
+}  // namespace minipetsc

@@ -1,0 +1,58 @@
+#include "minipetsc/vec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace minipetsc {
+
+namespace {
+void check_same(std::size_t a, std::size_t b, const char* what) {
+  if (a != b) throw std::invalid_argument(std::string(what) + ": size mismatch");
+}
+}  // namespace
+
+void axpy(double a, const Vec& x, Vec& y) {
+  check_same(x.size(), y.size(), "axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void aypx(double b, const Vec& x, Vec& y) {
+  check_same(x.size(), y.size(), "aypx");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + b * y[i];
+}
+
+void waxpy(Vec& w, double a, const Vec& x, const Vec& y) {
+  check_same(x.size(), y.size(), "waxpy");
+  w.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) w[i] = a * x[i] + y[i];
+}
+
+double dot(const Vec& a, const Vec& b) {
+  check_same(a.size(), b.size(), "dot");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vec& v) { return std::sqrt(dot(v, v)); }
+
+double norm_inf(const Vec& v) {
+  double m = 0.0;
+  for (const double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+void scale(Vec& v, double a) {
+  for (auto& x : v) x *= a;
+}
+
+void set_all(Vec& v, double a) {
+  for (auto& x : v) x = a;
+}
+
+void pointwise_mult(Vec& v, const Vec& w) {
+  check_same(v.size(), w.size(), "pointwise_mult");
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] *= w[i];
+}
+
+}  // namespace minipetsc

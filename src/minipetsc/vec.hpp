@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file vec.hpp
+/// Dense vector kernels in the style of PETSc's Vec object. The numerics in
+/// this substrate are real (solves actually converge, residuals actually
+/// shrink); only the *parallel timing* is modeled, by perf_model.hpp.
+
+#include <cstddef>
+#include <vector>
+
+namespace minipetsc {
+
+using Vec = std::vector<double>;
+
+/// y <- a*x + y. Throws std::invalid_argument on size mismatch.
+void axpy(double a, const Vec& x, Vec& y);
+
+/// y <- x + b*y.
+void aypx(double b, const Vec& x, Vec& y);
+
+/// w <- a*x + y (w may alias x or y).
+void waxpy(Vec& w, double a, const Vec& x, const Vec& y);
+
+[[nodiscard]] double dot(const Vec& a, const Vec& b);
+
+[[nodiscard]] double norm2(const Vec& v);
+
+[[nodiscard]] double norm_inf(const Vec& v);
+
+void scale(Vec& v, double a);
+
+void set_all(Vec& v, double a);
+
+/// v <- v .* w (pointwise multiply, used by Jacobi preconditioning).
+void pointwise_mult(Vec& v, const Vec& w);
+
+}  // namespace minipetsc

@@ -1,0 +1,27 @@
+#include "minipop/io_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace minipop {
+
+double IoModel::write_time(double volume_bytes, int num_iotasks, int nranks) const {
+  if (volume_bytes < 0) throw std::invalid_argument("write_time: negative volume");
+  if (num_iotasks < 1 || nranks < 1) {
+    throw std::invalid_argument("write_time: bad task/rank count");
+  }
+  const int n = std::min(num_iotasks, nranks);
+  return base_overhead_s + coordination_s * n +
+         volume_bytes / (static_cast<double>(n) * per_task_bandwidth_Bps);
+}
+
+int IoModel::optimal_tasks(double volume_bytes, int nranks) const {
+  if (volume_bytes <= 0) return 1;
+  const double n_star = std::sqrt(volume_bytes /
+                                  (coordination_s * per_task_bandwidth_Bps));
+  const int n = static_cast<int>(std::lround(n_star));
+  return std::clamp(n, 1, nranks);
+}
+
+}  // namespace minipop

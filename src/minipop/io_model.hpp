@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file io_model.hpp
+/// Parallel-I/O cost model for POP history/restart output, controlled by the
+/// num_iotasks namelist parameter the paper tunes (Table I changes it 1->32
+/// on the first iteration; Table II settles on 4). The model is the classic
+/// convex tradeoff: more I/O tasks divide the write volume but add per-task
+/// coordination cost, so an intermediate task count wins:
+///
+///   t(n) = coordination_s * n + volume / (n * per_task_bandwidth)
+///
+/// capped by the number of ranks actually available.
+
+namespace minipop {
+
+struct IoModel {
+  double per_task_bandwidth_Bps = 60.0e6;  ///< GPFS-era per-writer stream
+  double coordination_s = 0.35;            ///< per-task gather/metadata cost
+  double base_overhead_s = 0.5;            ///< file open/close etc.
+
+  /// Time to write `volume_bytes` using `num_iotasks` of `nranks` ranks.
+  /// Throws std::invalid_argument on non-positive arguments.
+  [[nodiscard]] double write_time(double volume_bytes, int num_iotasks,
+                                  int nranks) const;
+
+  /// Task count minimizing write_time (continuous optimum, clamped).
+  [[nodiscard]] int optimal_tasks(double volume_bytes, int nranks) const;
+};
+
+}  // namespace minipop

@@ -1,0 +1,10 @@
+#pragma once
+
+/// \file minipop.hpp
+/// Umbrella header for the mini-POP substrate.
+
+#include "minipop/blocks.hpp"
+#include "minipop/grid.hpp"
+#include "minipop/io_model.hpp"
+#include "minipop/pop_model.hpp"
+#include "minipop/pop_params.hpp"

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file pop_params.hpp
+/// The POP runtime-parameter study (paper Tables I and II): about 20
+/// performance-related namelist parameters with 2-4 values each. Each choice
+/// carries a cost multiplier on one of the model's compute phases; defaults
+/// match the "Default" column of Table II (the first twelve parameters are
+/// the ones the paper's tuning changed; the rest default to their fastest
+/// choice, which is why tuning leaves them alone). The multiplier values are
+/// calibrated so full tuning recovers a ~16-17% step-time improvement, the
+/// paper's headline for this experiment.
+
+#include <string>
+#include <vector>
+
+#include "core/param_space.hpp"
+
+namespace minipop {
+
+enum class PopPhase { Momentum, Tracer, State, Forcing, Io };
+
+struct PopParamSpec {
+  std::string name;
+  PopPhase phase;
+  std::vector<std::string> choices;
+  std::vector<double> multipliers;  ///< aligned with choices
+  int default_index = 0;
+};
+
+/// The full parameter table (stable order; num_iotasks is handled separately
+/// as an integer parameter and is not in this list).
+[[nodiscard]] const std::vector<PopParamSpec>& parameter_table();
+
+/// Parameter space: num_iotasks (1..max_iotasks) followed by every
+/// enumerated parameter from parameter_table().
+[[nodiscard]] harmony::ParamSpace make_param_space(int max_iotasks);
+
+/// Configuration holding every parameter's default (Table II "Default").
+[[nodiscard]] harmony::Config default_config(const harmony::ParamSpace& space);
+
+/// Aggregated per-phase cost multipliers for a configuration.
+struct PhaseMultipliers {
+  double momentum = 1.0;
+  double tracer = 1.0;
+  double state = 1.0;
+  double forcing = 1.0;
+  int num_iotasks = 1;
+};
+
+[[nodiscard]] PhaseMultipliers evaluate_multipliers(const harmony::ParamSpace& space,
+                                                    const harmony::Config& c);
+
+/// Product of the best (minimum) multiplier of every parameter — the
+/// theoretical floor the search aims for.
+[[nodiscard]] PhaseMultipliers best_multipliers();
+
+}  // namespace minipop

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file collectives.hpp
+/// Analytic cost models for the MPI collective operations the application
+/// substrates use (following the latency/bandwidth "Hockney" model taught in
+/// the LLNL MPI material). All models are conservative tree/ring shapes:
+///
+///   point-to-point:  lat + bytes/bw           (locality-dependent link)
+///   barrier:         2 ceil(log2 P) * lat     (worst link)
+///   broadcast:       ceil(log2 P) * ptp
+///   allreduce:       2 ceil(log2 P) * ptp     (reduce + broadcast tree)
+///   alltoall:        (P-1) * ptp of per-pair bytes, pipelined across links
+///
+/// When ranks span several nodes the inter-node link dominates; a collective
+/// over ranks on one node uses the intra-node link throughout.
+
+#include <vector>
+
+#include "simcluster/machine.hpp"
+
+namespace simcluster {
+
+/// Time for one point-to-point message between two ranks.
+[[nodiscard]] double ptp_time(const Machine& m, int from, int to, double bytes);
+
+/// A contiguous rank group [0, nranks) on machine `m`. All collectives below
+/// take the participating rank count; they assume the default node-major
+/// placement.
+[[nodiscard]] bool spans_multiple_nodes(const Machine& m, int nranks);
+
+[[nodiscard]] double barrier_time(const Machine& m, int nranks);
+
+[[nodiscard]] double broadcast_time(const Machine& m, int nranks, double bytes);
+
+[[nodiscard]] double allreduce_time(const Machine& m, int nranks, double bytes);
+
+/// Personalized all-to-all with `bytes_per_pair` from every rank to every
+/// other rank (the cost of a distributed array transpose).
+[[nodiscard]] double alltoall_time(const Machine& m, int nranks,
+                                   double bytes_per_pair);
+
+}  // namespace simcluster

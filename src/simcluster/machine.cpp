@@ -1,0 +1,81 @@
+#include "simcluster/machine.hpp"
+
+#include <algorithm>
+
+namespace simcluster {
+
+Machine Machine::homogeneous(int nodes, int cpus_per_node, double cpu_speed,
+                             NetworkSpec network) {
+  Machine m(network);
+  m.add_nodes(nodes, cpus_per_node, cpu_speed);
+  return m;
+}
+
+Machine& Machine::add_nodes(int node_count, int cpus_per_node, double cpu_speed,
+                            std::string cpu_name) {
+  if (node_count < 1) throw std::invalid_argument("add_nodes: node_count < 1");
+  if (cpus_per_node < 1) throw std::invalid_argument("add_nodes: cpus_per_node < 1");
+  if (!(cpu_speed > 0.0)) throw std::invalid_argument("add_nodes: cpu_speed <= 0");
+  groups_.push_back(NodeGroup{node_count, cpus_per_node, cpu_speed,
+                              std::move(cpu_name)});
+  rebuild_index();
+  return *this;
+}
+
+void Machine::rebuild_index() {
+  nodes_.clear();
+  total_cpus_ = 0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (int n = 0; n < groups_[g].node_count; ++n) {
+      nodes_.push_back(ResolvedNode{total_cpus_, groups_[g].cpus_per_node,
+                                    groups_[g].cpu_speed, g});
+      total_cpus_ += groups_[g].cpus_per_node;
+    }
+  }
+}
+
+int Machine::node_count() const noexcept { return static_cast<int>(nodes_.size()); }
+
+int Machine::total_cpus() const noexcept { return total_cpus_; }
+
+int Machine::node_of_rank(int rank) const {
+  if (rank < 0 || rank >= total_cpus_) {
+    throw std::out_of_range("node_of_rank: rank " + std::to_string(rank));
+  }
+  // Binary search over first_rank.
+  int lo = 0;
+  int hi = node_count() - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (nodes_[static_cast<std::size_t>(mid)].first_rank <= rank) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+double Machine::rank_speed(int rank) const {
+  return nodes_[static_cast<std::size_t>(node_of_rank(rank))].speed;
+}
+
+const std::string& Machine::rank_cpu_name(int rank) const {
+  const auto& node = nodes_[static_cast<std::size_t>(node_of_rank(rank))];
+  return groups_[node.group].cpu_name;
+}
+
+double Machine::min_speed() const {
+  double s = nodes_.empty() ? 1.0 : nodes_.front().speed;
+  for (const auto& n : nodes_) s = std::min(s, n.speed);
+  return s;
+}
+
+bool Machine::is_homogeneous() const {
+  for (const auto& n : nodes_) {
+    if (n.speed != nodes_.front().speed) return false;
+  }
+  return true;
+}
+
+}  // namespace simcluster

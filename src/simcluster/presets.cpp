@@ -1,0 +1,93 @@
+#include "simcluster/presets.hpp"
+
+namespace simcluster::presets {
+
+namespace {
+
+NetworkSpec sp_switch() {
+  NetworkSpec n;
+  n.intra_latency_s = 1.2e-6;
+  n.intra_bandwidth_Bps = 2.0e9;
+  n.inter_latency_s = 18.0e-6;
+  n.inter_bandwidth_Bps = 3.5e8;
+  return n;
+}
+
+NetworkSpec myrinet() {
+  NetworkSpec n;
+  n.intra_latency_s = 0.8e-6;
+  n.intra_bandwidth_Bps = 3.0e9;
+  n.inter_latency_s = 25.0e-6;
+  n.inter_bandwidth_Bps = 2.5e8;
+  return n;
+}
+
+NetworkSpec fast_ethernet() {
+  NetworkSpec n;
+  n.intra_latency_s = 1.0e-6;
+  n.intra_bandwidth_Bps = 2.0e9;
+  n.inter_latency_s = 60.0e-6;
+  n.inter_bandwidth_Bps = 1.2e7;
+  return n;
+}
+
+}  // namespace
+
+Machine nersc_sp3(int nodes, int cpus_per_node) {
+  Machine m(sp_switch());
+  m.add_nodes(nodes, cpus_per_node, 1.0, "Power3-375");
+  return m;
+}
+
+Machine seaborg(int nodes, int cpus_per_node) {
+  return nersc_sp3(nodes, cpus_per_node);
+}
+
+Machine hockney(int nodes, int cpus_per_node) {
+  Machine m(sp_switch());
+  m.add_nodes(nodes, cpus_per_node, 1.1, "Power3+");
+  return m;
+}
+
+Machine xeon_myrinet(int nodes, int cpus_per_node) {
+  Machine m(myrinet());
+  m.add_nodes(nodes, cpus_per_node, 1.8, "Xeon-2.66");
+  return m;
+}
+
+Machine pentium4_quad() {
+  Machine m(fast_ethernet());
+  m.add_nodes(4, 1, 1.6, "Pentium4");
+  return m;
+}
+
+Machine pentium_hetero() {
+  Machine m(fast_ethernet());
+  // Ranks 0-1: slow PentiumII nodes; ranks 2-3: fast Pentium4 nodes.
+  m.add_nodes(2, 1, 0.35, "PentiumII");
+  m.add_nodes(2, 1, 1.6, "Pentium4");
+  return m;
+}
+
+Machine cluster32() {
+  // Low-latency GM-mode Myrinet (the PETSc runs are latency-sensitive:
+  // every CG iteration carries two global reductions).
+  NetworkSpec n;
+  n.intra_latency_s = 0.8e-6;
+  n.intra_bandwidth_Bps = 3.0e9;
+  n.inter_latency_s = 6.0e-6;
+  n.inter_bandwidth_Bps = 2.5e8;
+  Machine m(n);
+  m.add_nodes(16, 2, 1.5, "Xeon");
+  return m;
+}
+
+Machine cluster32_hetero() {
+  Machine m(myrinet());
+  // Older half of the cluster first (ranks 0-15), newer half after.
+  m.add_nodes(8, 2, 0.9, "PentiumIII");
+  m.add_nodes(8, 2, 1.6, "Xeon");
+  return m;
+}
+
+}  // namespace simcluster::presets

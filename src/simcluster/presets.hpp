@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file presets.hpp
+/// Machine presets modeled after the paper's testbeds. Relative CPU speeds
+/// and network constants are calibrated, not measured: the reproduction only
+/// needs the cost *ratios* (SMP link much faster than fabric, PentiumII much
+/// slower than Pentium4) that shape the tuning surfaces.
+
+#include "simcluster/machine.hpp"
+
+namespace simcluster::presets {
+
+/// NERSC IBM SP-3 (the POP experiments): 16-way SMP nodes, colony switch.
+/// `nodes` x `cpus_per_node` selects how much of the machine a job uses.
+[[nodiscard]] Machine nersc_sp3(int nodes, int cpus_per_node);
+
+/// NERSC "Seaborg" (the GS2 experiments): SP Power3, 16 CPUs/node.
+[[nodiscard]] Machine seaborg(int nodes, int cpus_per_node);
+
+/// NERSC "Hockney" (POP parameter study): 8 nodes x 4 CPUs used.
+[[nodiscard]] Machine hockney(int nodes, int cpus_per_node);
+
+/// 64-node Linux cluster, dual Xeon 2.66 GHz + Myrinet (GS2 Fig. 5).
+[[nodiscard]] Machine xeon_myrinet(int nodes, int cpus_per_node);
+
+/// Four-node homogeneous Pentium4 cluster (PETSc Fig. 3a).
+[[nodiscard]] Machine pentium4_quad();
+
+/// Heterogeneous cluster of 2x Pentium4 + 2x PentiumII (PETSc Fig. 3b);
+/// ranks 0-1 are the slow PentiumII nodes, ranks 2-3 the fast Pentium4s,
+/// matching the figure's "bottom two nodes are more powerful" layout.
+[[nodiscard]] Machine pentium_hetero();
+
+/// 32-way cluster used for the larger PETSc runs.
+[[nodiscard]] Machine cluster32();
+
+/// Heterogeneous 32-way cluster (two CPU generations), for the large
+/// computation-distribution study.
+[[nodiscard]] Machine cluster32_hetero();
+
+}  // namespace simcluster::presets

@@ -1,0 +1,10 @@
+#pragma once
+
+/// \file simcluster.hpp
+/// Umbrella header for the cluster-simulator substrate.
+
+#include "simcluster/collectives.hpp"
+#include "simcluster/machine.hpp"
+#include "simcluster/presets.hpp"
+#include "simcluster/simulator.hpp"
+#include "simcluster/workload.hpp"

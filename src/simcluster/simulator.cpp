@@ -1,0 +1,99 @@
+#include "simcluster/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "simcluster/collectives.hpp"
+
+namespace simcluster {
+
+void Phase::repeat(int n) {
+  if (n < 1) throw std::invalid_argument("Phase::repeat: n < 1");
+  for (auto& c : compute_ref_s) c *= n;
+  for (auto& msg : messages) msg.bytes *= n;
+  allreduce_count *= n;
+  barrier_count *= n;
+  broadcast_count *= n;
+  alltoall_count *= n;
+}
+
+Simulator::Simulator(const Machine& machine, int nranks, SimOptions opts)
+    : machine_(&machine), nranks_(nranks), opts_(opts) {
+  if (nranks < 1 || nranks > machine.total_cpus()) {
+    throw std::invalid_argument("Simulator: nranks out of range");
+  }
+}
+
+SimReport Simulator::run(const Phase& phase) const {
+  return run(std::vector<Phase>{phase});
+}
+
+SimReport Simulator::run(const std::vector<Phase>& phases) const {
+  SimReport report;
+  report.phases = static_cast<int>(phases.size());
+  double worst_imbalance = 1.0;
+
+  for (const auto& phase : phases) {
+    if (phase.compute_ref_s.size() != static_cast<std::size_t>(nranks_)) {
+      throw std::invalid_argument("Simulator: phase compute vector size mismatch");
+    }
+    // Compute: slowest rank gates the superstep.
+    double max_t = 0.0;
+    double sum_t = 0.0;
+    for (int r = 0; r < nranks_; ++r) {
+      const double t = phase.compute_ref_s[static_cast<std::size_t>(r)] /
+                       machine_->rank_speed(r);
+      max_t = std::max(max_t, t);
+      sum_t += t;
+    }
+    report.compute_s += max_t;
+    if (sum_t > 0.0) {
+      worst_imbalance =
+          std::max(worst_imbalance, max_t / (sum_t / static_cast<double>(nranks_)));
+    }
+
+    // Point-to-point: per-sender serialization, senders concurrent.
+    std::vector<double> send_time(static_cast<std::size_t>(nranks_), 0.0);
+    for (const auto& msg : phase.messages) {
+      if (msg.from < 0 || msg.from >= nranks_ || msg.to < 0 || msg.to >= nranks_) {
+        throw std::invalid_argument("Simulator: message rank out of range");
+      }
+      send_time[static_cast<std::size_t>(msg.from)] +=
+          ptp_time(*machine_, msg.from, msg.to, msg.bytes);
+    }
+    report.ptp_comm_s +=
+        *std::max_element(send_time.begin(), send_time.end());
+
+    // Collectives.
+    double coll = 0.0;
+    if (phase.allreduce_count > 0) {
+      coll += phase.allreduce_count *
+              allreduce_time(*machine_, nranks_, phase.allreduce_bytes);
+    }
+    if (phase.barrier_count > 0) {
+      coll += phase.barrier_count * barrier_time(*machine_, nranks_);
+    }
+    if (phase.broadcast_count > 0) {
+      coll += phase.broadcast_count *
+              broadcast_time(*machine_, nranks_, phase.broadcast_bytes);
+    }
+    if (phase.alltoall_count > 0) {
+      coll += phase.alltoall_count *
+              alltoall_time(*machine_, nranks_, phase.alltoall_bytes_per_pair);
+    }
+    report.collective_s += coll;
+  }
+
+  report.imbalance = worst_imbalance;
+  report.total_s = report.compute_s + report.ptp_comm_s + report.collective_s;
+
+  if (opts_.noise_stddev > 0.0) {
+    harmony::Rng rng(opts_.noise_seed);
+    const double factor = std::max(0.0, 1.0 + opts_.noise_stddev * rng.normal());
+    report.total_s *= factor;
+  }
+  return report;
+}
+
+}  // namespace simcluster

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Deterministic BSP simulator: turns a workload (sequence of Phases) into
+/// simulated wall-clock seconds on a Machine. Per phase:
+///
+///   t_compute = max over ranks of compute_ref_s[r] / speed(r)
+///   t_ptp     = max over ranks of serialized send time on its links
+///   t_coll    = sum of collective costs
+///   t_phase   = t_compute + t_ptp + t_coll
+///
+/// The report also carries the load-imbalance ratio and the compute/comm
+/// split, which the benches print alongside the headline time (the paper's
+/// narrative repeatedly attributes wins to "better load balance" and "less
+/// communication").
+///
+/// Optional seeded multiplicative noise models run-to-run measurement
+/// variance without breaking reproducibility.
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "simcluster/machine.hpp"
+#include "simcluster/workload.hpp"
+
+namespace simcluster {
+
+struct SimReport {
+  double total_s = 0.0;
+  double compute_s = 0.0;
+  double ptp_comm_s = 0.0;
+  double collective_s = 0.0;
+
+  /// max rank compute time / mean rank compute time, across all phases.
+  double imbalance = 1.0;
+
+  int phases = 0;
+};
+
+struct SimOptions {
+  /// Gaussian relative noise applied to the final time (0 = deterministic).
+  double noise_stddev = 0.0;
+  std::uint64_t noise_seed = 99;
+};
+
+class Simulator {
+ public:
+  /// Simulate a workload executed by ranks [0, nranks) of the machine.
+  /// Throws std::invalid_argument when nranks exceeds the machine or a
+  /// phase's compute vector does not match nranks.
+  Simulator(const Machine& machine, int nranks, SimOptions opts = {});
+
+  [[nodiscard]] SimReport run(const std::vector<Phase>& phases) const;
+
+  /// Single-phase convenience.
+  [[nodiscard]] SimReport run(const Phase& phase) const;
+
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+  [[nodiscard]] const Machine& machine() const noexcept { return *machine_; }
+
+ private:
+  const Machine* machine_;
+  int nranks_;
+  SimOptions opts_;
+};
+
+}  // namespace simcluster

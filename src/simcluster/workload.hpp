@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file workload.hpp
+/// Bulk-synchronous workload description consumed by the Simulator. The
+/// application substrates (mini-PETSc, mini-POP, mini-GS2) translate a
+/// configuration into a sequence of Phases; the simulator turns phases into
+/// simulated seconds on a Machine. A phase is one superstep: every rank
+/// computes, then communication (point-to-point + collectives) completes
+/// before the next phase starts.
+
+#include <vector>
+
+#include "simcluster/machine.hpp"
+
+namespace simcluster {
+
+/// One point-to-point message within a phase.
+struct Message {
+  int from = 0;
+  int to = 0;
+  double bytes = 0.0;
+};
+
+/// One bulk-synchronous superstep.
+struct Phase {
+  /// Per-rank compute cost in seconds *at reference CPU speed 1.0*; the
+  /// simulator divides by the hosting CPU's relative speed.
+  std::vector<double> compute_ref_s;
+
+  /// Point-to-point traffic (halo exchanges). Messages between distinct
+  /// rank pairs proceed concurrently; messages sharing a sender serialize.
+  std::vector<Message> messages;
+
+  /// Collectives executed by all `nranks` participants this phase.
+  int allreduce_count = 0;
+  double allreduce_bytes = 8.0;
+  int barrier_count = 0;
+  int broadcast_count = 0;
+  double broadcast_bytes = 0.0;
+  int alltoall_count = 0;
+  double alltoall_bytes_per_pair = 0.0;
+
+  /// Scale phase so it repeats `n` times (cheap aggregate: multiplies
+  /// compute and message byte totals; collective counts multiply).
+  void repeat(int n);
+};
+
+}  // namespace simcluster

@@ -1,0 +1,208 @@
+#include "core/constraint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+
+namespace {
+
+using harmony::Config;
+using harmony::ConstraintSet;
+using harmony::FunctionConstraint;
+using harmony::MonotoneConstraint;
+using harmony::Parameter;
+using harmony::ParamSpace;
+using harmony::ProductConstraint;
+using harmony::Rng;
+
+ParamSpace boundary_space(int n_boundaries, int rows) {
+  ParamSpace s;
+  for (int i = 0; i < n_boundaries; ++i) {
+    s.add(Parameter::Integer("b" + std::to_string(i), 1, rows - 1));
+  }
+  return s;
+}
+
+TEST(MonotoneConstraint, SortsAndSpreads) {
+  const auto s = boundary_space(3, 100);
+  const MonotoneConstraint c(0, 3, 1.0);
+  std::vector<double> coords{40.0, 10.0, 10.0};  // unsorted with a tie
+  c.project(s, coords);
+  EXPECT_LT(coords[0], coords[1]);
+  EXPECT_LT(coords[1], coords[2]);
+  EXPECT_GE(coords[1] - coords[0], 1.0 - 1e-9);
+  EXPECT_GE(coords[2] - coords[1], 1.0 - 1e-9);
+}
+
+TEST(MonotoneConstraint, RespectsUpperBound) {
+  const auto s = boundary_space(3, 10);  // coords in [0, 8]
+  const MonotoneConstraint c(0, 3, 1.0);
+  std::vector<double> coords{8.0, 8.0, 8.0};
+  c.project(s, coords);
+  EXPECT_LE(coords[2], 8.0 + 1e-9);
+  EXPECT_GE(coords[0], 0.0 - 1e-9);
+  EXPECT_GE(coords[1] - coords[0], 1.0 - 1e-9);
+  EXPECT_GE(coords[2] - coords[1], 1.0 - 1e-9);
+}
+
+TEST(MonotoneConstraint, AlreadyFeasibleUnchanged) {
+  const auto s = boundary_space(3, 100);
+  const MonotoneConstraint c(0, 3, 1.0);
+  std::vector<double> coords{10.0, 20.0, 30.0};
+  const auto before = coords;
+  c.project(s, coords);
+  EXPECT_EQ(coords, before);
+}
+
+TEST(MonotoneConstraint, PenaltyZeroWhenFeasible) {
+  const auto s = boundary_space(2, 50);
+  const MonotoneConstraint c(0, 2, 1.0);
+  Config conf = s.snap({5.0, 10.0});
+  EXPECT_DOUBLE_EQ(c.penalty(s, conf), 0.0);
+}
+
+TEST(MonotoneConstraint, PenaltyPositiveWhenViolated) {
+  const auto s = boundary_space(2, 50);
+  const MonotoneConstraint c(0, 2, 1.0);
+  Config conf = s.snap({10.0, 5.0});
+  EXPECT_GT(c.penalty(s, conf), 0.0);
+}
+
+TEST(MonotoneConstraint, BadArgsThrow) {
+  EXPECT_THROW(MonotoneConstraint(0, 0), std::invalid_argument);
+  EXPECT_THROW(MonotoneConstraint(0, 2, -1.0), std::invalid_argument);
+  const auto s = boundary_space(2, 50);
+  const MonotoneConstraint c(1, 5, 1.0);  // block exceeds dims
+  std::vector<double> coords{1.0, 2.0};
+  EXPECT_THROW(c.project(s, coords), std::invalid_argument);
+}
+
+// Property test: projection always yields a feasible, in-range, sorted block
+// for random inputs — this is the invariant the PETSc decomposition search
+// relies on (every simplex candidate must be a legal partition).
+class MonotoneProjection : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonotoneProjection, AlwaysFeasible) {
+  const int n = 7;
+  const int rows = 64;
+  const auto s = boundary_space(n, rows);
+  const MonotoneConstraint c(0, n, 1.0);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> coords(n);
+    for (auto& x : coords) x = rng.uniform(-20.0, 90.0);
+    c.project(s, coords);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_GE(coords[i], s.param(i).coord_min() - 1e-9);
+      EXPECT_LE(coords[i], s.param(i).coord_max() + 1e-9);
+      if (i > 0) EXPECT_GE(coords[i] - coords[i - 1], 1.0 - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotoneProjection,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST(ProductConstraint, SnapsToDivisorPair) {
+  ParamSpace s;
+  s.add(Parameter::Integer("nodes", 1, 480));
+  s.add(Parameter::Integer("ppn", 1, 16));
+  const ProductConstraint c(0, 1, 480);
+  std::vector<double> coords{50.0, 3.0};  // nodes ~ 51
+  c.project(s, coords);
+  const Config conf = s.snap(coords);
+  const auto nodes = std::get<std::int64_t>(conf.values[0]);
+  const auto ppn = std::get<std::int64_t>(conf.values[1]);
+  EXPECT_EQ(nodes * ppn, 480);
+}
+
+TEST(ProductConstraint, FeasiblePointKept) {
+  ParamSpace s;
+  s.add(Parameter::Integer("nodes", 1, 480));
+  s.add(Parameter::Integer("ppn", 1, 16));
+  const ProductConstraint c(0, 1, 480);
+  std::vector<double> coords{59.0, 0.0};  // nodes=60 divides 480, ppn=8 in range
+  c.project(s, coords);
+  const Config conf = s.snap(coords);
+  EXPECT_EQ(std::get<std::int64_t>(conf.values[0]), 60);
+  EXPECT_EQ(std::get<std::int64_t>(conf.values[1]), 8);
+}
+
+TEST(ProductConstraint, PenaltyMeasuresDeviation) {
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 1, 100));
+  s.add(Parameter::Integer("b", 1, 100));
+  const ProductConstraint c(0, 1, 24);
+  Config ok = s.snap({s.param(0).value_to_coord(std::int64_t{4}),
+                      s.param(1).value_to_coord(std::int64_t{6})});
+  EXPECT_DOUBLE_EQ(c.penalty(s, ok), 0.0);
+  Config bad = s.snap({s.param(0).value_to_coord(std::int64_t{5}),
+                       s.param(1).value_to_coord(std::int64_t{6})});
+  EXPECT_DOUBLE_EQ(c.penalty(s, bad), 6.0);
+}
+
+TEST(ProductConstraint, BadProductThrows) {
+  EXPECT_THROW(ProductConstraint(0, 1, 0), std::invalid_argument);
+}
+
+TEST(FunctionConstraint, AppliesCallback) {
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 0, 10));
+  const FunctionConstraint c(
+      [](const ParamSpace&, std::vector<double>& coords) { coords[0] = 4.0; });
+  std::vector<double> coords{9.0};
+  c.project(s, coords);
+  EXPECT_DOUBLE_EQ(coords[0], 4.0);
+  EXPECT_DOUBLE_EQ(c.penalty(s, s.snap(coords)), 0.0);  // default penalty 0
+}
+
+TEST(FunctionConstraint, NullProjectionThrows) {
+  EXPECT_THROW(FunctionConstraint(nullptr), std::invalid_argument);
+}
+
+TEST(ConstraintSet, AppliesInOrder) {
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 0, 100));
+  ConstraintSet set;
+  set.add(std::make_shared<FunctionConstraint>(
+      [](const ParamSpace&, std::vector<double>& c) { c[0] += 10.0; }));
+  set.add(std::make_shared<FunctionConstraint>(
+      [](const ParamSpace&, std::vector<double>& c) { c[0] *= 2.0; }));
+  std::vector<double> coords{1.0};
+  set.project(s, coords);
+  EXPECT_DOUBLE_EQ(coords[0], 22.0);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ConstraintSet, PenaltySums) {
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 0, 100));
+  ConstraintSet set;
+  const auto add_pen = [](double v) {
+    return std::make_shared<FunctionConstraint>(
+        [](const ParamSpace&, std::vector<double>&) {},
+        [v](const ParamSpace&, const Config&) { return v; });
+  };
+  set.add(add_pen(1.5));
+  set.add(add_pen(2.5));
+  EXPECT_DOUBLE_EQ(set.penalty(s, s.default_config()), 4.0);
+}
+
+TEST(ConstraintSet, NullConstraintThrows) {
+  ConstraintSet set;
+  EXPECT_THROW(set.add(nullptr), std::invalid_argument);
+}
+
+TEST(ConstraintSet, EmptySetIsNoop) {
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 0, 10));
+  const ConstraintSet set;
+  EXPECT_TRUE(set.empty());
+  std::vector<double> coords{3.0};
+  set.project(s, coords);
+  EXPECT_DOUBLE_EQ(coords[0], 3.0);
+}
+
+}  // namespace

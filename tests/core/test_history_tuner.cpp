@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/exhaustive.hpp"
+#include "core/history.hpp"
+#include "core/nelder_mead.hpp"
+#include "core/random_search.hpp"
+#include "core/tuner.hpp"
+
+namespace {
+
+using harmony::Config;
+using harmony::EvaluationResult;
+using harmony::Exhaustive;
+using harmony::History;
+using harmony::NelderMead;
+using harmony::Parameter;
+using harmony::ParamSpace;
+using harmony::RandomSearch;
+using harmony::Tuner;
+using harmony::TunerOptions;
+
+ParamSpace line_space(int n) {
+  ParamSpace s;
+  s.add(Parameter::Integer("x", 0, n - 1));
+  return s;
+}
+
+EvaluationResult eval_of(double v) {
+  EvaluationResult r;
+  r.objective = v;
+  return r;
+}
+
+TEST(History, CountsDistinctIterationsOnly) {
+  const auto s = line_space(10);
+  History h(s);
+  h.record(s.snap({1}), eval_of(5), /*cached=*/false);
+  h.record(s.snap({1}), eval_of(5), /*cached=*/true);
+  h.record(s.snap({2}), eval_of(4), /*cached=*/false);
+  EXPECT_EQ(h.iterations(), 2);
+  EXPECT_EQ(h.size(), 3u);
+}
+
+TEST(History, TracksBest) {
+  const auto s = line_space(10);
+  History h(s);
+  h.record(s.snap({1}), eval_of(5), false);
+  h.record(s.snap({2}), eval_of(3), false);
+  h.record(s.snap({3}), eval_of(4), false);
+  EXPECT_DOUBLE_EQ(h.best_objective(), 3.0);
+  EXPECT_EQ(std::get<std::int64_t>(h.best_config()->values[0]), 2);
+}
+
+TEST(History, BestAfterPrefix) {
+  const auto s = line_space(10);
+  History h(s);
+  h.record(s.snap({1}), eval_of(5), false);
+  h.record(s.snap({2}), eval_of(3), false);
+  h.record(s.snap({3}), eval_of(1), false);
+  EXPECT_DOUBLE_EQ(h.best_after(1), 5.0);
+  EXPECT_DOUBLE_EQ(h.best_after(2), 3.0);
+  EXPECT_DOUBLE_EQ(h.best_after(99), 1.0);
+}
+
+TEST(History, InvalidResultsNeverBecomeBest) {
+  const auto s = line_space(10);
+  History h(s);
+  h.record(s.snap({1}), EvaluationResult::infeasible(), false);
+  EXPECT_FALSE(h.best_config().has_value());
+  h.record(s.snap({2}), eval_of(7), false);
+  EXPECT_DOUBLE_EQ(h.best_objective(), 7.0);
+}
+
+TEST(History, ImprovementTraceListsChangedParams) {
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 0, 9));
+  s.add(Parameter::Enum("mode", {"x", "y"}));
+  History h(s);
+  Config c1 = s.snap({1, 0});
+  Config c2 = s.snap({1, 1});  // only mode changes
+  Config c3 = s.snap({4, 1});  // only a changes
+  h.record(c1, eval_of(10), false);
+  h.record(c2, eval_of(8), false);
+  h.record(c3, eval_of(5), false);
+  const auto trace = h.improvement_trace();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].param, "mode");
+  EXPECT_EQ(trace[0].from, "x");
+  EXPECT_EQ(trace[0].to, "y");
+  EXPECT_EQ(trace[1].param, "a");
+  EXPECT_EQ(trace[1].from, "1");
+  EXPECT_EQ(trace[1].to, "4");
+}
+
+TEST(History, CsvHasHeaderAndRows) {
+  const auto s = line_space(5);
+  History h(s);
+  h.record(s.snap({2}), eval_of(1.5), false);
+  std::ostringstream os;
+  h.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("iteration,cached,valid,objective,x"), std::string::npos);
+  EXPECT_NE(csv.find("1,0,1,1.5,2"), std::string::npos);
+}
+
+TEST(Tuner, StopsAtIterationBudget) {
+  const auto s = line_space(1000);
+  RandomSearch rs(s, 10000, 3);
+  TunerOptions opts;
+  opts.max_iterations = 17;
+  Tuner tuner(s, opts);
+  const auto result = tuner.run(rs, [](const Config&) { return eval_of(1.0); });
+  EXPECT_EQ(result.iterations, 17);
+}
+
+TEST(Tuner, CacheAvoidsReevaluation) {
+  const auto s = line_space(3);  // tiny space, random search will repeat
+  RandomSearch rs(s, 100, 5);
+  Tuner tuner(s);
+  int calls = 0;
+  const auto result = tuner.run(rs, [&](const Config& c) {
+    ++calls;
+    return eval_of(static_cast<double>(std::get<std::int64_t>(c.values[0])));
+  });
+  EXPECT_LE(calls, 3);
+  EXPECT_EQ(result.iterations, calls);
+  EXPECT_GT(result.cache_hits, 0u);
+}
+
+TEST(Tuner, CacheDisabledReevaluates) {
+  const auto s = line_space(3);
+  RandomSearch rs(s, 50, 5);
+  TunerOptions opts;
+  opts.use_cache = false;
+  opts.max_iterations = 50;
+  Tuner tuner(s, opts);
+  int calls = 0;
+  (void)tuner.run(rs, [&](const Config&) {
+    ++calls;
+    return eval_of(1.0);
+  });
+  EXPECT_EQ(calls, 50);
+}
+
+TEST(Tuner, ReportsStrategyConvergence) {
+  const auto s = line_space(4);
+  Exhaustive ex(s);
+  Tuner tuner(s);
+  const auto result = tuner.run(ex, [](const Config& c) {
+    return eval_of(static_cast<double>(std::get<std::int64_t>(c.values[0])));
+  });
+  EXPECT_TRUE(result.strategy_converged);
+  EXPECT_EQ(std::get<std::int64_t>(result.best->values[0]), 0);
+  EXPECT_DOUBLE_EQ(result.best_result.objective, 0.0);
+}
+
+TEST(Tuner, HistoryAccessibleAfterRun) {
+  const auto s = line_space(6);
+  Exhaustive ex(s);
+  Tuner tuner(s);
+  (void)tuner.run(ex, [](const Config& c) {
+    return eval_of(static_cast<double>(std::get<std::int64_t>(c.values[0])));
+  });
+  EXPECT_EQ(tuner.history().iterations(), 6);
+}
+
+TEST(Tuner, CachePersistsAcrossRuns) {
+  const auto s = line_space(6);
+  Tuner tuner(s);
+  int calls = 0;
+  const auto count_eval = [&](const Config& c) {
+    ++calls;
+    return eval_of(static_cast<double>(std::get<std::int64_t>(c.values[0])));
+  };
+  Exhaustive ex1(s);
+  (void)tuner.run(ex1, count_eval);
+  EXPECT_EQ(calls, 6);
+  Exhaustive ex2(s);
+  (void)tuner.run(ex2, count_eval);  // all cached
+  EXPECT_EQ(calls, 6);
+}
+
+TEST(Tuner, ClearCacheForcesReevaluation) {
+  const auto s = line_space(4);
+  Tuner tuner(s);
+  int calls = 0;
+  const auto count_eval = [&](const Config&) {
+    ++calls;
+    return eval_of(1.0);
+  };
+  Exhaustive ex1(s);
+  (void)tuner.run(ex1, count_eval);
+  tuner.clear_cache();
+  Exhaustive ex2(s);
+  (void)tuner.run(ex2, count_eval);
+  EXPECT_EQ(calls, 8);
+}
+
+TEST(Tuner, NullEvaluatorThrows) {
+  const auto s = line_space(4);
+  Exhaustive ex(s);
+  Tuner tuner(s);
+  EXPECT_THROW((void)tuner.run(ex, nullptr), std::invalid_argument);
+}
+
+TEST(Tuner, BadOptionsThrow) {
+  const auto s = line_space(4);
+  TunerOptions opts;
+  opts.max_iterations = 0;
+  EXPECT_THROW(Tuner(s, opts), std::invalid_argument);
+}
+
+TEST(Tuner, NelderMeadIterationCountMatchesPaperStyle) {
+  // The paper counts tuning cost in distinct configurations tried; the
+  // tuner must report that number, not raw proposals.
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 0, 100));
+  s.add(Parameter::Integer("b", 0, 100));
+  harmony::NelderMeadOptions nopts;
+  nopts.max_restarts = 2;
+  NelderMead nm(s, nopts);
+  TunerOptions topts;
+  topts.max_iterations = 30;
+  Tuner tuner(s, topts);
+  const auto result = tuner.run(nm, [](const Config& c) {
+    const auto a = std::get<std::int64_t>(c.values[0]);
+    const auto b = std::get<std::int64_t>(c.values[1]);
+    return eval_of(static_cast<double>((a - 60) * (a - 60) + (b - 10) * (b - 10)));
+  });
+  EXPECT_LE(result.iterations, 30);
+  EXPECT_GE(result.proposals, result.iterations);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+#include "core/net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+using namespace harmony::net;
+
+TEST(Net, ListenPicksEphemeralPort) {
+  auto lr = listen_loopback(0);
+  ASSERT_TRUE(lr.socket.valid());
+  EXPECT_GT(lr.port, 0);
+  EXPECT_LE(lr.port, 65535);
+}
+
+TEST(Net, ConnectAcceptRoundtrip) {
+  auto lr = listen_loopback(0);
+  ASSERT_TRUE(lr.socket.valid());
+  std::thread client([port = lr.port] {
+    Socket s = connect_loopback(port);
+    ASSERT_TRUE(s.valid());
+    ASSERT_TRUE(s.send_line("hello server"));
+    LineReader reader(s);
+    const auto reply = reader.read_line();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(*reply, "hello client");
+  });
+  Socket conn = accept_connection(lr.socket);
+  ASSERT_TRUE(conn.valid());
+  LineReader reader(conn);
+  const auto line = reader.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "hello server");
+  ASSERT_TRUE(conn.send_line("hello client"));
+  client.join();
+}
+
+TEST(Net, LineReaderSplitsMultipleLinesInOneSegment) {
+  auto lr = listen_loopback(0);
+  std::thread client([port = lr.port] {
+    Socket s = connect_loopback(port);
+    ASSERT_TRUE(s.send_all("one\ntwo\r\nthree\n"));
+  });
+  Socket conn = accept_connection(lr.socket);
+  LineReader reader(conn);
+  EXPECT_EQ(reader.read_line().value(), "one");
+  EXPECT_EQ(reader.read_line().value(), "two");  // CR stripped
+  EXPECT_EQ(reader.read_line().value(), "three");
+  client.join();
+}
+
+TEST(Net, LineReaderReturnsNulloptOnPeerClose) {
+  auto lr = listen_loopback(0);
+  std::thread client([port = lr.port] {
+    Socket s = connect_loopback(port);
+    // close immediately without sending a full line
+    ASSERT_TRUE(s.send_all("partial-without-newline"));
+  });
+  Socket conn = accept_connection(lr.socket);
+  LineReader reader(conn);
+  EXPECT_FALSE(reader.read_line().has_value());
+  client.join();
+}
+
+TEST(Net, ShutdownUnblocksAccept) {
+  auto lr = listen_loopback(0);
+  ASSERT_TRUE(lr.socket.valid());
+  std::thread stopper([&lr] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    lr.socket.shutdown();
+  });
+  Socket conn = accept_connection(lr.socket);
+  EXPECT_FALSE(conn.valid());
+  stopper.join();
+}
+
+TEST(Net, ConnectToClosedPortFails) {
+  // Bind a port, close it, then connect — must fail cleanly.
+  int dead_port;
+  {
+    auto lr = listen_loopback(0);
+    dead_port = lr.port;
+  }
+  Socket s = connect_loopback(dead_port);
+  EXPECT_FALSE(s.valid());
+}
+
+TEST(Net, SocketMoveSemantics) {
+  auto lr = listen_loopback(0);
+  const int fd = lr.socket.fd();
+  Socket moved = std::move(lr.socket);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(moved.fd(), fd);
+  EXPECT_FALSE(lr.socket.valid());
+  Socket assigned;
+  assigned = std::move(moved);
+  EXPECT_TRUE(assigned.valid());
+  EXPECT_FALSE(moved.valid());
+}
+
+TEST(Net, SendOnInvalidSocketFails) {
+  const Socket s;
+  EXPECT_FALSE(s.valid());
+  EXPECT_FALSE(s.send_line("nope"));
+}
+
+TEST(Net, LargePayloadRoundtrip) {
+  auto lr = listen_loopback(0);
+  const std::string big(1 << 18, 'x');
+  std::thread client([&, port = lr.port] {
+    Socket s = connect_loopback(port);
+    ASSERT_TRUE(s.send_line(big));
+  });
+  Socket conn = accept_connection(lr.socket);
+  LineReader reader(conn);
+  const auto line = reader.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->size(), big.size());
+  client.join();
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+#include "core/offline_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exhaustive.hpp"
+#include "core/nelder_mead.hpp"
+#include "core/random_search.hpp"
+
+namespace {
+
+using harmony::Config;
+using harmony::Exhaustive;
+using harmony::NelderMead;
+using harmony::OfflineDriver;
+using harmony::OfflineOptions;
+using harmony::Parameter;
+using harmony::ParamSpace;
+using harmony::RandomSearch;
+using harmony::ShortRunResult;
+
+ParamSpace line(int n) {
+  ParamSpace s;
+  s.add(Parameter::Integer("x", 0, n - 1));
+  return s;
+}
+
+ShortRunResult run_of(double measured, double warmup = 0.0) {
+  ShortRunResult r;
+  r.measured_s = measured;
+  r.warmup_s = warmup;
+  return r;
+}
+
+TEST(OfflineDriver, OneShortRunPerIteration) {
+  const auto s = line(50);
+  OfflineOptions opts;
+  opts.max_runs = 12;
+  OfflineDriver driver(s, opts);
+  RandomSearch rs(s, 1000, 2);
+  int launches = 0;
+  const auto result = driver.tune(rs, [&](const Config&, int steps) {
+    EXPECT_EQ(steps, opts.short_run_steps);
+    ++launches;
+    return run_of(1.0);
+  });
+  EXPECT_EQ(result.runs, 12);
+  EXPECT_EQ(launches, 12);
+}
+
+TEST(OfflineDriver, AccountsAllTuningCosts) {
+  // Section III: "take all costs of parameter changes (including
+  // applications needed to be re-run and their warm up time)".
+  const auto s = line(100);
+  OfflineOptions opts;
+  opts.max_runs = 5;
+  opts.restart_overhead_s = 2.0;
+  opts.use_cache = false;
+  OfflineDriver driver(s, opts);
+  RandomSearch rs(s, 100, 3);
+  const auto result = driver.tune(rs, [&](const Config&, int) {
+    return run_of(/*measured=*/3.0, /*warmup=*/1.0);
+  });
+  EXPECT_DOUBLE_EQ(result.total_tuning_cost_s, 5 * (2.0 + 1.0 + 3.0));
+}
+
+TEST(OfflineDriver, CacheSkipsRepeatedConfigs) {
+  const auto s = line(3);
+  OfflineOptions opts;
+  opts.max_runs = 50;
+  OfflineDriver driver(s, opts);
+  RandomSearch rs(s, 50, 4);
+  int launches = 0;
+  const auto result = driver.tune(rs, [&](const Config&, int) {
+    ++launches;
+    return run_of(1.0);
+  });
+  EXPECT_LE(launches, 3);
+  EXPECT_EQ(result.runs, launches);
+}
+
+TEST(OfflineDriver, FindsMinimumViaNelderMead) {
+  const auto s = line(400);
+  OfflineOptions opts;
+  opts.max_runs = 60;
+  OfflineDriver driver(s, opts);
+  harmony::NelderMeadOptions nopts;
+  nopts.max_restarts = 2;
+  NelderMead nm(s, nopts);
+  const auto result = driver.tune(nm, [](const Config& c, int) {
+    const auto x = std::get<std::int64_t>(c.values[0]);
+    return run_of(10.0 + 0.01 * static_cast<double>((x - 250) * (x - 250)));
+  });
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_NEAR(static_cast<double>(std::get<std::int64_t>(result.best->values[0])),
+              250.0, 10.0);
+  EXPECT_NEAR(result.best_measured_s, 10.0, 0.5);
+}
+
+TEST(OfflineDriver, FailedRunsAreInfeasible) {
+  const auto s = line(10);
+  OfflineOptions opts;
+  opts.max_runs = 10;
+  OfflineDriver driver(s, opts);
+  Exhaustive ex(s);
+  const auto result = driver.tune(ex, [](const Config& c, int) {
+    const auto x = std::get<std::int64_t>(c.values[0]);
+    ShortRunResult r;
+    if (x % 2 == 0) {
+      r.ok = false;  // even configurations crash
+    } else {
+      r.measured_s = static_cast<double>(x);
+    }
+    return r;
+  });
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(result.best->values[0]), 1);
+}
+
+TEST(OfflineDriver, HistoryRecordsRuns) {
+  const auto s = line(6);
+  OfflineDriver driver(s);
+  Exhaustive ex(s);
+  (void)driver.tune(ex, [](const Config&, int) { return run_of(1.0); });
+  EXPECT_EQ(driver.history().iterations(), 6);
+}
+
+TEST(OfflineDriver, BadOptionsThrow) {
+  const auto s = line(4);
+  OfflineOptions opts;
+  opts.max_runs = 0;
+  EXPECT_THROW(OfflineDriver(s, opts), std::invalid_argument);
+  opts.max_runs = 1;
+  opts.short_run_steps = 0;
+  EXPECT_THROW(OfflineDriver(s, opts), std::invalid_argument);
+  opts.short_run_steps = 1;
+  opts.restart_overhead_s = -1;
+  EXPECT_THROW(OfflineDriver(s, opts), std::invalid_argument);
+}
+
+TEST(OfflineDriver, NullRunFunctionThrows) {
+  const auto s = line(4);
+  OfflineDriver driver(s);
+  Exhaustive ex(s);
+  EXPECT_THROW((void)driver.tune(ex, nullptr), std::invalid_argument);
+}
+
+TEST(OfflineDriver, ShortRunStepsConfigurable) {
+  // Benchmarking runs in the paper are 10 time steps; production tuning uses
+  // longer runs — the driver must pass the configured length through.
+  const auto s = line(4);
+  OfflineOptions opts;
+  opts.short_run_steps = 1000;
+  opts.max_runs = 2;
+  OfflineDriver driver(s, opts);
+  Exhaustive ex(s);
+  (void)driver.tune(ex, [](const Config&, int steps) {
+    EXPECT_EQ(steps, 1000);
+    return run_of(1.0);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,224 @@
+#include "core/param_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace {
+
+using harmony::Config;
+using harmony::Parameter;
+using harmony::ParamSpace;
+using harmony::Rng;
+using harmony::Value;
+
+ParamSpace mixed_space() {
+  ParamSpace s;
+  s.add(Parameter::Integer("blocks", 1, 8));
+  s.add(Parameter::Real("alpha", 0.0, 1.0));
+  s.add(Parameter::Enum("layout", {"lxyes", "yxles", "yxels"}));
+  return s;
+}
+
+TEST(ParamSpace, DimAndNames) {
+  const auto s = mixed_space();
+  EXPECT_EQ(s.dim(), 3u);
+  EXPECT_EQ(s.names(), (std::vector<std::string>{"blocks", "alpha", "layout"}));
+}
+
+TEST(ParamSpace, DuplicateNameThrows) {
+  ParamSpace s;
+  s.add(Parameter::Integer("x", 0, 1));
+  EXPECT_THROW(s.add(Parameter::Real("x", 0, 1)), std::invalid_argument);
+}
+
+TEST(ParamSpace, IndexOf) {
+  const auto s = mixed_space();
+  EXPECT_EQ(s.index_of("alpha"), 1u);
+  EXPECT_FALSE(s.index_of("nope").has_value());
+}
+
+TEST(ParamSpace, SnapRoundtrip) {
+  const auto s = mixed_space();
+  const Config c = s.snap({3.0, 0.5, 1.0});
+  EXPECT_EQ(std::get<std::int64_t>(c.values[0]), 4);  // lattice index 3 -> value 4
+  EXPECT_DOUBLE_EQ(std::get<double>(c.values[1]), 0.5);
+  EXPECT_EQ(std::get<std::string>(c.values[2]), "yxles");
+  const auto coords = s.coords(c);
+  EXPECT_DOUBLE_EQ(coords[0], 3.0);
+  EXPECT_DOUBLE_EQ(coords[1], 0.5);
+  EXPECT_DOUBLE_EQ(coords[2], 1.0);
+}
+
+TEST(ParamSpace, SnapDimensionMismatchThrows) {
+  const auto s = mixed_space();
+  EXPECT_THROW((void)s.snap({1.0}), std::invalid_argument);
+  Config tiny;
+  tiny.values = {Value{std::int64_t{1}}};
+  EXPECT_THROW((void)s.coords(tiny), std::invalid_argument);
+}
+
+TEST(ParamSpace, DefaultConfigIsContained) {
+  const auto s = mixed_space();
+  EXPECT_TRUE(s.contains(s.default_config()));
+}
+
+TEST(ParamSpace, RandomConfigsAreContained) {
+  const auto s = mixed_space();
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(s.contains(s.random_config(rng)));
+  }
+}
+
+TEST(ParamSpace, RandomConfigsCoverEnumChoices) {
+  const auto s = mixed_space();
+  Rng rng(6);
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(std::get<std::string>(s.random_config(rng).values[2]));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(ParamSpace, TotalPointsDiscrete) {
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 1, 4));          // 4
+  s.add(Parameter::Enum("b", {"x", "y", "z"}));  // 3
+  EXPECT_DOUBLE_EQ(s.total_points(), 12.0);
+}
+
+TEST(ParamSpace, TotalPointsContinuousIsInfinite) {
+  EXPECT_TRUE(std::isinf(mixed_space().total_points()));
+}
+
+TEST(ParamSpace, TotalPointsHugeSpaceStillFinite) {
+  // The paper's O(10^100) PETSc search space must not overflow.
+  ParamSpace s;
+  for (int i = 0; i < 50; ++i) {
+    s.add(Parameter::Integer("b" + std::to_string(i), 1, 90600));
+  }
+  const double total = s.total_points();
+  EXPECT_GT(total, 1e100);
+  EXPECT_FALSE(std::isinf(total));
+}
+
+TEST(ParamSpace, KeyStableAndDistinct) {
+  const auto s = mixed_space();
+  const Config a = s.snap({0.0, 0.5, 0.0});
+  const Config b = s.snap({0.0, 0.5, 1.0});
+  EXPECT_EQ(s.key(a), s.key(a));
+  EXPECT_NE(s.key(a), s.key(b));
+}
+
+TEST(ParamSpace, KeyIdentifiesSnappedPoint) {
+  const auto s = mixed_space();
+  // Two nearby continuous points snapping to the same lattice point share a key.
+  EXPECT_EQ(s.key(s.snap({2.1, 0.5, 0.2})), s.key(s.snap({1.9, 0.5, 0.4})));
+}
+
+TEST(ParamSpace, ContainsRejectsWrongArityOrValues) {
+  const auto s = mixed_space();
+  Config c = s.default_config();
+  EXPECT_TRUE(s.contains(c));
+  c.values[0] = Value{std::int64_t{99}};
+  EXPECT_FALSE(s.contains(c));
+  c.values.pop_back();
+  EXPECT_FALSE(s.contains(c));
+}
+
+TEST(ParamSpace, NeighborsDiscreteSteps) {
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 1, 5));
+  s.add(Parameter::Enum("b", {"x", "y"}));
+  Config c = s.default_config();
+  s.set(c, "a", std::int64_t{3});
+  s.set(c, "b", std::string("x"));
+  const auto ns = s.neighbors(c);
+  // a: 2 and 4; b: y  -> three neighbors.
+  EXPECT_EQ(ns.size(), 3u);
+  for (const auto& n : ns) EXPECT_TRUE(s.contains(n));
+}
+
+TEST(ParamSpace, NeighborsAtBoundary) {
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 1, 5));
+  Config c = s.default_config();
+  s.set(c, "a", std::int64_t{1});
+  const auto ns = s.neighbors(c);
+  ASSERT_EQ(ns.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(ns[0].values[0]), 2);
+}
+
+TEST(ParamSpace, NeighborsRealFraction) {
+  ParamSpace s;
+  s.add(Parameter::Real("x", 0.0, 1.0));
+  Config c = s.default_config();  // 0.5
+  const auto ns = s.neighbors(c, 0.1);
+  ASSERT_EQ(ns.size(), 2u);
+  EXPECT_NEAR(std::get<double>(ns[0].values[0]), 0.4, 1e-12);
+  EXPECT_NEAR(std::get<double>(ns[1].values[0]), 0.6, 1e-12);
+}
+
+TEST(ParamSpace, GettersByName) {
+  const auto s = mixed_space();
+  Config c = s.default_config();
+  s.set(c, "blocks", std::int64_t{7});
+  s.set(c, "alpha", 0.25);
+  s.set(c, "layout", std::string("yxels"));
+  EXPECT_EQ(s.get_int(c, "blocks"), 7);
+  EXPECT_DOUBLE_EQ(s.get_real(c, "alpha"), 0.25);
+  EXPECT_EQ(s.get_enum(c, "layout"), "yxels");
+}
+
+TEST(ParamSpace, GetRealAcceptsIntParameter) {
+  const auto s = mixed_space();
+  const Config c = s.default_config();
+  EXPECT_DOUBLE_EQ(s.get_real(c, "blocks"),
+                   static_cast<double>(s.get_int(c, "blocks")));
+}
+
+TEST(ParamSpace, SetUnknownNameThrows) {
+  const auto s = mixed_space();
+  Config c = s.default_config();
+  EXPECT_THROW(s.set(c, "nope", std::int64_t{1}), std::out_of_range);
+  EXPECT_THROW((void)s.get(c, "nope"), std::out_of_range);
+}
+
+TEST(ParamSpace, SetOutOfRangeThrows) {
+  const auto s = mixed_space();
+  Config c = s.default_config();
+  EXPECT_THROW(s.set(c, "blocks", std::int64_t{0}), std::invalid_argument);
+  EXPECT_THROW(s.set(c, "layout", std::string("bogus")), std::invalid_argument);
+}
+
+TEST(ParamSpace, FormatShowsNames) {
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 1, 3));
+  Config c = s.default_config();
+  s.set(c, "a", std::int64_t{2});
+  EXPECT_EQ(s.format(c), "a=2");
+}
+
+// Property sweep: snap is idempotent — snapping the coords of a snapped
+// config returns the identical config.
+class SnapIdempotent : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SnapIdempotent, Holds) {
+  const auto s = mixed_space();
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> coords(s.dim());
+    for (std::size_t d = 0; d < s.dim(); ++d) {
+      coords[d] = rng.uniform(-5.0, 15.0);  // includes out-of-range values
+    }
+    const Config once = s.snap(coords);
+    const Config twice = s.snap(s.coords(once));
+    EXPECT_EQ(once, twice);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapIdempotent, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace

@@ -1,0 +1,178 @@
+#include "core/parameter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using harmony::Parameter;
+using harmony::ParamType;
+using harmony::Value;
+
+TEST(ParameterInt, BasicProperties) {
+  const auto p = Parameter::Integer("n", 1, 10);
+  EXPECT_EQ(p.type(), ParamType::Int);
+  EXPECT_EQ(p.name(), "n");
+  EXPECT_EQ(p.count(), 10u);
+  EXPECT_EQ(p.coord_min(), 0.0);
+  EXPECT_EQ(p.coord_max(), 9.0);
+}
+
+TEST(ParameterInt, StepLattice) {
+  const auto p = Parameter::Integer("n", 10, 50, 10);  // 10,20,30,40,50
+  EXPECT_EQ(p.count(), 5u);
+  EXPECT_EQ(std::get<std::int64_t>(p.coord_to_value(0.0)), 10);
+  EXPECT_EQ(std::get<std::int64_t>(p.coord_to_value(4.0)), 50);
+  EXPECT_EQ(std::get<std::int64_t>(p.coord_to_value(2.4)), 30);  // rounds
+  EXPECT_EQ(std::get<std::int64_t>(p.coord_to_value(2.6)), 40);
+}
+
+TEST(ParameterInt, UnreachableHiTruncated) {
+  const auto p = Parameter::Integer("n", 0, 9, 4);  // 0,4,8
+  EXPECT_EQ(p.count(), 3u);
+  EXPECT_EQ(p.int_hi(), 8);
+}
+
+TEST(ParameterInt, CoordClamping) {
+  const auto p = Parameter::Integer("n", 1, 5);
+  EXPECT_EQ(std::get<std::int64_t>(p.coord_to_value(-10.0)), 1);
+  EXPECT_EQ(std::get<std::int64_t>(p.coord_to_value(100.0)), 5);
+}
+
+TEST(ParameterInt, ValueToCoordRoundtrip) {
+  const auto p = Parameter::Integer("n", -4, 12, 2);
+  for (std::int64_t v = -4; v <= 12; v += 2) {
+    const double c = p.value_to_coord(Value{v});
+    EXPECT_EQ(std::get<std::int64_t>(p.coord_to_value(c)), v);
+  }
+}
+
+TEST(ParameterInt, ContainsRespectsStride) {
+  const auto p = Parameter::Integer("n", 0, 10, 5);
+  EXPECT_TRUE(p.contains(Value{std::int64_t{0}}));
+  EXPECT_TRUE(p.contains(Value{std::int64_t{5}}));
+  EXPECT_TRUE(p.contains(Value{std::int64_t{10}}));
+  EXPECT_FALSE(p.contains(Value{std::int64_t{3}}));
+  EXPECT_FALSE(p.contains(Value{std::int64_t{15}}));
+  EXPECT_FALSE(p.contains(Value{3.0}));  // wrong kind
+}
+
+TEST(ParameterInt, InvalidRangesThrow) {
+  EXPECT_THROW((void)Parameter::Integer("n", 5, 1), std::invalid_argument);
+  EXPECT_THROW((void)Parameter::Integer("n", 0, 5, 0), std::invalid_argument);
+  EXPECT_THROW((void)Parameter::Integer("n", 0, 5, -2), std::invalid_argument);
+}
+
+TEST(ParameterInt, SinglePointRange) {
+  const auto p = Parameter::Integer("n", 3, 3);
+  EXPECT_EQ(p.count(), 1u);
+  EXPECT_EQ(p.coord_max(), 0.0);
+  EXPECT_EQ(std::get<std::int64_t>(p.default_value()), 3);
+}
+
+TEST(ParameterReal, BasicProperties) {
+  const auto p = Parameter::Real("x", -1.0, 3.0);
+  EXPECT_EQ(p.type(), ParamType::Real);
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_EQ(p.coord_min(), -1.0);
+  EXPECT_EQ(p.coord_max(), 3.0);
+}
+
+TEST(ParameterReal, CoordIsValue) {
+  const auto p = Parameter::Real("x", 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(p.coord_to_value(0.25)), 0.25);
+  EXPECT_DOUBLE_EQ(p.value_to_coord(Value{0.75}), 0.75);
+}
+
+TEST(ParameterReal, ClampsOutOfRange) {
+  const auto p = Parameter::Real("x", 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(p.coord_to_value(2.0)), 1.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(p.coord_to_value(-2.0)), 0.0);
+}
+
+TEST(ParameterReal, AcceptsIntValueAsCoord) {
+  const auto p = Parameter::Real("x", 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(p.value_to_coord(Value{std::int64_t{4}}), 4.0);
+}
+
+TEST(ParameterReal, InvalidRangeThrows) {
+  EXPECT_THROW((void)Parameter::Real("x", 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(ParameterReal, DefaultIsMidpoint) {
+  const auto p = Parameter::Real("x", 2.0, 6.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(p.default_value()), 4.0);
+}
+
+TEST(ParameterEnum, BasicProperties) {
+  const auto p = Parameter::Enum("layout", {"lxyes", "yxles", "yxels"});
+  EXPECT_EQ(p.type(), ParamType::Enum);
+  EXPECT_EQ(p.count(), 3u);
+  EXPECT_EQ(p.coord_max(), 2.0);
+}
+
+TEST(ParameterEnum, CoordSnapsToNearestLabel) {
+  const auto p = Parameter::Enum("c", {"a", "b", "c"});
+  EXPECT_EQ(std::get<std::string>(p.coord_to_value(0.4)), "a");
+  EXPECT_EQ(std::get<std::string>(p.coord_to_value(0.6)), "b");
+  EXPECT_EQ(std::get<std::string>(p.coord_to_value(9.0)), "c");
+}
+
+TEST(ParameterEnum, ValueToCoordFindsLabel) {
+  const auto p = Parameter::Enum("c", {"a", "b", "c"});
+  EXPECT_DOUBLE_EQ(p.value_to_coord(Value{std::string("b")}), 1.0);
+}
+
+TEST(ParameterEnum, UnknownLabelThrows) {
+  const auto p = Parameter::Enum("c", {"a", "b"});
+  EXPECT_THROW((void)p.value_to_coord(Value{std::string("z")}), std::invalid_argument);
+}
+
+TEST(ParameterEnum, WrongKindThrows) {
+  const auto p = Parameter::Enum("c", {"a", "b"});
+  EXPECT_THROW((void)p.value_to_coord(Value{std::int64_t{1}}), std::invalid_argument);
+}
+
+TEST(ParameterEnum, EmptyChoicesThrow) {
+  EXPECT_THROW((void)Parameter::Enum("c", {}), std::invalid_argument);
+}
+
+TEST(ParameterEnum, DuplicateChoicesThrow) {
+  EXPECT_THROW((void)Parameter::Enum("c", {"a", "a"}), std::invalid_argument);
+}
+
+TEST(ParameterEnum, Contains) {
+  const auto p = Parameter::Enum("c", {"a", "b"});
+  EXPECT_TRUE(p.contains(Value{std::string("a")}));
+  EXPECT_FALSE(p.contains(Value{std::string("z")}));
+  EXPECT_FALSE(p.contains(Value{std::int64_t{0}}));
+}
+
+TEST(ParameterTypeNames, ToString) {
+  EXPECT_EQ(harmony::to_string(ParamType::Int), "INT");
+  EXPECT_EQ(harmony::to_string(ParamType::Real), "REAL");
+  EXPECT_EQ(harmony::to_string(ParamType::Enum), "ENUM");
+}
+
+// Property sweep: coord_to_value(value_to_coord(v)) is the identity on every
+// lattice value, for a family of integer parameter shapes.
+class IntRoundtrip : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(IntRoundtrip, LatticeClosed) {
+  const auto [lo, hi, step] = GetParam();
+  const auto p = Parameter::Integer("n", lo, hi, step);
+  for (std::uint64_t i = 0; i < p.count(); ++i) {
+    const Value v = p.coord_to_value(static_cast<double>(i));
+    EXPECT_TRUE(p.contains(v));
+    EXPECT_DOUBLE_EQ(p.value_to_coord(v), static_cast<double>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, IntRoundtrip,
+                         ::testing::Values(std::tuple{0, 10, 1},
+                                           std::tuple{-7, 7, 1},
+                                           std::tuple{1, 100, 7},
+                                           std::tuple{5, 5, 1},
+                                           std::tuple{-100, 100, 13},
+                                           std::tuple{0, 1, 1}));
+
+}  // namespace

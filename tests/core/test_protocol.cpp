@@ -1,0 +1,138 @@
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using harmony::Config;
+using harmony::Parameter;
+using harmony::ParamSpace;
+namespace proto = harmony::proto;
+
+TEST(Protocol, ParseSimpleLine) {
+  const auto m = proto::parse_line("REPORT 3.25");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->verb, "REPORT");
+  ASSERT_EQ(m->args.size(), 1u);
+  EXPECT_EQ(m->args[0], "3.25");
+}
+
+TEST(Protocol, ParseEmptyLineIsNull) {
+  EXPECT_FALSE(proto::parse_line("").has_value());
+  EXPECT_FALSE(proto::parse_line("   ").has_value());
+}
+
+TEST(Protocol, ParseCollapsesWhitespace) {
+  const auto m = proto::parse_line("  PARAM   INT  x  1 9  1 ");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->verb, "PARAM");
+  EXPECT_EQ(m->args.size(), 5u);
+}
+
+TEST(Protocol, FormatRoundtrip) {
+  proto::Message m{"CONFIG", {"1", "0.5", "yxles"}};
+  const auto parsed = proto::parse_line(proto::format(m));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->verb, m.verb);
+  EXPECT_EQ(parsed->args, m.args);
+}
+
+ParamSpace demo_space() {
+  ParamSpace s;
+  s.add(Parameter::Integer("n", 1, 64, 1));
+  s.add(Parameter::Real("alpha", 0.0, 2.0));
+  s.add(Parameter::Enum("layout", {"lxyes", "yxles"}));
+  return s;
+}
+
+TEST(Protocol, EncodeDecodeConfigRoundtrip) {
+  const auto s = demo_space();
+  const Config c = s.snap({10.0, 1.25, 1.0});
+  const auto encoded = proto::encode_config(s, c);
+  const auto msg = proto::parse_line("CONFIG " + encoded);
+  ASSERT_TRUE(msg.has_value());
+  const auto decoded = proto::decode_config(s, msg->args);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, c);
+}
+
+TEST(Protocol, DecodeConfigWrongArityFails) {
+  const auto s = demo_space();
+  EXPECT_FALSE(proto::decode_config(s, {"1", "0.5"}).has_value());
+}
+
+TEST(Protocol, DecodeConfigBadIntFails) {
+  const auto s = demo_space();
+  EXPECT_FALSE(proto::decode_config(s, {"abc", "0.5", "lxyes"}).has_value());
+  EXPECT_FALSE(proto::decode_config(s, {"999", "0.5", "lxyes"}).has_value());
+}
+
+TEST(Protocol, DecodeConfigBadRealFails) {
+  const auto s = demo_space();
+  EXPECT_FALSE(proto::decode_config(s, {"1", "zz", "lxyes"}).has_value());
+  EXPECT_FALSE(proto::decode_config(s, {"1", "99.0", "lxyes"}).has_value());
+}
+
+TEST(Protocol, DecodeConfigBadEnumFails) {
+  const auto s = demo_space();
+  EXPECT_FALSE(proto::decode_config(s, {"1", "0.5", "bogus"}).has_value());
+}
+
+TEST(Protocol, EncodeParamInt) {
+  const auto p = Parameter::Integer("n", 1, 64, 2);
+  EXPECT_EQ(proto::encode_param(p), "PARAM INT n 1 63 2");
+}
+
+TEST(Protocol, EncodeParamReal) {
+  const auto p = Parameter::Real("a", 0.5, 2.5);
+  EXPECT_EQ(proto::encode_param(p), "PARAM REAL a 0.5 2.5");
+}
+
+TEST(Protocol, EncodeParamEnum) {
+  const auto p = Parameter::Enum("mode", {"x", "y", "z"});
+  EXPECT_EQ(proto::encode_param(p), "PARAM ENUM mode x,y,z");
+}
+
+TEST(Protocol, DecodeParamRoundtripInt) {
+  const auto p = Parameter::Integer("n", -4, 12, 2);
+  const auto msg = proto::parse_line(proto::encode_param(p));
+  ASSERT_TRUE(msg.has_value());
+  const auto decoded = proto::decode_param(msg->args);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->int_lo(), -4);
+  EXPECT_EQ(decoded->int_hi(), 12);
+  EXPECT_EQ(decoded->int_step(), 2);
+}
+
+TEST(Protocol, DecodeParamRoundtripEnum) {
+  const auto p = Parameter::Enum("layout", {"lxyes", "yxles", "yxels"});
+  const auto msg = proto::parse_line(proto::encode_param(p));
+  const auto decoded = proto::decode_param(msg->args);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->choices(), p.choices());
+}
+
+TEST(Protocol, DecodeParamRoundtripReal) {
+  const auto p = Parameter::Real("alpha", -1.5, 3.5);
+  const auto msg = proto::parse_line(proto::encode_param(p));
+  const auto decoded = proto::decode_param(msg->args);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_DOUBLE_EQ(decoded->real_lo(), -1.5);
+  EXPECT_DOUBLE_EQ(decoded->real_hi(), 3.5);
+}
+
+TEST(Protocol, DecodeParamMalformedFails) {
+  EXPECT_FALSE(proto::decode_param({}).has_value());
+  EXPECT_FALSE(proto::decode_param({"INT"}).has_value());
+  EXPECT_FALSE(proto::decode_param({"INT", "x", "a", "b", "c"}).has_value());
+  EXPECT_FALSE(proto::decode_param({"INT", "x", "5", "1", "1"}).has_value());  // lo>hi
+  EXPECT_FALSE(proto::decode_param({"REAL", "x", "1"}).has_value());
+  EXPECT_FALSE(proto::decode_param({"ENUM", "x"}).has_value());
+  EXPECT_FALSE(proto::decode_param({"BLOB", "x", "1", "2"}).has_value());
+}
+
+TEST(Protocol, DecodeParamTrailingGarbageFails) {
+  EXPECT_FALSE(proto::decode_param({"INT", "x", "1", "10", "1", "extra"}).has_value());
+}
+
+}  // namespace

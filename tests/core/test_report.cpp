@@ -1,0 +1,88 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using harmony::bar;
+using harmony::fmt;
+using harmony::percent_improvement;
+using harmony::speedup;
+using harmony::TextTable;
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TextTable, ColumnWidthsFitWidestCell) {
+  TextTable t({"x"});
+  t.add_row({"wide-cell-content"});
+  std::ostringstream os;
+  t.print(os);
+  // The rule must span at least the widest cell.
+  const std::string out = os.str();
+  const auto rule_pos = out.find('-');
+  ASSERT_NE(rule_pos, std::string::npos);
+  std::size_t rule_len = 0;
+  while (out[rule_pos + rule_len] == '-') ++rule_len;
+  EXPECT_GE(rule_len, std::string("wide-cell-content").size());
+}
+
+TEST(Percent, Improvement) {
+  EXPECT_EQ(percent_improvement(100.0, 84.0), "16.0%");
+  EXPECT_EQ(percent_improvement(55.06, 16.25), "70.5%");
+}
+
+TEST(Percent, NegativeWhenSlower) {
+  EXPECT_EQ(percent_improvement(10.0, 11.0), "-10.0%");
+}
+
+TEST(Percent, ZeroBaselineIsNa) {
+  EXPECT_EQ(percent_improvement(0.0, 5.0), "n/a");
+}
+
+TEST(Speedup, Basic) {
+  EXPECT_EQ(speedup(55.06, 16.25), "3.4x");
+  EXPECT_EQ(speedup(10.0, 0.0), "n/a");
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+}
+
+TEST(Bar, ScalesToWidth) {
+  EXPECT_EQ(bar(10.0, 10.0, 20).size(), 20u);
+  EXPECT_EQ(bar(5.0, 10.0, 20).size(), 10u);
+  EXPECT_EQ(bar(0.0, 10.0, 20).size(), 0u);
+}
+
+TEST(Bar, DegenerateInputsEmpty) {
+  EXPECT_TRUE(bar(1.0, 0.0).empty());
+  EXPECT_TRUE(bar(-1.0, 10.0).empty());
+}
+
+TEST(Bar, ClampsOverflow) {
+  EXPECT_EQ(bar(50.0, 10.0, 20).size(), 20u);
+}
+
+}  // namespace

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/coordinate_descent.hpp"
+#include "core/exhaustive.hpp"
+#include "core/random_search.hpp"
+#include "core/simulated_annealing.hpp"
+#include "core/systematic_sampler.hpp"
+
+namespace {
+
+using harmony::Config;
+using harmony::CoordinateDescent;
+using harmony::EvaluationResult;
+using harmony::Exhaustive;
+using harmony::Parameter;
+using harmony::ParamSpace;
+using harmony::RandomSearch;
+using harmony::SearchStrategy;
+using harmony::SimulatedAnnealing;
+using harmony::SystematicSampler;
+
+EvaluationResult eval_of(double v) {
+  EvaluationResult r;
+  r.objective = v;
+  return r;
+}
+
+template <typename Fn>
+int drive(SearchStrategy& strat, const Fn& fn, int max_steps = 100000) {
+  int steps = 0;
+  while (steps < max_steps) {
+    auto p = strat.propose();
+    if (!p) break;
+    strat.report(*p, eval_of(fn(*p)));
+    ++steps;
+  }
+  return steps;
+}
+
+ParamSpace grid2d(int n) {
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 0, n - 1));
+  s.add(Parameter::Integer("b", 0, n - 1));
+  return s;
+}
+
+double bowl(const Config& c) {
+  const double a = static_cast<double>(std::get<std::int64_t>(c.values[0]));
+  const double b = static_cast<double>(std::get<std::int64_t>(c.values[1]));
+  return (a - 3) * (a - 3) + (b - 5) * (b - 5);
+}
+
+// ---------- RandomSearch ----------
+
+TEST(RandomSearch, RespectsBudget) {
+  const auto s = grid2d(10);
+  RandomSearch rs(s, 25);
+  EXPECT_EQ(drive(rs, bowl), 25);
+  EXPECT_TRUE(rs.converged());
+  EXPECT_FALSE(rs.propose().has_value());
+}
+
+TEST(RandomSearch, TracksBest) {
+  const auto s = grid2d(10);
+  RandomSearch rs(s, 300, 7);
+  drive(rs, bowl);
+  ASSERT_TRUE(rs.best().has_value());
+  EXPECT_LE(rs.best_objective(), 2.0);  // 300 draws on a 100-point grid
+}
+
+TEST(RandomSearch, DeterministicPerSeed) {
+  const auto s = grid2d(10);
+  RandomSearch a(s, 10, 42);
+  RandomSearch b(s, 10, 42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(*a.propose(), *b.propose());
+    a.report(s.default_config(), eval_of(1));
+    b.report(s.default_config(), eval_of(1));
+  }
+}
+
+TEST(RandomSearch, BadBudgetThrows) {
+  const auto s = grid2d(4);
+  EXPECT_THROW(RandomSearch(s, 0), std::invalid_argument);
+}
+
+TEST(RandomSearch, IgnoresInvalidResults) {
+  const auto s = grid2d(10);
+  RandomSearch rs(s, 50, 3);
+  while (auto p = rs.propose()) {
+    rs.report(*p, EvaluationResult::infeasible());
+  }
+  EXPECT_FALSE(rs.best().has_value());
+}
+
+// ---------- SystematicSampler ----------
+
+TEST(SystematicSampler, PlanSizeAndCount) {
+  const auto s = grid2d(10);
+  SystematicSampler ss(s, 4);
+  EXPECT_EQ(ss.plan_size(), 16u);
+  EXPECT_EQ(drive(ss, bowl), 16);
+  EXPECT_TRUE(ss.converged());
+}
+
+TEST(SystematicSampler, CoversEvenlySpacedValues) {
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 0, 9));
+  SystematicSampler ss(s, 4);
+  std::set<std::int64_t> seen;
+  while (auto p = ss.propose()) {
+    seen.insert(std::get<std::int64_t>(p->values[0]));
+    ss.report(*p, eval_of(0));
+  }
+  EXPECT_EQ(seen, (std::set<std::int64_t>{0, 3, 6, 9}));
+}
+
+TEST(SystematicSampler, ClampsToLatticeSize) {
+  ParamSpace s;
+  s.add(Parameter::Enum("e", {"x", "y"}));
+  SystematicSampler ss(s, 10);  // only 2 distinct values exist
+  EXPECT_EQ(ss.plan_size(), 2u);
+}
+
+TEST(SystematicSampler, PerDimensionCounts) {
+  const auto s = grid2d(10);
+  SystematicSampler ss(s, std::vector<int>{2, 5});
+  EXPECT_EQ(ss.plan_size(), 10u);
+}
+
+TEST(SystematicSampler, MismatchedDimsThrow) {
+  const auto s = grid2d(10);
+  EXPECT_THROW(SystematicSampler(s, std::vector<int>{2}), std::invalid_argument);
+  EXPECT_THROW(SystematicSampler(s, std::vector<int>{2, 0}), std::invalid_argument);
+}
+
+TEST(SystematicSampler, EnumeratesDistinctConfigs) {
+  const auto s = grid2d(8);
+  SystematicSampler ss(s, 3);
+  std::set<std::string> keys;
+  while (auto p = ss.propose()) {
+    keys.insert(s.key(*p));
+    ss.report(*p, eval_of(0));
+  }
+  EXPECT_EQ(keys.size(), 9u);
+}
+
+TEST(SystematicSampler, FindsGoodPointOnSmoothSurface) {
+  const auto s = grid2d(20);
+  SystematicSampler ss(s, 10);
+  drive(ss, bowl);
+  EXPECT_LE(ss.best_objective(), 8.0);
+}
+
+// ---------- Exhaustive ----------
+
+TEST(Exhaustive, VisitsEveryPointExactlyOnce) {
+  const auto s = grid2d(6);
+  Exhaustive ex(s);
+  EXPECT_EQ(ex.plan_size(), 36u);
+  std::set<std::string> keys;
+  while (auto p = ex.propose()) {
+    keys.insert(s.key(*p));
+    ex.report(*p, eval_of(bowl(*p)));
+  }
+  EXPECT_EQ(keys.size(), 36u);
+  EXPECT_TRUE(ex.converged());
+}
+
+TEST(Exhaustive, FindsGlobalMinimum) {
+  const auto s = grid2d(12);
+  Exhaustive ex(s);
+  drive(ex, bowl);
+  EXPECT_DOUBLE_EQ(ex.best_objective(), 0.0);
+  EXPECT_EQ(std::get<std::int64_t>(ex.best()->values[0]), 3);
+  EXPECT_EQ(std::get<std::int64_t>(ex.best()->values[1]), 5);
+}
+
+TEST(Exhaustive, RejectsContinuousSpace) {
+  ParamSpace s;
+  s.add(Parameter::Real("x", 0, 1));
+  EXPECT_THROW(Exhaustive ex(s), std::invalid_argument);
+}
+
+TEST(Exhaustive, RejectsOversizedSpace) {
+  ParamSpace s;
+  s.add(Parameter::Integer("a", 0, 999));
+  s.add(Parameter::Integer("b", 0, 999));
+  s.add(Parameter::Integer("c", 0, 999));
+  EXPECT_THROW(Exhaustive ex(s, 1000000), std::invalid_argument);
+}
+
+// ---------- CoordinateDescent ----------
+
+TEST(CoordinateDescent, DescendsSeparableFunction) {
+  const auto s = grid2d(30);
+  CoordinateDescent cd(s);
+  drive(cd, bowl);
+  EXPECT_DOUBLE_EQ(cd.best_objective(), 0.0);
+}
+
+TEST(CoordinateDescent, StopsWhenNoImprovement) {
+  const auto s = grid2d(10);
+  CoordinateDescent cd(s);
+  const int steps = drive(cd, [](const Config&) { return 1.0; });
+  EXPECT_TRUE(cd.converged());
+  // Initial + one sweep of <= 4 neighbors.
+  EXPECT_LE(steps, 6);
+}
+
+TEST(CoordinateDescent, HonorsInitialConfig) {
+  const auto s = grid2d(30);
+  Config init = s.default_config();
+  s.set(init, "a", std::int64_t{3});
+  s.set(init, "b", std::int64_t{5});
+  CoordinateDescent cd(s, init);
+  drive(cd, bowl);
+  EXPECT_DOUBLE_EQ(cd.best_objective(), 0.0);
+}
+
+TEST(CoordinateDescent, FindsBestEnumValue) {
+  ParamSpace s;
+  s.add(Parameter::Enum("mode", {"slow", "medium", "fast"}));
+  CoordinateDescent cd(s);
+  drive(cd, [](const Config& c) {
+    const auto& m = std::get<std::string>(c.values[0]);
+    return m == "fast" ? 1.0 : m == "medium" ? 2.0 : 3.0;
+  });
+  EXPECT_EQ(std::get<std::string>(cd.best()->values[0]), "fast");
+}
+
+TEST(CoordinateDescent, LineSamplesCrossBadIntermediateChoice) {
+  // A 3-choice enum whose middle value is the worst traps the +-1 neighbor
+  // walk; a per-coordinate value sweep must escape it.
+  ParamSpace s;
+  s.add(Parameter::Enum("mode", {"ok", "terrible", "best"}));
+  const auto cost = [](const Config& c) {
+    const auto& m = std::get<std::string>(c.values[0]);
+    return m == "best" ? 1.0 : m == "ok" ? 2.0 : 9.0;
+  };
+  Config start = s.default_config();
+  s.set(start, "mode", std::string("ok"));
+  CoordinateDescent trapped(s, start, 10, /*line_samples=*/0);
+  drive(trapped, cost);
+  EXPECT_EQ(std::get<std::string>(trapped.best()->values[0]), "ok");
+  CoordinateDescent sweeping(s, start, 10, /*line_samples=*/3);
+  drive(sweeping, cost);
+  EXPECT_EQ(std::get<std::string>(sweeping.best()->values[0]), "best");
+}
+
+TEST(CoordinateDescent, LineSamplesJumpAcrossIntegerRange) {
+  ParamSpace s;
+  s.add(Parameter::Integer("x", 0, 1000));
+  Config start = s.default_config();
+  s.set(start, "x", std::int64_t{0});
+  // Narrow optimum far from the start: +-1 moves see no gradient.
+  const auto cost = [](const Config& c) {
+    const auto x = std::get<std::int64_t>(c.values[0]);
+    return x == 1000 ? 0.0 : 1.0;
+  };
+  CoordinateDescent cd(s, start, 10, /*line_samples=*/11);
+  drive(cd, cost);
+  EXPECT_DOUBLE_EQ(cd.best_objective(), 0.0);  // 1000 is on the sample grid
+}
+
+TEST(CoordinateDescent, NegativeLineSamplesThrow) {
+  const auto s = grid2d(4);
+  EXPECT_THROW(CoordinateDescent(s, std::nullopt, 10, -1), std::invalid_argument);
+}
+
+TEST(CoordinateDescent, BadSweepCountThrows) {
+  const auto s = grid2d(4);
+  EXPECT_THROW(CoordinateDescent(s, std::nullopt, 0), std::invalid_argument);
+}
+
+TEST(CoordinateDescent, ReportWithoutProposeThrows) {
+  const auto s = grid2d(4);
+  CoordinateDescent cd(s);
+  EXPECT_THROW(cd.report(s.default_config(), eval_of(1)), std::logic_error);
+}
+
+// ---------- SimulatedAnnealing ----------
+
+TEST(SimulatedAnnealing, RespectsBudget) {
+  const auto s = grid2d(10);
+  harmony::AnnealingOptions opts;
+  opts.max_evaluations = 40;
+  SimulatedAnnealing sa(s, opts);
+  EXPECT_EQ(drive(sa, bowl), 40);
+  EXPECT_TRUE(sa.converged());
+}
+
+TEST(SimulatedAnnealing, ImprovesOverInitial) {
+  const auto s = grid2d(50);
+  harmony::AnnealingOptions opts;
+  opts.max_evaluations = 400;
+  SimulatedAnnealing sa(s, opts);
+  double first = -1;
+  int step = 0;
+  while (auto p = sa.propose()) {
+    const double v = bowl(*p);
+    if (step++ == 0) first = v;
+    sa.report(*p, eval_of(v));
+  }
+  EXPECT_LT(sa.best_objective(), first);
+  EXPECT_LE(sa.best_objective(), 16.0);
+}
+
+TEST(SimulatedAnnealing, TemperatureCools) {
+  const auto s = grid2d(10);
+  harmony::AnnealingOptions opts;
+  opts.max_evaluations = 100;
+  SimulatedAnnealing sa(s, opts);
+  drive(sa, bowl, 20);
+  const double mid = sa.temperature();
+  drive(sa, bowl, 40);
+  EXPECT_LT(sa.temperature(), mid);
+}
+
+TEST(SimulatedAnnealing, BadBudgetThrows) {
+  const auto s = grid2d(4);
+  harmony::AnnealingOptions opts;
+  opts.max_evaluations = 0;
+  EXPECT_THROW(SimulatedAnnealing(s, opts), std::invalid_argument);
+}
+
+// ---------- cross-strategy property ----------
+
+// Every strategy must locate a near-optimal point of the same convex
+// discrete bowl within its budget.
+class AnyStrategyFindsBowl : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AnyStrategyFindsBowl, WithinTolerance) {
+  const auto s = grid2d(16);
+  std::unique_ptr<SearchStrategy> strat;
+  const auto& kind = GetParam();
+  if (kind == "random") {
+    strat = std::make_unique<RandomSearch>(s, 200, 1);
+  } else if (kind == "systematic") {
+    strat = std::make_unique<SystematicSampler>(s, 8);
+  } else if (kind == "exhaustive") {
+    strat = std::make_unique<Exhaustive>(s);
+  } else if (kind == "coordinate") {
+    strat = std::make_unique<CoordinateDescent>(s);
+  } else {
+    harmony::AnnealingOptions opts;
+    opts.max_evaluations = 300;
+    strat = std::make_unique<SimulatedAnnealing>(s, opts);
+  }
+  drive(*strat, bowl);
+  EXPECT_LE(strat->best_objective(), 5.0) << "strategy " << kind;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AnyStrategyFindsBowl,
+                         ::testing::Values("random", "systematic", "exhaustive",
+                                           "coordinate", "annealing"));
+
+}  // namespace

@@ -1,0 +1,87 @@
+// End-to-end client/server tuning: a GS2-style application connects to the
+// Harmony server over TCP, registers its layout and resolution knobs, and is
+// steered to a configuration much faster than its default — the deployment
+// shape of paper Fig. 1.
+
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "minigs2/minigs2.hpp"
+#include "simcluster/presets.hpp"
+
+namespace {
+
+using harmony::TuningClient;
+using harmony::TuningServer;
+using namespace minigs2;
+namespace presets = simcluster::presets;
+
+TEST(ServerTuningIntegration, Gs2LayoutOverTcp) {
+  TuningServer server;
+  ASSERT_TRUE(server.start());
+
+  const Gs2Model model;
+  const auto machine = presets::seaborg(8, 16);
+  Resolution res;
+  res.ntheta = 26;
+  res.negrid = 16;
+
+  std::vector<std::string> names;
+  for (const auto& l : Layout::all()) names.push_back(l.order());
+
+  TuningClient client;
+  ASSERT_TRUE(client.connect(server.port(), "gs2"));
+  ASSERT_TRUE(client.add_enum("layout", names));
+  ASSERT_TRUE(client.start(60));
+
+  const double t_default = model.run_time(machine, 128, res, Layout("lxyes"),
+                                          CollisionModel::None, 10);
+  while (auto config = client.fetch()) {
+    const Layout layout(std::get<std::string>(config->values[0]));
+    const double t =
+        model.run_time(machine, 128, res, layout, CollisionModel::None, 10);
+    ASSERT_TRUE(client.report(t));
+  }
+  const auto best = client.best();
+  ASSERT_TRUE(best.has_value());
+  const double t_best = model.run_time(machine, 128, res,
+                                       Layout(std::get<std::string>(best->values[0])),
+                                       CollisionModel::None, 10);
+  EXPECT_LT(t_best, t_default / 1.5);
+  client.bye();
+  server.stop();
+}
+
+TEST(ServerTuningIntegration, MixedParameterSpaceOverTcp) {
+  TuningServer server;
+  ASSERT_TRUE(server.start());
+
+  const Gs2Model model;
+  TuningClient client;
+  ASSERT_TRUE(client.connect(server.port(), "gs2-res"));
+  ASSERT_TRUE(client.add_int("negrid", 8, 16));
+  ASSERT_TRUE(client.add_int("ntheta", 16, 32, 2));
+  ASSERT_TRUE(client.add_int("nodes", 1, 64));
+  ASSERT_TRUE(client.start(50));
+
+  double first = -1.0;
+  double best_seen = 1e300;
+  while (auto config = client.fetch()) {
+    Resolution res;
+    res.negrid = static_cast<int>(std::get<std::int64_t>(config->values[0]));
+    res.ntheta = static_cast<int>(std::get<std::int64_t>(config->values[1]));
+    const int nodes = static_cast<int>(std::get<std::int64_t>(config->values[2]));
+    const auto machine = presets::xeon_myrinet(nodes, 2);
+    const double t = model.run_time(machine, 2 * nodes, res, Layout("lxyes"),
+                                    CollisionModel::None, 100);
+    if (first < 0) first = t;
+    best_seen = std::min(best_seen, t);
+    ASSERT_TRUE(client.report(t));
+  }
+  EXPECT_LT(best_seen, first);
+  client.bye();
+  server.stop();
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+#include "minigs2/decomp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace minigs2;
+
+Resolution paper_res() {
+  Resolution r;
+  r.ntheta = 26;
+  r.negrid = 16;
+  return r;  // ny=64, nl=20, ns=2
+}
+
+TEST(Decomp, SingleRankEverythingLocal) {
+  const auto info = decompose(Layout("lxyes"), paper_res(), 1);
+  EXPECT_TRUE(info.distributed.empty());
+  EXPECT_TRUE(info.x_local && info.y_local && info.l_local && info.e_local &&
+              info.s_local);
+  EXPECT_DOUBLE_EQ(info.imbalance, 1.0);
+  EXPECT_FALSE(info.needs_fft_transpose());
+  EXPECT_FALSE(info.needs_velocity_transpose());
+}
+
+TEST(Decomp, DefaultLayoutAt128DistributesLandX) {
+  // lxyes: l (20) alone cannot cover 128 ranks, so l and x are split.
+  const auto info = decompose(Layout("lxyes"), paper_res(), 128);
+  EXPECT_EQ(info.distributed, "lx");
+  EXPECT_FALSE(info.l_local);
+  EXPECT_FALSE(info.x_local);
+  EXPECT_TRUE(info.e_local);
+  EXPECT_TRUE(info.needs_fft_transpose());
+  EXPECT_TRUE(info.needs_velocity_transpose());
+}
+
+TEST(Decomp, TunedLayoutAt128KeepsVelocityLocal) {
+  // yxles: y*x = 1664 covers 128 ranks; l and e stay local — this is why
+  // the paper's tuned layout wins.
+  const auto info = decompose(Layout("yxles"), paper_res(), 128);
+  EXPECT_EQ(info.distributed, "yx");
+  EXPECT_TRUE(info.l_local);
+  EXPECT_TRUE(info.e_local);
+  EXPECT_TRUE(info.needs_fft_transpose());
+  EXPECT_FALSE(info.needs_velocity_transpose());
+}
+
+TEST(Decomp, AlignmentGivesPerfectBalance) {
+  // y*x = 64*26 = 1664 = 13*128: divides evenly.
+  const auto info = decompose(Layout("yxles"), paper_res(), 128);
+  EXPECT_DOUBLE_EQ(info.imbalance, 1.0);
+}
+
+TEST(Decomp, MisalignmentCreatesImbalance) {
+  // l*x = 520 does not divide by 128 -> ceil(520/128)=5 chunks max.
+  const auto info = decompose(Layout("lxyes"), paper_res(), 128);
+  EXPECT_NEAR(info.imbalance, 5.0 * 128.0 / 520.0, 1e-12);
+  EXPECT_GT(info.imbalance, 1.2);
+}
+
+TEST(Decomp, SingleDimCoversSmallRankCounts) {
+  // y=64 alone covers 64 ranks exactly.
+  const auto info = decompose(Layout("yxles"), paper_res(), 64);
+  EXPECT_EQ(info.distributed, "y");
+  EXPECT_TRUE(info.x_local);
+  EXPECT_DOUBLE_EQ(info.imbalance, 1.0);
+  // y is distributed, so the FFT still needs a transpose even though x is local.
+  EXPECT_TRUE(info.needs_fft_transpose());
+}
+
+TEST(Decomp, SpeciesFirstLayoutSplitsDeep) {
+  // s=2 first: needs many dims to cover 128 ranks.
+  const auto info = decompose(Layout("sxyel"), paper_res(), 128);
+  EXPECT_GE(info.distributed.size(), 2u);
+  EXPECT_FALSE(info.s_local);
+}
+
+TEST(Decomp, VelocityOnlyLayoutAvoidsFftTranspose) {
+  // les covers: l*e = 320 >= 128 -> x,y local, FFT needs no transpose.
+  const auto info = decompose(Layout("lexys"), paper_res(), 128);
+  EXPECT_TRUE(info.x_local);
+  EXPECT_TRUE(info.y_local);
+  EXPECT_FALSE(info.needs_fft_transpose());
+  EXPECT_TRUE(info.needs_velocity_transpose());
+}
+
+TEST(Decomp, BadRankCountsThrow) {
+  EXPECT_THROW((void)decompose(Layout("lxyes"), paper_res(), 0),
+               std::invalid_argument);
+  Resolution tiny;
+  tiny.ntheta = 2;
+  tiny.negrid = 2;
+  tiny.ny = 2;
+  tiny.nl = 2;
+  tiny.ns = 2;
+  EXPECT_THROW((void)decompose(Layout("lxyes"), tiny, 1000),
+               std::invalid_argument);
+}
+
+TEST(Decomp, ImbalanceAlwaysAtLeastOne) {
+  for (const auto& layout : Layout::all()) {
+    const auto info = decompose(layout, paper_res(), 96);
+    EXPECT_GE(info.imbalance, 1.0) << layout.order();
+  }
+}
+
+TEST(Decomp, DistributedDimsAreLayoutPrefix) {
+  for (const auto& layout : Layout::all()) {
+    const auto info = decompose(layout, paper_res(), 48);
+    EXPECT_EQ(info.distributed,
+              layout.order().substr(0, info.distributed.size()))
+        << layout.order();
+  }
+}
+
+// Parameterized sweep over rank counts: the decomposition must cover the
+// rank count (product of distributed extents >= nranks) and stop as early
+// as possible (dropping the innermost distributed dim would fall short).
+class DecompCover : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecompCover, MinimalPrefix) {
+  const int nranks = GetParam();
+  const auto res = paper_res();
+  for (const auto& layout : {Layout("lxyes"), Layout("yxles"), Layout("exsyl")}) {
+    const auto info = decompose(layout, res, nranks);
+    long long product = 1;
+    for (const char d : info.distributed) product *= res.extent(d);
+    EXPECT_GE(product, nranks) << layout.order();
+    if (!info.distributed.empty()) {
+      long long without_last = product / res.extent(info.distributed.back());
+      EXPECT_LT(without_last, nranks) << layout.order();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DecompCover,
+                         ::testing::Values(2, 8, 16, 64, 128, 256, 480));
+
+}  // namespace

@@ -1,0 +1,199 @@
+#include "minigs2/gs2_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcluster/presets.hpp"
+
+namespace {
+
+using namespace minigs2;
+namespace presets = simcluster::presets;
+
+Resolution paper_res() {
+  Resolution r;
+  r.ntheta = 26;
+  r.negrid = 16;
+  return r;
+}
+
+TEST(Gs2Model, StepBreakdownSumsToTotal) {
+  const Gs2Model model;
+  const auto m = presets::seaborg(8, 16);
+  const auto rep =
+      model.step_time(m, 128, paper_res(), Layout("lxyes"), CollisionModel::None);
+  EXPECT_NEAR(rep.step_s,
+              rep.compute_s + rep.fft_comm_s + rep.velocity_comm_s +
+                  rep.collision_comm_s + rep.reduce_s,
+              1e-12);
+  EXPECT_GT(rep.compute_s, 0.0);
+}
+
+TEST(Gs2Model, TunedLayoutMuchFasterPerPaperFig5) {
+  // Paper: lxyes -> yxles was 3.4x faster (collisionless, 128 CPUs Seaborg).
+  const Gs2Model model;
+  const auto m = presets::seaborg(8, 16);
+  const double t_def =
+      model.run_time(m, 128, paper_res(), Layout("lxyes"), CollisionModel::None, 10);
+  const double t_tuned =
+      model.run_time(m, 128, paper_res(), Layout("yxles"), CollisionModel::None, 10);
+  const double speedup = t_def / t_tuned;
+  EXPECT_GT(speedup, 2.5);
+  EXPECT_LT(speedup, 4.5);
+}
+
+TEST(Gs2Model, CollisionSpeedupSmallerButReal) {
+  // Paper: 2.3x with the collision operator enabled.
+  const Gs2Model model;
+  const auto m = presets::seaborg(8, 16);
+  const double t_def = model.run_time(m, 128, paper_res(), Layout("lxyes"),
+                                      CollisionModel::Lorentz, 10);
+  const double t_tuned = model.run_time(m, 128, paper_res(), Layout("yxles"),
+                                        CollisionModel::Lorentz, 10);
+  const double speedup = t_def / t_tuned;
+  EXPECT_GT(speedup, 1.7);
+  EXPECT_LT(speedup, 3.2);
+  // And collision runs are slower than collisionless ones.
+  EXPECT_GT(t_def, model.run_time(m, 128, paper_res(), Layout("lxyes"),
+                                  CollisionModel::None, 10));
+}
+
+TEST(Gs2Model, YxelsEquivalentToYxles) {
+  // Both keep l,e local with the same distributed prefix; Fig. 5 shows them
+  // performing alike.
+  const Gs2Model model;
+  const auto m = presets::seaborg(16, 8);
+  const double a =
+      model.run_time(m, 128, paper_res(), Layout("yxles"), CollisionModel::None, 10);
+  const double b =
+      model.run_time(m, 128, paper_res(), Layout("yxels"), CollisionModel::None, 10);
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(Gs2Model, RunTimeIncludesInit) {
+  const Gs2Model model;
+  const auto m = presets::xeon_myrinet(16, 2);
+  const double t0 = model.init_time(m, 32, paper_res());
+  const double t10 =
+      model.run_time(m, 32, paper_res(), Layout("yxles"), CollisionModel::None, 10);
+  EXPECT_GT(t0, 0.0);
+  EXPECT_GT(t10, t0);
+}
+
+TEST(Gs2Model, PerStepCostConstant) {
+  const Gs2Model model;
+  const auto m = presets::xeon_myrinet(16, 2);
+  const auto res = paper_res();
+  const Layout l("yxles");
+  const double t10 = model.run_time(m, 32, res, l, CollisionModel::None, 10);
+  const double t1000 = model.run_time(m, 32, res, l, CollisionModel::None, 1000);
+  const double init = model.init_time(m, 32, res);
+  EXPECT_NEAR((t1000 - init) / (t10 - init), 100.0, 1.0);
+}
+
+TEST(Gs2Model, ResolutionScalesCompute) {
+  const Gs2Model model;
+  const auto m = presets::xeon_myrinet(16, 2);
+  Resolution lo = paper_res();
+  lo.negrid = 8;
+  const auto rep_lo =
+      model.step_time(m, 32, lo, Layout("yxles"), CollisionModel::None);
+  const auto rep_hi =
+      model.step_time(m, 32, paper_res(), Layout("yxles"), CollisionModel::None);
+  EXPECT_LT(rep_lo.compute_s, rep_hi.compute_s);
+}
+
+TEST(Gs2Model, MisalignedLayoutPaysComputePenalty) {
+  const Gs2Model model;
+  const auto m = presets::seaborg(8, 16);
+  const auto aligned =
+      model.step_time(m, 128, paper_res(), Layout("yxles"), CollisionModel::None);
+  const auto ragged =
+      model.step_time(m, 128, paper_res(), Layout("lxyes"), CollisionModel::None);
+  EXPECT_GT(ragged.compute_s, aligned.compute_s);
+  EXPECT_GT(ragged.imbalance, aligned.imbalance);
+}
+
+TEST(Gs2Model, VelocityTransposesOnlyWhenNeeded) {
+  const Gs2Model model;
+  const auto m = presets::seaborg(8, 16);
+  const auto good =
+      model.step_time(m, 128, paper_res(), Layout("yxles"), CollisionModel::None);
+  EXPECT_DOUBLE_EQ(good.velocity_comm_s, 0.0);
+  const auto bad =
+      model.step_time(m, 128, paper_res(), Layout("lxyes"), CollisionModel::None);
+  EXPECT_GT(bad.velocity_comm_s, 0.0);
+}
+
+TEST(Gs2Model, CollisionCommOnlyWithCollisionsAndBadLayout) {
+  const Gs2Model model;
+  const auto m = presets::seaborg(8, 16);
+  const auto no_coll =
+      model.step_time(m, 128, paper_res(), Layout("lxyes"), CollisionModel::None);
+  EXPECT_DOUBLE_EQ(no_coll.collision_comm_s, 0.0);
+  const auto coll = model.step_time(m, 128, paper_res(), Layout("lxyes"),
+                                    CollisionModel::Lorentz);
+  EXPECT_GT(coll.collision_comm_s, 0.0);
+  const auto coll_good = model.step_time(m, 128, paper_res(), Layout("yxles"),
+                                         CollisionModel::Lorentz);
+  EXPECT_DOUBLE_EQ(coll_good.collision_comm_s, 0.0);
+}
+
+TEST(Gs2Model, BadArgsThrow) {
+  const Gs2Model model;
+  const auto m = presets::seaborg(8, 16);
+  EXPECT_THROW((void)model.step_time(m, 0, paper_res(), Layout("lxyes"),
+                                     CollisionModel::None),
+               std::invalid_argument);
+  EXPECT_THROW((void)model.step_time(m, 999, paper_res(), Layout("lxyes"),
+                                     CollisionModel::None),
+               std::invalid_argument);
+  EXPECT_THROW((void)model.run_time(m, 128, paper_res(), Layout("lxyes"),
+                                    CollisionModel::None, 0),
+               std::invalid_argument);
+}
+
+TEST(Gs2Model, BestLayoutOfAllIsVelocityLocal) {
+  // Among all 120 layouts at 128 ranks, the winner must keep l,e local —
+  // matching the paper's conclusion that yxles/yxels class layouts win.
+  const Gs2Model model;
+  const auto m = presets::seaborg(8, 16);
+  double best = 1e300;
+  Layout best_layout("lxyes");
+  for (const auto& layout : Layout::all()) {
+    const double t =
+        model.run_time(m, 128, paper_res(), layout, CollisionModel::None, 10);
+    if (t < best) {
+      best = t;
+      best_layout = layout;
+    }
+  }
+  const auto info = decompose(best_layout, paper_res(), 128);
+  EXPECT_TRUE(info.l_local);
+  EXPECT_TRUE(info.e_local);
+}
+
+// Parameterized over the paper's Fig. 5 environments: the tuned layout must
+// beat the default everywhere.
+class Gs2Environments
+    : public ::testing::TestWithParam<std::tuple<std::string, int, int>> {};
+
+TEST_P(Gs2Environments, TunedBeatsDefault) {
+  const auto [kind, nodes, ppn] = GetParam();
+  const simcluster::Machine m = kind == "seaborg"
+                                    ? presets::seaborg(nodes, ppn)
+                                    : presets::xeon_myrinet(nodes, ppn);
+  const Gs2Model model;
+  const int ranks = nodes * ppn;
+  const double t_def =
+      model.run_time(m, ranks, paper_res(), Layout("lxyes"), CollisionModel::None, 10);
+  const double t_tuned =
+      model.run_time(m, ranks, paper_res(), Layout("yxles"), CollisionModel::None, 10);
+  EXPECT_LT(t_tuned, t_def);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperEnvironments, Gs2Environments,
+    ::testing::Values(std::tuple{"seaborg", 8, 16}, std::tuple{"seaborg", 16, 8},
+                      std::tuple{"seaborg", 32, 4}, std::tuple{"linux", 64, 2}));
+
+}  // namespace

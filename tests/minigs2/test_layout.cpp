@@ -1,0 +1,94 @@
+#include "minigs2/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using minigs2::Layout;
+using minigs2::Resolution;
+
+TEST(LayoutTest, ParsesValidPermutations) {
+  EXPECT_NO_THROW(Layout("lxyes"));
+  EXPECT_NO_THROW(Layout("yxles"));
+  EXPECT_NO_THROW(Layout("yxels"));
+  EXPECT_NO_THROW(Layout("sxyel"));
+}
+
+TEST(LayoutTest, RejectsInvalidStrings) {
+  EXPECT_THROW(Layout("xxles"), std::invalid_argument);  // repeated dim
+  EXPECT_THROW(Layout("lxye"), std::invalid_argument);   // too short
+  EXPECT_THROW(Layout("lxyesz"), std::invalid_argument); // too long
+  EXPECT_THROW(Layout("abcde"), std::invalid_argument);  // wrong chars
+  EXPECT_THROW(Layout(""), std::invalid_argument);
+}
+
+TEST(LayoutTest, OrderAccessors) {
+  const Layout l("yxles");
+  EXPECT_EQ(l.order(), "yxles");
+  EXPECT_EQ(l.dim(0), 'y');
+  EXPECT_EQ(l.dim(4), 's');
+  EXPECT_EQ(l.position('y'), 0u);
+  EXPECT_EQ(l.position('s'), 4u);
+}
+
+TEST(LayoutTest, PositionUnknownDimThrows) {
+  const Layout l("yxles");
+  EXPECT_THROW((void)l.position('q'), std::invalid_argument);
+}
+
+TEST(LayoutTest, Equality) {
+  EXPECT_EQ(Layout("lxyes"), Layout("lxyes"));
+  EXPECT_NE(Layout("lxyes"), Layout("yxles"));
+}
+
+TEST(LayoutTest, AllEnumerates120Permutations) {
+  const auto all = Layout::all();
+  EXPECT_EQ(all.size(), 120u);
+  std::set<std::string> unique;
+  for (const auto& l : all) unique.insert(l.order());
+  EXPECT_EQ(unique.size(), 120u);
+}
+
+TEST(LayoutTest, DefaultIsPaperDefault) {
+  EXPECT_EQ(Layout::default_layout().order(), "lxyes");
+}
+
+TEST(ResolutionTest, ExtentByDim) {
+  Resolution r;
+  r.ntheta = 26;
+  r.negrid = 16;
+  EXPECT_EQ(r.extent('x'), 26);
+  EXPECT_EQ(r.extent('e'), 16);
+  EXPECT_EQ(r.extent('y'), r.ny);
+  EXPECT_EQ(r.extent('l'), r.nl);
+  EXPECT_EQ(r.extent('s'), r.ns);
+}
+
+TEST(ResolutionTest, ExtentUnknownDimThrows) {
+  Resolution r;
+  EXPECT_THROW((void)r.extent('q'), std::invalid_argument);
+}
+
+TEST(ResolutionTest, TotalPointsProduct) {
+  Resolution r;
+  r.ntheta = 10;
+  r.negrid = 8;
+  r.ny = 4;
+  r.nl = 3;
+  r.ns = 2;
+  EXPECT_EQ(r.total_points(), 10LL * 8 * 4 * 3 * 2);
+}
+
+TEST(ResolutionTest, ResolutionKnobsScaleMesh) {
+  Resolution lo;
+  lo.ntheta = 16;
+  lo.negrid = 8;
+  Resolution hi;
+  hi.ntheta = 32;
+  hi.negrid = 16;
+  EXPECT_EQ(hi.total_points(), 4 * lo.total_points());
+}
+
+}  // namespace

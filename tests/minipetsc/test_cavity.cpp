@@ -1,0 +1,122 @@
+#include "minipetsc/cavity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace minipetsc;
+
+TEST(Cavity, Indexing) {
+  CavityProblem p;
+  p.nx = 5;
+  p.ny = 4;
+  EXPECT_EQ(p.unknowns(), 40);
+  EXPECT_EQ(p.psi_index(0, 0), 0);
+  EXPECT_EQ(p.omega_index(0, 0), 1);
+  EXPECT_EQ(p.psi_index(4, 3), 2 * 19);
+}
+
+TEST(Cavity, ResidualZeroStateHasLidForcing) {
+  CavityProblem p;
+  p.nx = 7;
+  p.ny = 7;
+  const auto F = p.residual();
+  Vec f;
+  F(p.initial_guess(), f);
+  // At rest everything vanishes except the moving-lid wall vorticity rows.
+  double lid_residual = 0.0;
+  for (int i = 1; i < p.nx - 1; ++i) {
+    lid_residual += std::abs(f[static_cast<std::size_t>(p.omega_index(i, p.ny - 1))]);
+  }
+  EXPECT_GT(lid_residual, 0.0);
+  // Interior psi equations are satisfied by the zero state.
+  EXPECT_DOUBLE_EQ(f[static_cast<std::size_t>(p.psi_index(3, 3))], 0.0);
+}
+
+TEST(Cavity, ResidualSizeMismatchThrows) {
+  CavityProblem p;
+  const auto F = p.residual();
+  Vec f;
+  Vec wrong(3, 0.0);
+  EXPECT_THROW(F(wrong, f), std::invalid_argument);
+}
+
+TEST(Cavity, BadParametersThrow) {
+  CavityProblem p;
+  p.nx = 2;
+  EXPECT_THROW((void)p.residual(), std::invalid_argument);
+  p.nx = 17;
+  p.reynolds = 0.0;
+  EXPECT_THROW((void)p.residual(), std::invalid_argument);
+}
+
+TEST(Cavity, NewtonSolvesSmallCavity) {
+  CavityProblem p;
+  p.nx = 9;
+  p.ny = 9;
+  p.reynolds = 10.0;
+  Vec x = p.initial_guess();
+  SnesOptions opts;
+  opts.rtol = 1e-8;
+  opts.max_iterations = 30;
+  opts.ksp.max_iterations = 2000;
+  const auto res = newton_solve(p.residual(), x, opts);
+  EXPECT_TRUE(res.converged) << "residual " << res.residual_norm;
+}
+
+TEST(Cavity, SolutionHasRecirculation) {
+  CavityProblem p;
+  p.nx = 11;
+  p.ny = 11;
+  p.reynolds = 10.0;
+  Vec x = p.initial_guess();
+  SnesOptions opts;
+  opts.max_iterations = 40;
+  opts.ksp.max_iterations = 3000;
+  const auto res = newton_solve(p.residual(), x, opts);
+  ASSERT_TRUE(res.converged);
+  const Vec psi = p.psi_field(x);
+  // The lid-driven cavity's primary vortex gives psi one dominant sign in
+  // the interior and |psi| peaks away from walls.
+  double min_psi = 0.0;
+  double max_psi = 0.0;
+  for (const double v : psi) {
+    min_psi = std::min(min_psi, v);
+    max_psi = std::max(max_psi, v);
+  }
+  EXPECT_GT(std::max(std::abs(min_psi), std::abs(max_psi)), 1e-4);
+  // Wall psi must be ~0 (boundary condition).
+  for (int i = 0; i < p.nx; ++i) {
+    EXPECT_NEAR(psi[static_cast<std::size_t>(i)], 0.0, 1e-8);
+  }
+}
+
+TEST(Cavity, HigherReynoldsStillSolvable) {
+  CavityProblem p;
+  p.nx = 9;
+  p.ny = 9;
+  p.reynolds = 50.0;
+  Vec x = p.initial_guess();
+  SnesOptions opts;
+  opts.max_iterations = 60;
+  opts.ksp.max_iterations = 3000;
+  const auto res = newton_solve(p.residual(), x, opts);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Cavity, PsiFieldExtraction) {
+  CavityProblem p;
+  p.nx = 3;
+  p.ny = 3;
+  Vec state(static_cast<std::size_t>(p.unknowns()), 0.0);
+  state[static_cast<std::size_t>(p.psi_index(1, 1))] = 7.0;
+  state[static_cast<std::size_t>(p.omega_index(1, 1))] = -3.0;
+  const Vec psi = p.psi_field(state);
+  EXPECT_EQ(psi.size(), 9u);
+  EXPECT_DOUBLE_EQ(psi[4], 7.0);
+  EXPECT_DOUBLE_EQ(psi[0], 0.0);
+}
+
+}  // namespace

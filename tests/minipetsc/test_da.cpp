@@ -1,0 +1,86 @@
+#include "minipetsc/da.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+namespace {
+
+using minipetsc::Da2D;
+
+TEST(Da2D, EvenStripsCoverGrid) {
+  const auto da = Da2D::even_strips(50, 50, 4);
+  EXPECT_EQ(da.nranks(), 4);
+  int rows = 0;
+  for (int r = 0; r < 4; ++r) {
+    const auto [lo, hi] = da.row_range(r);
+    rows += hi - lo;
+  }
+  EXPECT_EQ(rows, 50);
+}
+
+TEST(Da2D, EvenStripsBalanced) {
+  const auto da = Da2D::even_strips(10, 100, 4);
+  for (int r = 0; r < 4; ++r) {
+    const auto [lo, hi] = da.row_range(r);
+    EXPECT_EQ(hi - lo, 25);
+  }
+}
+
+TEST(Da2D, PointsPerRank) {
+  const auto da = Da2D::from_cuts(10, 20, {5, 15});
+  EXPECT_EQ(da.points_per_rank(), (std::vector<int>{50, 100, 50}));
+}
+
+TEST(Da2D, OwnerOfRow) {
+  const auto da = Da2D::from_cuts(10, 20, {5, 15});
+  EXPECT_EQ(da.owner_of_row(0), 0);
+  EXPECT_EQ(da.owner_of_row(4), 0);
+  EXPECT_EQ(da.owner_of_row(5), 1);
+  EXPECT_EQ(da.owner_of_row(14), 1);
+  EXPECT_EQ(da.owner_of_row(15), 2);
+  EXPECT_EQ(da.owner_of_row(19), 2);
+}
+
+TEST(Da2D, HaloIsOneGridRow) {
+  const auto da = Da2D::even_strips(37, 40, 4);
+  EXPECT_EQ(da.halo_values_per_exchange(), 37);
+}
+
+TEST(Da2D, SingleRankNoCuts) {
+  const auto da = Da2D::even_strips(5, 5, 1);
+  EXPECT_EQ(da.nranks(), 1);
+  EXPECT_EQ(da.row_range(0), (std::pair<int, int>{0, 5}));
+}
+
+TEST(Da2D, InvalidCutsThrow) {
+  EXPECT_THROW((void)Da2D::from_cuts(10, 20, {15, 5}), std::invalid_argument);
+  EXPECT_THROW((void)Da2D::from_cuts(10, 20, {0}), std::invalid_argument);
+  EXPECT_THROW((void)Da2D::from_cuts(10, 20, {20}), std::invalid_argument);
+  EXPECT_THROW((void)Da2D::from_cuts(10, 20, {5, 5}), std::invalid_argument);
+}
+
+TEST(Da2D, BadShapeThrows) {
+  EXPECT_THROW((void)Da2D::from_cuts(0, 20, {}), std::invalid_argument);
+  EXPECT_THROW((void)Da2D::even_strips(10, 3, 4), std::invalid_argument);
+}
+
+TEST(Da2D, RowRangeOutOfBoundsThrows) {
+  const auto da = Da2D::even_strips(5, 8, 2);
+  EXPECT_THROW((void)da.row_range(2), std::out_of_range);
+  EXPECT_THROW((void)da.owner_of_row(8), std::out_of_range);
+}
+
+TEST(Da2D, PaperSearchSpaceSize) {
+  // 40,000 points as 200x200, 32 strips: the tunables are 31 ordered cut
+  // rows from 199 positions -> C(199,31) ~ O(10^36), the paper's figure.
+  const auto da = Da2D::even_strips(200, 200, 32);
+  EXPECT_EQ(da.cuts().size(), 31u);
+  double log10_space = 0.0;
+  for (int i = 0; i < 31; ++i) {
+    log10_space += std::log10(199.0 - i) - std::log10(i + 1.0);
+  }
+  EXPECT_GT(log10_space, 34.0);
+  EXPECT_LT(log10_space, 40.0);
+}
+
+}  // namespace

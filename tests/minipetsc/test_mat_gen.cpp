@@ -1,0 +1,138 @@
+#include "minipetsc/mat_gen.hpp"
+#include "minipetsc/ksp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace minipetsc;
+
+TEST(MatGen, Laplacian1dStructure) {
+  const auto m = laplacian1d(5);
+  EXPECT_EQ(m.rows(), 5);
+  EXPECT_EQ(m.nnz(), 5 + 2 * 4);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(MatGen, Laplacian2dStructure) {
+  const auto m = laplacian2d(3, 3);
+  EXPECT_EQ(m.rows(), 9);
+  EXPECT_DOUBLE_EQ(m.at(4, 4), 4.0);  // center point
+  EXPECT_DOUBLE_EQ(m.at(4, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(4, 3), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 8), 0.0);
+  EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(MatGen, Laplacian2dRowSumsNonNegative) {
+  // Diagonally dominant: row sums >= 0 with equality only in the interior.
+  const auto m = laplacian2d(4, 4);
+  for (int r = 0; r < m.rows(); ++r) {
+    double sum = 0;
+    for (int c = 0; c < m.cols(); ++c) sum += m.at(r, c);
+    EXPECT_GE(sum, 0.0);
+  }
+}
+
+TEST(MatGen, LaplacianBadShapesThrow) {
+  EXPECT_THROW((void)laplacian2d(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)laplacian1d(0), std::invalid_argument);
+}
+
+TEST(MatGen, DenseBlockMatrixShape) {
+  const auto m = dense_block_matrix({3, 2, 4});
+  EXPECT_EQ(m.rows(), 9);
+  EXPECT_TRUE(m.is_symmetric(1e-9));
+}
+
+TEST(MatGen, DenseBlocksAreDense) {
+  const auto m = dense_block_matrix({3, 3}, 0.1);
+  // Inside the first block every entry is nonzero.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_NE(m.at(i, j), 0.0);
+  }
+  // Across blocks only the tridiagonal coupling exists.
+  EXPECT_DOUBLE_EQ(m.at(0, 5), 0.0);
+  EXPECT_NE(m.at(2, 3), 0.0);  // boundary coupling
+}
+
+TEST(MatGen, DenseBlockCouplingStrength) {
+  const auto m = dense_block_matrix({2, 2}, 0.25);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), -0.25);
+}
+
+TEST(MatGen, DenseBlockBadArgsThrow) {
+  EXPECT_THROW((void)dense_block_matrix({}), std::invalid_argument);
+  EXPECT_THROW((void)dense_block_matrix({3, 0}), std::invalid_argument);
+}
+
+TEST(MatGen, RandomSpdIsSymmetric) {
+  const auto m = random_spd(50, 4, 123);
+  EXPECT_TRUE(m.is_symmetric(1e-12));
+}
+
+TEST(MatGen, RandomSpdIsDiagonallyDominant) {
+  const auto m = random_spd(40, 3, 7);
+  for (int r = 0; r < m.rows(); ++r) {
+    double off = 0;
+    for (int c = 0; c < m.cols(); ++c) {
+      if (c != r) off += std::abs(m.at(r, c));
+    }
+    EXPECT_GT(m.at(r, r), off);
+  }
+}
+
+TEST(MatGen, RandomSpdDeterministicPerSeed) {
+  const auto a = random_spd(20, 3, 5);
+  const auto b = random_spd(20, 3, 5);
+  EXPECT_EQ(a.nnz(), b.nnz());
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), b.frobenius_norm());
+  const auto c = random_spd(20, 3, 6);
+  EXPECT_NE(a.frobenius_norm(), c.frobenius_norm());
+}
+
+TEST(MatGen, VariableBandSymmetricSpdShape) {
+  const auto m = variable_band_spd(200, 3, 40);
+  EXPECT_EQ(m.rows(), 200);
+  EXPECT_TRUE(m.is_symmetric(1e-12));
+  // Diagonally dominant by construction.
+  for (int r = 0; r < m.rows(); r += 17) {
+    double off = 0;
+    for (int c = 0; c < m.cols(); ++c) {
+      if (c != r) off += std::abs(m.at(r, c));
+    }
+    EXPECT_GT(m.at(r, r), off);
+  }
+}
+
+TEST(MatGen, VariableBandDensityPeaksInMiddle) {
+  const auto m = variable_band_spd(400, 4, 80);
+  const auto row_nnz = [&](int lo, int hi) { return m.nnz_in_rows(lo, hi); };
+  // Middle rows are much denser than edge rows.
+  EXPECT_GT(row_nnz(180, 220), 2 * row_nnz(0, 40));
+  EXPECT_GT(row_nnz(180, 220), 2 * row_nnz(360, 400));
+}
+
+TEST(MatGen, VariableBandCgSolvable) {
+  const auto m = variable_band_spd(300, 3, 30);
+  Vec b(300, 1.0);
+  Vec x;
+  PcJacobi pc(m);
+  const auto res = cg_solve(m, b, x, pc);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(MatGen, VariableBandBadArgsThrow) {
+  EXPECT_THROW((void)variable_band_spd(0, 1, 2), std::invalid_argument);
+  EXPECT_THROW((void)variable_band_spd(10, 0, 2), std::invalid_argument);
+  EXPECT_THROW((void)variable_band_spd(10, 5, 2), std::invalid_argument);
+}
+
+TEST(MatGen, RandomSpdBadArgsThrow) {
+  EXPECT_THROW((void)random_spd(0, 3, 1), std::invalid_argument);
+  EXPECT_THROW((void)random_spd(5, -1, 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+#include "minipetsc/pc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minipetsc/mat_gen.hpp"
+
+namespace {
+
+using namespace minipetsc;
+
+TEST(DenseLuTest, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  DenseLu lu({2, 1, 1, 3}, 2);
+  std::vector<double> b{5, 10};
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(DenseLuTest, PivotingHandlesZeroLeadingEntry) {
+  // [0 1; 1 0] requires a row swap.
+  DenseLu lu({0, 1, 1, 0}, 2);
+  std::vector<double> b{3, 7};
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 7.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(DenseLuTest, SingularThrows) {
+  EXPECT_THROW(DenseLu({1, 2, 2, 4}, 2), std::runtime_error);
+}
+
+TEST(DenseLuTest, BadShapeThrows) {
+  EXPECT_THROW(DenseLu({1, 2, 3}, 2), std::invalid_argument);
+  EXPECT_THROW(DenseLu({}, 0), std::invalid_argument);
+}
+
+TEST(DenseLuTest, SolveSizeMismatchThrows) {
+  DenseLu lu({1, 0, 0, 1}, 2);
+  std::vector<double> b{1};
+  EXPECT_THROW(lu.solve(b), std::invalid_argument);
+}
+
+TEST(DenseLuTest, LargerRandomRoundtrip) {
+  const int n = 12;
+  const auto A = random_spd(n, 4, 77);
+  std::vector<double> dense(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) dense[static_cast<std::size_t>(i) * n + j] = A.at(i, j);
+  }
+  DenseLu lu(std::move(dense), n);
+  // b = A * ones -> solve should return ones.
+  Vec ones(static_cast<std::size_t>(n), 1.0);
+  Vec b;
+  A.multiply(ones, b);
+  lu.solve(b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(b[static_cast<std::size_t>(i)], 1.0, 1e-9);
+}
+
+TEST(PcNoneTest, IsIdentity) {
+  PcNone pc;
+  Vec z;
+  pc.apply(Vec{1, 2, 3}, z);
+  EXPECT_EQ(z, (Vec{1, 2, 3}));
+}
+
+TEST(PcJacobiTest, InvertsDiagonal) {
+  const auto A = CsrMatrix::from_triplets(2, 2, {{0, 0, 2.0}, {1, 1, 4.0}});
+  PcJacobi pc(A);
+  Vec z;
+  pc.apply(Vec{2, 4}, z);
+  EXPECT_EQ(z, (Vec{1, 1}));
+}
+
+TEST(PcJacobiTest, ZeroDiagonalThrows) {
+  const auto A = CsrMatrix::from_triplets(2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  EXPECT_THROW(PcJacobi pc(A), std::invalid_argument);
+}
+
+TEST(PcBlockJacobiTest, ExactOnBlockDiagonalMatrix) {
+  // With no coupling, block-Jacobi IS the inverse.
+  const auto A = dense_block_matrix({4, 4}, 0.0);
+  const auto part = RowPartition::even(8, 2);
+  PcBlockJacobi pc(A, part);
+  Vec x_true{1, -1, 2, -2, 3, -3, 4, -4};
+  Vec b;
+  A.multiply(x_true, b);
+  Vec z;
+  pc.apply(b, z);
+  for (std::size_t i = 0; i < z.size(); ++i) EXPECT_NEAR(z[i], x_true[i], 1e-10);
+}
+
+TEST(PcBlockJacobiTest, MatchesJacobiForUnitBlocks) {
+  const auto A = laplacian1d(6);
+  const auto part = RowPartition::even(6, 6);  // 1 row per block
+  PcBlockJacobi bj(A, part);
+  PcJacobi j(A);
+  Vec r{1, 2, 3, 4, 5, 6};
+  Vec z1;
+  Vec z2;
+  bj.apply(r, z1);
+  j.apply(r, z2);
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_NEAR(z1[i], z2[i], 1e-12);
+}
+
+TEST(PcBlockJacobiTest, SizeMismatchThrows) {
+  const auto A = laplacian1d(6);
+  const auto part = RowPartition::even(8, 2);
+  EXPECT_THROW(PcBlockJacobi(A, part), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+#include "minipetsc/snes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace minipetsc;
+
+TEST(Snes, SolvesScalarQuadratic) {
+  // F(x) = x^2 - 4 = 0, root at 2 (starting right of the root).
+  const ResidualFn F = [](const Vec& x, Vec& f) {
+    f.resize(1);
+    f[0] = x[0] * x[0] - 4.0;
+  };
+  Vec x{5.0};
+  const auto res = newton_solve(F, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(x[0], 2.0, 1e-6);
+  EXPECT_GT(res.iterations, 0);
+}
+
+TEST(Snes, SolvesCoupled2x2System) {
+  // x^2 + y^2 = 2, x - y = 0 -> (1, 1) from a nearby start.
+  const ResidualFn F = [](const Vec& v, Vec& f) {
+    f.resize(2);
+    f[0] = v[0] * v[0] + v[1] * v[1] - 2.0;
+    f[1] = v[0] - v[1];
+  };
+  Vec x{2.0, 0.5};
+  const auto res = newton_solve(F, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(x[0], 1.0, 1e-6);
+  EXPECT_NEAR(x[1], 1.0, 1e-6);
+}
+
+TEST(Snes, LinearSystemConvergesInOneStep) {
+  const ResidualFn F = [](const Vec& v, Vec& f) {
+    f.resize(2);
+    f[0] = 2.0 * v[0] - 6.0;
+    f[1] = 3.0 * v[1] + 9.0;
+  };
+  Vec x{0.0, 0.0};
+  const auto res = newton_solve(F, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 2);
+  EXPECT_NEAR(x[0], 3.0, 1e-7);
+  EXPECT_NEAR(x[1], -3.0, 1e-7);
+}
+
+TEST(Snes, AlreadyConvergedReturnsImmediately) {
+  const ResidualFn F = [](const Vec& v, Vec& f) {
+    f.resize(1);
+    f[0] = v[0];
+  };
+  Vec x{0.0};
+  const auto res = newton_solve(F, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(Snes, LineSearchDampsOvershoot) {
+  // atan has a famous Newton overshoot; the backtracking line search must
+  // rescue convergence from x0 = 2 (plain Newton diverges there).
+  const ResidualFn F = [](const Vec& v, Vec& f) {
+    f.resize(1);
+    f[0] = std::atan(v[0]);
+  };
+  Vec x{2.0};
+  const auto res = newton_solve(F, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(x[0], 0.0, 1e-6);
+}
+
+TEST(Snes, ExponentialSystem) {
+  // e^x - 2 = 0 -> x = ln 2.
+  const ResidualFn F = [](const Vec& v, Vec& f) {
+    f.resize(1);
+    f[0] = std::exp(v[0]) - 2.0;
+  };
+  Vec x{3.0};
+  const auto res = newton_solve(F, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(x[0], std::log(2.0), 1e-7);
+}
+
+TEST(Snes, ReportsWorkCounters) {
+  const ResidualFn F = [](const Vec& v, Vec& f) {
+    f.resize(1);
+    f[0] = v[0] * v[0] * v[0] - 8.0;
+  };
+  Vec x{5.0};
+  const auto res = newton_solve(F, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.total_ksp_iterations, 0);
+  EXPECT_GT(res.residual_evaluations, res.iterations);
+}
+
+TEST(Snes, MaxIterationsRespected) {
+  const ResidualFn F = [](const Vec& v, Vec& f) {
+    f.resize(1);
+    f[0] = std::exp(v[0]) - 1e-30;  // root far away at ~-69
+  };
+  Vec x{10.0};
+  SnesOptions opts;
+  opts.max_iterations = 2;
+  const auto res = newton_solve(F, x, opts);
+  EXPECT_FALSE(res.converged);
+  EXPECT_LE(res.iterations, 2);
+}
+
+TEST(Snes, NullResidualThrows) {
+  Vec x{1.0};
+  EXPECT_THROW((void)newton_solve(nullptr, x), std::invalid_argument);
+}
+
+TEST(Snes, StagnationReportedHonestly) {
+  // |x| has no smooth root crossing at the minimum of ||F||; Newton with
+  // line search stalls and must say so.
+  const ResidualFn F = [](const Vec& v, Vec& f) {
+    f.resize(1);
+    f[0] = std::abs(v[0]) + 1.0;  // never zero
+  };
+  Vec x{1.0};
+  SnesOptions opts;
+  opts.max_iterations = 10;
+  const auto res = newton_solve(F, x, opts);
+  EXPECT_FALSE(res.converged);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+#include "minipetsc/vec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace minipetsc;
+
+TEST(Vec, Axpy) {
+  Vec x{1, 2, 3};
+  Vec y{10, 20, 30};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (Vec{12, 24, 36}));
+}
+
+TEST(Vec, AxpySizeMismatchThrows) {
+  Vec x{1};
+  Vec y{1, 2};
+  EXPECT_THROW(axpy(1.0, x, y), std::invalid_argument);
+}
+
+TEST(Vec, Aypx) {
+  Vec x{1, 1};
+  Vec y{2, 4};
+  aypx(3.0, x, y);  // y = x + 3y
+  EXPECT_EQ(y, (Vec{7, 13}));
+}
+
+TEST(Vec, Waxpy) {
+  Vec x{1, 2};
+  Vec y{10, 10};
+  Vec w;
+  waxpy(w, -1.0, x, y);
+  EXPECT_EQ(w, (Vec{9, 8}));
+}
+
+TEST(Vec, Dot) {
+  EXPECT_DOUBLE_EQ(dot(Vec{1, 2, 3}, Vec{4, 5, 6}), 32.0);
+}
+
+TEST(Vec, DotMismatchThrows) {
+  EXPECT_THROW((void)dot(Vec{1}, Vec{1, 2}), std::invalid_argument);
+}
+
+TEST(Vec, Norm2) {
+  EXPECT_DOUBLE_EQ(norm2(Vec{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm2(Vec{}), 0.0);
+}
+
+TEST(Vec, NormInf) {
+  EXPECT_DOUBLE_EQ(norm_inf(Vec{1, -7, 3}), 7.0);
+}
+
+TEST(Vec, Scale) {
+  Vec v{1, -2};
+  scale(v, -2.0);
+  EXPECT_EQ(v, (Vec{-2, 4}));
+}
+
+TEST(Vec, SetAll) {
+  Vec v(3, 0.0);
+  set_all(v, 1.5);
+  EXPECT_EQ(v, (Vec{1.5, 1.5, 1.5}));
+}
+
+TEST(Vec, PointwiseMult) {
+  Vec v{2, 3};
+  pointwise_mult(v, Vec{4, 5});
+  EXPECT_EQ(v, (Vec{8, 15}));
+}
+
+TEST(Vec, PointwiseMismatchThrows) {
+  Vec v{1};
+  EXPECT_THROW(pointwise_mult(v, Vec{1, 2}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+#include "minipop/io_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using minipop::IoModel;
+
+TEST(IoModel, WriteTimePositive) {
+  const IoModel io;
+  EXPECT_GT(io.write_time(1e8, 1, 32), 0.0);
+}
+
+TEST(IoModel, ConvexInTaskCount) {
+  // t(n) must fall, bottom out, then rise: the Table I/II tradeoff.
+  const IoModel io;
+  const double volume = 3.4e8;
+  const double t1 = io.write_time(volume, 1, 480);
+  const double topt = io.write_time(volume, io.optimal_tasks(volume, 480), 480);
+  const double t480 = io.write_time(volume, 480, 480);
+  EXPECT_LT(topt, t1);
+  EXPECT_LT(topt, t480);
+}
+
+TEST(IoModel, OptimalTasksMatchesScan) {
+  const IoModel io;
+  const double volume = 3.4e8;
+  const int n_star = io.optimal_tasks(volume, 64);
+  double best = 1e300;
+  int best_n = 0;
+  for (int n = 1; n <= 64; ++n) {
+    const double t = io.write_time(volume, n, 64);
+    if (t < best) {
+      best = t;
+      best_n = n;
+    }
+  }
+  EXPECT_NEAR(n_star, best_n, 1);
+}
+
+TEST(IoModel, PaperScaleOptimumIsSingleDigit) {
+  // Table II settles on num_iotasks = 4 for the 32-rank Hockney run; our
+  // calibration should land in that neighborhood for a history-file volume.
+  const IoModel io;
+  const double volume = 3600.0 * 2400.0 * 8.0 * 5.0;  // 5 surface fields
+  const int n = io.optimal_tasks(volume, 32);
+  EXPECT_GE(n, 2);
+  EXPECT_LE(n, 12);
+}
+
+TEST(IoModel, MoreRanksAllowLargerOptimum) {
+  const IoModel io;
+  const double volume = 5e9;
+  EXPECT_GE(io.optimal_tasks(volume, 480), io.optimal_tasks(volume, 8));
+}
+
+TEST(IoModel, TasksCappedByRanks) {
+  const IoModel io;
+  // Requesting more tasks than ranks behaves like nranks tasks.
+  EXPECT_DOUBLE_EQ(io.write_time(1e8, 64, 16), io.write_time(1e8, 16, 16));
+}
+
+TEST(IoModel, ZeroVolumeStillHasOverhead) {
+  const IoModel io;
+  EXPECT_GT(io.write_time(0.0, 1, 4), 0.0);
+  EXPECT_EQ(io.optimal_tasks(0.0, 4), 1);
+}
+
+TEST(IoModel, BadArgsThrow) {
+  const IoModel io;
+  EXPECT_THROW((void)io.write_time(-1.0, 1, 4), std::invalid_argument);
+  EXPECT_THROW((void)io.write_time(1.0, 0, 4), std::invalid_argument);
+  EXPECT_THROW((void)io.write_time(1.0, 1, 0), std::invalid_argument);
+}
+
+TEST(IoModel, VolumeMonotone) {
+  const IoModel io;
+  EXPECT_LT(io.write_time(1e6, 4, 32), io.write_time(1e9, 4, 32));
+}
+
+}  // namespace

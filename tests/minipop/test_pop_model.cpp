@@ -1,0 +1,163 @@
+#include "minipop/pop_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcluster/presets.hpp"
+
+namespace {
+
+using namespace minipop;
+using simcluster::Machine;
+namespace presets = simcluster::presets;
+
+const PopGrid& grid() {
+  static const PopGrid g = PopGrid::production();
+  return g;
+}
+
+PhaseMultipliers defaults_mult() {
+  const auto space = make_param_space(32);
+  return evaluate_multipliers(space, default_config(space));
+}
+
+TEST(PopModel, StepBreakdownSumsToTotal) {
+  const PopModel model(grid());
+  const auto m = presets::nersc_sp3(30, 16);
+  const auto rep = model.step_time(m, 16, {180, 100}, defaults_mult());
+  EXPECT_NEAR(rep.total_s,
+              rep.baroclinic_s + rep.halo_s + rep.barotropic_s + rep.forcing_s +
+                  rep.io_s,
+              1e-12);
+  EXPECT_GT(rep.baroclinic_s, 0.0);
+  EXPECT_GT(rep.halo_s, 0.0);
+  EXPECT_GT(rep.barotropic_s, 0.0);
+  EXPECT_GE(rep.imbalance, 1.0);
+}
+
+TEST(PopModel, TunedParametersFasterThanDefaults) {
+  const PopModel model(grid());
+  const auto m = presets::hockney(8, 4);
+  const auto space = make_param_space(32);
+  auto tuned_cfg = default_config(space);
+  // Apply the paper's Table II tuned values.
+  space.set(tuned_cfg, "num_iotasks", std::int64_t{4});
+  space.set(tuned_cfg, "hmix_momentum_choice", std::string("del2"));
+  space.set(tuned_cfg, "hmix_tracer_choice", std::string("del2"));
+  space.set(tuned_cfg, "kappa_choice", std::string("variable"));
+  space.set(tuned_cfg, "slope_control_choice", std::string("clip"));
+  space.set(tuned_cfg, "hmix_alignment_choice", std::string("grid"));
+  space.set(tuned_cfg, "state_choice", std::string("linear"));
+  space.set(tuned_cfg, "state_range_opt", std::string("enforce"));
+  space.set(tuned_cfg, "ws_interp_type", std::string("4point"));
+  space.set(tuned_cfg, "shf_interp_type", std::string("4point"));
+  space.set(tuned_cfg, "sfwf_interp_type", std::string("4point"));
+  space.set(tuned_cfg, "ap_interp_type", std::string("4point"));
+  const auto tuned = evaluate_multipliers(space, tuned_cfg);
+
+  const double t_def = model.step_time(m, 4, {180, 100}, defaults_mult()).total_s;
+  const double t_tuned = model.step_time(m, 4, {180, 100}, tuned).total_s;
+  const double improvement = (t_def - t_tuned) / t_def;
+  // Paper: 16.7% after full tuning on this machine class.
+  EXPECT_GT(improvement, 0.10);
+  EXPECT_LT(improvement, 0.30);
+}
+
+TEST(PopModel, WorseMultiplierSlowsStep) {
+  const PopModel model(grid());
+  const auto m = presets::nersc_sp3(30, 16);
+  PhaseMultipliers a = defaults_mult();
+  PhaseMultipliers b = a;
+  b.tracer *= 1.2;
+  EXPECT_LT(model.step_time(m, 16, {180, 100}, a).total_s,
+            model.step_time(m, 16, {180, 100}, b).total_s);
+}
+
+TEST(PopModel, FewerCpusPerNodeIsSlower) {
+  // Fig. 4's bars rise as CPUs/node falls (more inter-node halo traffic).
+  const PopModel model(grid());
+  const auto mult = defaults_mult();
+  const double t16 =
+      model.step_time(presets::nersc_sp3(30, 16), 16, {180, 100}, mult).total_s;
+  const double t2 =
+      model.step_time(presets::nersc_sp3(240, 2), 2, {180, 100}, mult).total_s;
+  EXPECT_GT(t2, t16);
+}
+
+TEST(PopModel, BlockSizeMatters) {
+  const PopModel model(grid());
+  const auto m = presets::nersc_sp3(60, 8);
+  const auto mult = defaults_mult();
+  const double t_default = model.step_time(m, 8, {180, 100}, mult).total_s;
+  double best = 1e300;
+  for (const int bx : {90, 120, 144, 180, 240, 360}) {
+    for (const int by : {48, 60, 96, 100, 120, 150}) {
+      best = std::min(best, model.step_time(m, 8, {bx, by}, mult).total_s);
+    }
+  }
+  EXPECT_LT(best, t_default);  // the default is not optimal
+}
+
+TEST(PopModel, DistributionPolicyAffectsTime) {
+  const PopModel model(grid());
+  const auto m = presets::nersc_sp3(60, 8);
+  const auto mult = defaults_mult();
+  const double cart =
+      model.step_time(m, 8, {90, 50}, mult, Distribution::Cartesian).total_s;
+  const double rr =
+      model.step_time(m, 8, {90, 50}, mult, Distribution::RoundRobin).total_s;
+  EXPECT_NE(cart, rr);
+}
+
+TEST(PopModel, RunTimeScalesWithSteps) {
+  const PopModel model(grid());
+  const auto m = presets::hockney(8, 4);
+  const auto mult = defaults_mult();
+  const double t1 = model.run_time(m, 4, {180, 100}, mult, 1);
+  const double t20 = model.run_time(m, 4, {180, 100}, mult, 20);
+  EXPECT_NEAR(t20, 20.0 * t1, 1e-9);
+}
+
+TEST(PopModel, MoreIoTasksHelpInitially) {
+  const PopModel model(grid());
+  const auto m = presets::hockney(8, 4);
+  PhaseMultipliers one = defaults_mult();
+  PhaseMultipliers four = one;
+  four.num_iotasks = 4;
+  EXPECT_LT(model.step_time(m, 4, {180, 100}, four).io_s,
+            model.step_time(m, 4, {180, 100}, one).io_s);
+}
+
+TEST(PopModel, BadArgsThrow) {
+  const PopModel model(grid());
+  const auto m = presets::hockney(8, 4);
+  EXPECT_THROW((void)model.step_time(m, 0, {180, 100}, defaults_mult()),
+               std::invalid_argument);
+  EXPECT_THROW((void)model.run_time(m, 4, {180, 100}, defaults_mult(), 0),
+               std::invalid_argument);
+}
+
+// Parameterized over the paper's six topologies: every topology must show a
+// block size at least a few percent better than the 180x100 default.
+class PopTopology : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PopTopology, DefaultBlockIsImprovable) {
+  const auto [nodes, ppn] = GetParam();
+  const PopModel model(grid());
+  const auto m = presets::nersc_sp3(nodes, ppn);
+  const auto mult = defaults_mult();
+  const double t_default = model.step_time(m, ppn, {180, 100}, mult).total_s;
+  double best = t_default;
+  for (const int bx : {120, 144, 150, 180, 200, 240, 360}) {
+    for (const int by : {48, 50, 60, 96, 100, 120, 150, 400}) {
+      best = std::min(best, model.step_time(m, ppn, {bx, by}, mult).total_s);
+    }
+  }
+  EXPECT_LT(best, t_default * 0.995);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTopologies, PopTopology,
+                         ::testing::Values(std::pair{30, 16}, std::pair{48, 10},
+                                           std::pair{60, 8}, std::pair{80, 6},
+                                           std::pair{120, 4}, std::pair{240, 2}));
+
+}  // namespace

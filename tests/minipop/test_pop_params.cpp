@@ -1,0 +1,138 @@
+#include "minipop/pop_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace minipop;
+
+TEST(PopParams, TableHasAboutTwentyParameters) {
+  // The paper: "about 20 parameters that are performance related", 2-4
+  // values each (num_iotasks is the extra integer one).
+  const auto& table = parameter_table();
+  EXPECT_GE(table.size(), 18u);
+  EXPECT_LE(table.size(), 22u);
+  for (const auto& spec : table) {
+    EXPECT_GE(spec.choices.size(), 2u) << spec.name;
+    EXPECT_LE(spec.choices.size(), 4u) << spec.name;
+    EXPECT_EQ(spec.choices.size(), spec.multipliers.size()) << spec.name;
+  }
+}
+
+TEST(PopParams, TableMatchesPaperTableII) {
+  // The twelve parameters of Table II with their Default column values.
+  const std::vector<std::pair<std::string, std::string>> expectations = {
+      {"hmix_momentum_choice", "anis"}, {"hmix_tracer_choice", "gent"},
+      {"kappa_choice", "constant"},     {"slope_control_choice", "notanh"},
+      {"hmix_alignment_choice", "east"},{"state_choice", "jmcd"},
+      {"state_range_opt", "ignore"},    {"ws_interp_type", "nearest"},
+      {"shf_interp_type", "nearest"},   {"sfwf_interp_type", "nearest"},
+      {"ap_interp_type", "nearest"},
+  };
+  const auto& table = parameter_table();
+  for (const auto& [name, def] : expectations) {
+    const auto it = std::find_if(table.begin(), table.end(),
+                                 [&](const auto& s) { return s.name == name; });
+    ASSERT_NE(it, table.end()) << name;
+    EXPECT_EQ(it->choices[static_cast<std::size_t>(it->default_index)], def);
+  }
+}
+
+TEST(PopParams, PaperTunedValuesAreTheFastChoices) {
+  // Table II "After tuning" column: those choices carry multiplier 1.0.
+  const std::vector<std::pair<std::string, std::string>> tuned = {
+      {"hmix_momentum_choice", "del2"}, {"hmix_tracer_choice", "del2"},
+      {"kappa_choice", "variable"},     {"slope_control_choice", "clip"},
+      {"hmix_alignment_choice", "grid"},{"state_choice", "linear"},
+      {"state_range_opt", "enforce"},   {"ws_interp_type", "4point"},
+  };
+  const auto& table = parameter_table();
+  for (const auto& [name, choice] : tuned) {
+    const auto it = std::find_if(table.begin(), table.end(),
+                                 [&](const auto& s) { return s.name == name; });
+    ASSERT_NE(it, table.end());
+    const auto ci = std::find(it->choices.begin(), it->choices.end(), choice);
+    ASSERT_NE(ci, it->choices.end());
+    EXPECT_DOUBLE_EQ(
+        it->multipliers[static_cast<std::size_t>(ci - it->choices.begin())], 1.0)
+        << name;
+  }
+}
+
+TEST(PopParams, SpaceIncludesIotasksAndAllParams) {
+  const auto space = make_param_space(32);
+  EXPECT_EQ(space.dim(), parameter_table().size() + 1);
+  EXPECT_TRUE(space.index_of("num_iotasks").has_value());
+}
+
+TEST(PopParams, DefaultConfigMatchesDefaults) {
+  const auto space = make_param_space(32);
+  const auto config = default_config(space);
+  EXPECT_EQ(space.get_int(config, "num_iotasks"), 1);
+  EXPECT_EQ(space.get_enum(config, "hmix_momentum_choice"), "anis");
+  EXPECT_EQ(space.get_enum(config, "state_choice"), "jmcd");
+}
+
+TEST(PopParams, DefaultMultipliersAreSuboptimal) {
+  const auto space = make_param_space(32);
+  const auto mult = evaluate_multipliers(space, default_config(space));
+  EXPECT_GT(mult.momentum, 1.0);
+  EXPECT_GT(mult.tracer, 1.0);
+  EXPECT_GT(mult.state, 1.0);
+  EXPECT_GT(mult.forcing, 1.0);
+}
+
+TEST(PopParams, BestMultipliersAreUnity) {
+  const auto best = best_multipliers();
+  EXPECT_DOUBLE_EQ(best.momentum, 1.0);
+  EXPECT_DOUBLE_EQ(best.tracer, 1.0);
+  EXPECT_DOUBLE_EQ(best.state, 1.0);
+  EXPECT_DOUBLE_EQ(best.forcing, 1.0);
+}
+
+TEST(PopParams, EvaluateReflectsSingleChange) {
+  const auto space = make_param_space(32);
+  auto config = default_config(space);
+  const auto before = evaluate_multipliers(space, config);
+  space.set(config, "hmix_momentum_choice", std::string("del2"));
+  const auto after = evaluate_multipliers(space, config);
+  EXPECT_LT(after.momentum, before.momentum);
+  EXPECT_DOUBLE_EQ(after.tracer, before.tracer);  // other phases untouched
+}
+
+TEST(PopParams, IotasksPassedThrough) {
+  const auto space = make_param_space(32);
+  auto config = default_config(space);
+  space.set(config, "num_iotasks", std::int64_t{8});
+  EXPECT_EQ(evaluate_multipliers(space, config).num_iotasks, 8);
+}
+
+TEST(PopParams, SearchSpaceIsLargePerPaper) {
+  // "This makes the search space fairly large" — hundreds of millions of
+  // combinations across the ~20 categorical parameters alone.
+  const auto space = make_param_space(32);
+  EXPECT_GT(space.total_points(), 1e9);
+}
+
+TEST(PopParams, BadIotasksThrows) {
+  EXPECT_THROW((void)make_param_space(0), std::invalid_argument);
+}
+
+TEST(PopParams, DefaultsAlreadyOptimalForExtendedParams) {
+  // Parameters beyond Table II default to their fastest setting — tuning
+  // should leave them alone (the paper's tuning changed only 12).
+  const auto& table = parameter_table();
+  int already_best = 0;
+  for (const auto& spec : table) {
+    const double def_mult =
+        spec.multipliers[static_cast<std::size_t>(spec.default_index)];
+    const double best =
+        *std::min_element(spec.multipliers.begin(), spec.multipliers.end());
+    if (def_mult == best) ++already_best;
+  }
+  EXPECT_GE(already_best, 6);
+}
+
+}  // namespace

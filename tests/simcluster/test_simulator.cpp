@@ -1,0 +1,149 @@
+#include "simcluster/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcluster/collectives.hpp"
+
+namespace {
+
+using namespace simcluster;
+
+Phase compute_phase(std::vector<double> per_rank) {
+  Phase p;
+  p.compute_ref_s = std::move(per_rank);
+  return p;
+}
+
+TEST(Simulator, ComputeGatedBySlowestRank) {
+  const auto m = Machine::homogeneous(1, 4);
+  const Simulator sim(m, 4);
+  const auto rep = sim.run(compute_phase({1.0, 2.0, 3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(rep.compute_s, 4.0);
+  EXPECT_DOUBLE_EQ(rep.total_s, 4.0);
+  EXPECT_DOUBLE_EQ(rep.imbalance, 4.0 / 2.5);
+}
+
+TEST(Simulator, HeterogeneousSpeedsDivideWork) {
+  Machine m;
+  m.add_nodes(1, 1, 2.0);
+  m.add_nodes(1, 1, 0.5);
+  const Simulator sim(m, 2);
+  const auto rep = sim.run(compute_phase({1.0, 1.0}));
+  // Rank 0 takes 0.5s, rank 1 takes 2.0s.
+  EXPECT_DOUBLE_EQ(rep.compute_s, 2.0);
+}
+
+TEST(Simulator, BalancedLoadImbalanceIsOne) {
+  const auto m = Machine::homogeneous(1, 4);
+  const Simulator sim(m, 4);
+  const auto rep = sim.run(compute_phase({2.0, 2.0, 2.0, 2.0}));
+  EXPECT_DOUBLE_EQ(rep.imbalance, 1.0);
+}
+
+TEST(Simulator, MessagesSerializePerSender) {
+  const auto m = Machine::homogeneous(2, 2);
+  const Simulator sim(m, 4);
+  Phase p = compute_phase({0, 0, 0, 0});
+  p.messages = {{0, 2, 1e6}, {0, 3, 1e6}};  // rank 0 sends twice, inter-node
+  const auto rep1 = sim.run(p);
+  Phase q = compute_phase({0, 0, 0, 0});
+  q.messages = {{0, 2, 1e6}, {1, 3, 1e6}};  // two senders in parallel
+  const auto rep2 = sim.run(q);
+  EXPECT_GT(rep1.ptp_comm_s, rep2.ptp_comm_s);
+  EXPECT_NEAR(rep1.ptp_comm_s, 2.0 * rep2.ptp_comm_s, 1e-12);
+}
+
+TEST(Simulator, CollectivesAccumulate) {
+  const auto m = Machine::homogeneous(2, 4);
+  const Simulator sim(m, 8);
+  Phase p = compute_phase(std::vector<double>(8, 0.0));
+  p.allreduce_count = 3;
+  p.allreduce_bytes = 8.0;
+  const auto rep = sim.run(p);
+  EXPECT_DOUBLE_EQ(rep.collective_s, 3.0 * allreduce_time(m, 8, 8.0));
+}
+
+TEST(Simulator, MultiPhaseSums) {
+  const auto m = Machine::homogeneous(1, 2);
+  const Simulator sim(m, 2);
+  const std::vector<Phase> phases{compute_phase({1.0, 0.5}),
+                                  compute_phase({0.5, 2.0})};
+  const auto rep = sim.run(phases);
+  EXPECT_DOUBLE_EQ(rep.compute_s, 3.0);
+  EXPECT_EQ(rep.phases, 2);
+}
+
+TEST(Simulator, PhaseRepeatScales) {
+  const auto m = Machine::homogeneous(2, 2);
+  const Simulator sim(m, 4);
+  Phase p = compute_phase({1, 1, 1, 1});
+  p.messages = {{0, 2, 1000.0}};
+  p.allreduce_count = 1;
+  Phase repeated = p;
+  repeated.repeat(10);
+  const auto rep1 = sim.run(p);
+  const auto rep10 = sim.run(repeated);
+  EXPECT_NEAR(rep10.compute_s, 10.0 * rep1.compute_s, 1e-9);
+  EXPECT_NEAR(rep10.collective_s, 10.0 * rep1.collective_s, 1e-9);
+  // Message bytes scale but latency is charged once per (aggregated) message.
+  EXPECT_GT(rep10.ptp_comm_s, rep1.ptp_comm_s);
+}
+
+TEST(Simulator, RepeatRejectsBadCount) {
+  Phase p;
+  EXPECT_THROW(p.repeat(0), std::invalid_argument);
+}
+
+TEST(Simulator, MismatchedComputeVectorThrows) {
+  const auto m = Machine::homogeneous(1, 4);
+  const Simulator sim(m, 4);
+  EXPECT_THROW((void)sim.run(compute_phase({1.0})), std::invalid_argument);
+}
+
+TEST(Simulator, MessageRankOutOfRangeThrows) {
+  const auto m = Machine::homogeneous(1, 2);
+  const Simulator sim(m, 2);
+  Phase p = compute_phase({0, 0});
+  p.messages = {{0, 5, 10.0}};
+  EXPECT_THROW((void)sim.run(p), std::invalid_argument);
+}
+
+TEST(Simulator, BadRankCountThrows) {
+  const auto m = Machine::homogeneous(1, 2);
+  EXPECT_THROW(Simulator(m, 0), std::invalid_argument);
+  EXPECT_THROW(Simulator(m, 3), std::invalid_argument);
+}
+
+TEST(Simulator, NoiseIsDeterministicPerSeed) {
+  const auto m = Machine::homogeneous(1, 2);
+  SimOptions opts;
+  opts.noise_stddev = 0.05;
+  opts.noise_seed = 31;
+  const Simulator a(m, 2, opts);
+  const Simulator b(m, 2, opts);
+  const auto pa = compute_phase({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(a.run(pa).total_s, b.run(pa).total_s);
+  SimOptions opts2 = opts;
+  opts2.noise_seed = 32;
+  const Simulator c(m, 2, opts2);
+  EXPECT_NE(a.run(pa).total_s, c.run(pa).total_s);
+}
+
+TEST(Simulator, NoiseZeroMatchesDeterministic) {
+  const auto m = Machine::homogeneous(1, 2);
+  const Simulator plain(m, 2);
+  SimOptions opts;
+  opts.noise_stddev = 0.0;
+  const Simulator noisy(m, 2, opts);
+  const auto p = compute_phase({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(plain.run(p).total_s, noisy.run(p).total_s);
+}
+
+TEST(Simulator, SubsetOfMachineRanks) {
+  const auto m = Machine::homogeneous(4, 4);
+  const Simulator sim(m, 6);  // only 6 of 16 CPUs participate
+  const auto rep = sim.run(compute_phase({1, 1, 1, 1, 1, 1}));
+  EXPECT_DOUBLE_EQ(rep.compute_s, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_simplex.dir/ablation_simplex.cpp.o"
+  "CMakeFiles/ablation_simplex.dir/ablation_simplex.cpp.o.d"
+  "ablation_simplex"
+  "ablation_simplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

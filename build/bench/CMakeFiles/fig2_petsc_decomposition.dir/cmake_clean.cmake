@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_petsc_decomposition.dir/fig2_petsc_decomposition.cpp.o"
+  "CMakeFiles/fig2_petsc_decomposition.dir/fig2_petsc_decomposition.cpp.o.d"
+  "fig2_petsc_decomposition"
+  "fig2_petsc_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_petsc_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

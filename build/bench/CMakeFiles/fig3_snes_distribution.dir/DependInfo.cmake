@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_snes_distribution.cpp" "bench/CMakeFiles/fig3_snes_distribution.dir/fig3_snes_distribution.cpp.o" "gcc" "bench/CMakeFiles/fig3_snes_distribution.dir/fig3_snes_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ah_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/ah_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/minipetsc/CMakeFiles/ah_minipetsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/minipop/CMakeFiles/ah_minipop.dir/DependInfo.cmake"
+  "/root/repo/build/src/minigs2/CMakeFiles/ah_minigs2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

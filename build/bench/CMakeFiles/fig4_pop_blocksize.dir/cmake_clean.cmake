@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pop_blocksize.dir/fig4_pop_blocksize.cpp.o"
+  "CMakeFiles/fig4_pop_blocksize.dir/fig4_pop_blocksize.cpp.o.d"
+  "fig4_pop_blocksize"
+  "fig4_pop_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pop_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gs2_layout.dir/fig5_gs2_layout.cpp.o"
+  "CMakeFiles/fig5_gs2_layout.dir/fig5_gs2_layout.cpp.o.d"
+  "fig5_gs2_layout"
+  "fig5_gs2_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gs2_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

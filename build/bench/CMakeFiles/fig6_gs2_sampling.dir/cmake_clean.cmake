@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gs2_sampling.dir/fig6_gs2_sampling.cpp.o"
+  "CMakeFiles/fig6_gs2_sampling.dir/fig6_gs2_sampling.cpp.o.d"
+  "fig6_gs2_sampling"
+  "fig6_gs2_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gs2_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

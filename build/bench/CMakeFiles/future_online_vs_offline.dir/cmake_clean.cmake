@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_online_vs_offline.dir/future_online_vs_offline.cpp.o"
+  "CMakeFiles/future_online_vs_offline.dir/future_online_vs_offline.cpp.o.d"
+  "future_online_vs_offline"
+  "future_online_vs_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_online_vs_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_gs2_benchmark.dir/table3_gs2_benchmark.cpp.o"
+  "CMakeFiles/table3_gs2_benchmark.dir/table3_gs2_benchmark.cpp.o.d"
+  "table3_gs2_benchmark"
+  "table3_gs2_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_gs2_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_gs2_production.dir/table4_gs2_production.cpp.o"
+  "CMakeFiles/table4_gs2_production.dir/table4_gs2_production.cpp.o.d"
+  "table4_gs2_production"
+  "table4_gs2_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_gs2_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs2_layout.dir/gs2_layout.cpp.o"
+  "CMakeFiles/gs2_layout.dir/gs2_layout.cpp.o.d"
+  "gs2_layout"
+  "gs2_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs2_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

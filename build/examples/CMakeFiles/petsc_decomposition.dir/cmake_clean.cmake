@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petsc_decomposition.dir/petsc_decomposition.cpp.o"
+  "CMakeFiles/petsc_decomposition.dir/petsc_decomposition.cpp.o.d"
+  "petsc_decomposition"
+  "petsc_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petsc_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pop_blocksize.dir/pop_blocksize.cpp.o"
+  "CMakeFiles/pop_blocksize.dir/pop_blocksize.cpp.o.d"
+  "pop_blocksize"
+  "pop_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pop_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pop_blocksize.
+# This may be replaced when dependencies are built.

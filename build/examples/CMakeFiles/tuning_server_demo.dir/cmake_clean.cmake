@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_server_demo.dir/tuning_server_demo.cpp.o"
+  "CMakeFiles/tuning_server_demo.dir/tuning_server_demo.cpp.o.d"
+  "tuning_server_demo"
+  "tuning_server_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_server_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

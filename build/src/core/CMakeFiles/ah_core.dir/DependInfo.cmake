@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/ah_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/constraint.cpp" "src/core/CMakeFiles/ah_core.dir/constraint.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/constraint.cpp.o.d"
+  "/root/repo/src/core/coordinate_descent.cpp" "src/core/CMakeFiles/ah_core.dir/coordinate_descent.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/coordinate_descent.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/ah_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/exhaustive.cpp" "src/core/CMakeFiles/ah_core.dir/exhaustive.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/ah_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/nelder_mead.cpp" "src/core/CMakeFiles/ah_core.dir/nelder_mead.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/nelder_mead.cpp.o.d"
+  "/root/repo/src/core/net.cpp" "src/core/CMakeFiles/ah_core.dir/net.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/net.cpp.o.d"
+  "/root/repo/src/core/offline_driver.cpp" "src/core/CMakeFiles/ah_core.dir/offline_driver.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/offline_driver.cpp.o.d"
+  "/root/repo/src/core/param_space.cpp" "src/core/CMakeFiles/ah_core.dir/param_space.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/param_space.cpp.o.d"
+  "/root/repo/src/core/parameter.cpp" "src/core/CMakeFiles/ah_core.dir/parameter.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/parameter.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/ah_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/random_search.cpp" "src/core/CMakeFiles/ah_core.dir/random_search.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/random_search.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/ah_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/ah_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/ah_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/simulated_annealing.cpp" "src/core/CMakeFiles/ah_core.dir/simulated_annealing.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/simulated_annealing.cpp.o.d"
+  "/root/repo/src/core/systematic_sampler.cpp" "src/core/CMakeFiles/ah_core.dir/systematic_sampler.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/systematic_sampler.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/ah_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/tuner.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/ah_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/ah_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minigs2/decomp.cpp" "src/minigs2/CMakeFiles/ah_minigs2.dir/decomp.cpp.o" "gcc" "src/minigs2/CMakeFiles/ah_minigs2.dir/decomp.cpp.o.d"
+  "/root/repo/src/minigs2/gs2_model.cpp" "src/minigs2/CMakeFiles/ah_minigs2.dir/gs2_model.cpp.o" "gcc" "src/minigs2/CMakeFiles/ah_minigs2.dir/gs2_model.cpp.o.d"
+  "/root/repo/src/minigs2/layout.cpp" "src/minigs2/CMakeFiles/ah_minigs2.dir/layout.cpp.o" "gcc" "src/minigs2/CMakeFiles/ah_minigs2.dir/layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ah_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/ah_simcluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ah_minigs2.dir/decomp.cpp.o"
+  "CMakeFiles/ah_minigs2.dir/decomp.cpp.o.d"
+  "CMakeFiles/ah_minigs2.dir/gs2_model.cpp.o"
+  "CMakeFiles/ah_minigs2.dir/gs2_model.cpp.o.d"
+  "CMakeFiles/ah_minigs2.dir/layout.cpp.o"
+  "CMakeFiles/ah_minigs2.dir/layout.cpp.o.d"
+  "libah_minigs2.a"
+  "libah_minigs2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ah_minigs2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

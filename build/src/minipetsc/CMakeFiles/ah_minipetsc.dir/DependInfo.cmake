@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minipetsc/cavity.cpp" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/cavity.cpp.o" "gcc" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/cavity.cpp.o.d"
+  "/root/repo/src/minipetsc/csr_matrix.cpp" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/csr_matrix.cpp.o" "gcc" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/csr_matrix.cpp.o.d"
+  "/root/repo/src/minipetsc/da.cpp" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/da.cpp.o" "gcc" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/da.cpp.o.d"
+  "/root/repo/src/minipetsc/ksp.cpp" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/ksp.cpp.o" "gcc" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/ksp.cpp.o.d"
+  "/root/repo/src/minipetsc/mat_gen.cpp" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/mat_gen.cpp.o" "gcc" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/mat_gen.cpp.o.d"
+  "/root/repo/src/minipetsc/partition.cpp" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/partition.cpp.o" "gcc" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/partition.cpp.o.d"
+  "/root/repo/src/minipetsc/pc.cpp" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/pc.cpp.o" "gcc" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/pc.cpp.o.d"
+  "/root/repo/src/minipetsc/perf_model.cpp" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/perf_model.cpp.o" "gcc" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/perf_model.cpp.o.d"
+  "/root/repo/src/minipetsc/snes.cpp" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/snes.cpp.o" "gcc" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/snes.cpp.o.d"
+  "/root/repo/src/minipetsc/vec.cpp" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/vec.cpp.o" "gcc" "src/minipetsc/CMakeFiles/ah_minipetsc.dir/vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ah_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/ah_simcluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ah_minipetsc.dir/cavity.cpp.o"
+  "CMakeFiles/ah_minipetsc.dir/cavity.cpp.o.d"
+  "CMakeFiles/ah_minipetsc.dir/csr_matrix.cpp.o"
+  "CMakeFiles/ah_minipetsc.dir/csr_matrix.cpp.o.d"
+  "CMakeFiles/ah_minipetsc.dir/da.cpp.o"
+  "CMakeFiles/ah_minipetsc.dir/da.cpp.o.d"
+  "CMakeFiles/ah_minipetsc.dir/ksp.cpp.o"
+  "CMakeFiles/ah_minipetsc.dir/ksp.cpp.o.d"
+  "CMakeFiles/ah_minipetsc.dir/mat_gen.cpp.o"
+  "CMakeFiles/ah_minipetsc.dir/mat_gen.cpp.o.d"
+  "CMakeFiles/ah_minipetsc.dir/partition.cpp.o"
+  "CMakeFiles/ah_minipetsc.dir/partition.cpp.o.d"
+  "CMakeFiles/ah_minipetsc.dir/pc.cpp.o"
+  "CMakeFiles/ah_minipetsc.dir/pc.cpp.o.d"
+  "CMakeFiles/ah_minipetsc.dir/perf_model.cpp.o"
+  "CMakeFiles/ah_minipetsc.dir/perf_model.cpp.o.d"
+  "CMakeFiles/ah_minipetsc.dir/snes.cpp.o"
+  "CMakeFiles/ah_minipetsc.dir/snes.cpp.o.d"
+  "CMakeFiles/ah_minipetsc.dir/vec.cpp.o"
+  "CMakeFiles/ah_minipetsc.dir/vec.cpp.o.d"
+  "libah_minipetsc.a"
+  "libah_minipetsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ah_minipetsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

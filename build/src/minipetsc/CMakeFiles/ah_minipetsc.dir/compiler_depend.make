@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ah_minipetsc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minipop/blocks.cpp" "src/minipop/CMakeFiles/ah_minipop.dir/blocks.cpp.o" "gcc" "src/minipop/CMakeFiles/ah_minipop.dir/blocks.cpp.o.d"
+  "/root/repo/src/minipop/grid.cpp" "src/minipop/CMakeFiles/ah_minipop.dir/grid.cpp.o" "gcc" "src/minipop/CMakeFiles/ah_minipop.dir/grid.cpp.o.d"
+  "/root/repo/src/minipop/io_model.cpp" "src/minipop/CMakeFiles/ah_minipop.dir/io_model.cpp.o" "gcc" "src/minipop/CMakeFiles/ah_minipop.dir/io_model.cpp.o.d"
+  "/root/repo/src/minipop/pop_model.cpp" "src/minipop/CMakeFiles/ah_minipop.dir/pop_model.cpp.o" "gcc" "src/minipop/CMakeFiles/ah_minipop.dir/pop_model.cpp.o.d"
+  "/root/repo/src/minipop/pop_params.cpp" "src/minipop/CMakeFiles/ah_minipop.dir/pop_params.cpp.o" "gcc" "src/minipop/CMakeFiles/ah_minipop.dir/pop_params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ah_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/ah_simcluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ah_minipop.dir/blocks.cpp.o"
+  "CMakeFiles/ah_minipop.dir/blocks.cpp.o.d"
+  "CMakeFiles/ah_minipop.dir/grid.cpp.o"
+  "CMakeFiles/ah_minipop.dir/grid.cpp.o.d"
+  "CMakeFiles/ah_minipop.dir/io_model.cpp.o"
+  "CMakeFiles/ah_minipop.dir/io_model.cpp.o.d"
+  "CMakeFiles/ah_minipop.dir/pop_model.cpp.o"
+  "CMakeFiles/ah_minipop.dir/pop_model.cpp.o.d"
+  "CMakeFiles/ah_minipop.dir/pop_params.cpp.o"
+  "CMakeFiles/ah_minipop.dir/pop_params.cpp.o.d"
+  "libah_minipop.a"
+  "libah_minipop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ah_minipop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

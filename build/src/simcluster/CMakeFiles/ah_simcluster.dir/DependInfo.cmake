@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcluster/collectives.cpp" "src/simcluster/CMakeFiles/ah_simcluster.dir/collectives.cpp.o" "gcc" "src/simcluster/CMakeFiles/ah_simcluster.dir/collectives.cpp.o.d"
+  "/root/repo/src/simcluster/machine.cpp" "src/simcluster/CMakeFiles/ah_simcluster.dir/machine.cpp.o" "gcc" "src/simcluster/CMakeFiles/ah_simcluster.dir/machine.cpp.o.d"
+  "/root/repo/src/simcluster/presets.cpp" "src/simcluster/CMakeFiles/ah_simcluster.dir/presets.cpp.o" "gcc" "src/simcluster/CMakeFiles/ah_simcluster.dir/presets.cpp.o.d"
+  "/root/repo/src/simcluster/simulator.cpp" "src/simcluster/CMakeFiles/ah_simcluster.dir/simulator.cpp.o" "gcc" "src/simcluster/CMakeFiles/ah_simcluster.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ah_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ah_simcluster.dir/collectives.cpp.o"
+  "CMakeFiles/ah_simcluster.dir/collectives.cpp.o.d"
+  "CMakeFiles/ah_simcluster.dir/machine.cpp.o"
+  "CMakeFiles/ah_simcluster.dir/machine.cpp.o.d"
+  "CMakeFiles/ah_simcluster.dir/presets.cpp.o"
+  "CMakeFiles/ah_simcluster.dir/presets.cpp.o.d"
+  "CMakeFiles/ah_simcluster.dir/simulator.cpp.o"
+  "CMakeFiles/ah_simcluster.dir/simulator.cpp.o.d"
+  "libah_simcluster.a"
+  "libah_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ah_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_constraint.cpp" "tests/CMakeFiles/core_tests.dir/core/test_constraint.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_constraint.cpp.o.d"
+  "/root/repo/tests/core/test_evaluation.cpp" "tests/CMakeFiles/core_tests.dir/core/test_evaluation.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_evaluation.cpp.o.d"
+  "/root/repo/tests/core/test_history_tuner.cpp" "tests/CMakeFiles/core_tests.dir/core/test_history_tuner.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_history_tuner.cpp.o.d"
+  "/root/repo/tests/core/test_nelder_mead.cpp" "tests/CMakeFiles/core_tests.dir/core/test_nelder_mead.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_nelder_mead.cpp.o.d"
+  "/root/repo/tests/core/test_net.cpp" "tests/CMakeFiles/core_tests.dir/core/test_net.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_net.cpp.o.d"
+  "/root/repo/tests/core/test_offline_driver.cpp" "tests/CMakeFiles/core_tests.dir/core/test_offline_driver.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_offline_driver.cpp.o.d"
+  "/root/repo/tests/core/test_param_space.cpp" "tests/CMakeFiles/core_tests.dir/core/test_param_space.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_param_space.cpp.o.d"
+  "/root/repo/tests/core/test_parameter.cpp" "tests/CMakeFiles/core_tests.dir/core/test_parameter.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_parameter.cpp.o.d"
+  "/root/repo/tests/core/test_protocol.cpp" "tests/CMakeFiles/core_tests.dir/core/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_protocol.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/core_tests.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_rng.cpp" "tests/CMakeFiles/core_tests.dir/core/test_rng.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_rng.cpp.o.d"
+  "/root/repo/tests/core/test_server_client.cpp" "tests/CMakeFiles/core_tests.dir/core/test_server_client.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_server_client.cpp.o.d"
+  "/root/repo/tests/core/test_session.cpp" "tests/CMakeFiles/core_tests.dir/core/test_session.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_session.cpp.o.d"
+  "/root/repo/tests/core/test_strategies.cpp" "tests/CMakeFiles/core_tests.dir/core/test_strategies.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ah_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/ah_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/minipetsc/CMakeFiles/ah_minipetsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/minipop/CMakeFiles/ah_minipop.dir/DependInfo.cmake"
+  "/root/repo/build/src/minigs2/CMakeFiles/ah_minigs2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

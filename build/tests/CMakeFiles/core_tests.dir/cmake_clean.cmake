@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/test_constraint.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_constraint.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_evaluation.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_evaluation.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_history_tuner.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_history_tuner.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_nelder_mead.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_nelder_mead.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_net.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_net.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_offline_driver.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_offline_driver.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_param_space.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_param_space.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_parameter.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_parameter.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_protocol.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_protocol.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_report.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_rng.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_rng.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_server_client.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_server_client.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_session.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_session.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_strategies.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_strategies.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/test_server_tuning.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_server_tuning.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_tuning_gs2.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_tuning_gs2.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_tuning_petsc.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_tuning_petsc.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_tuning_pop.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_tuning_pop.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

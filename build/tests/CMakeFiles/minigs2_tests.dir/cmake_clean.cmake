@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minigs2_tests.dir/minigs2/test_decomp.cpp.o"
+  "CMakeFiles/minigs2_tests.dir/minigs2/test_decomp.cpp.o.d"
+  "CMakeFiles/minigs2_tests.dir/minigs2/test_gs2_model.cpp.o"
+  "CMakeFiles/minigs2_tests.dir/minigs2/test_gs2_model.cpp.o.d"
+  "CMakeFiles/minigs2_tests.dir/minigs2/test_layout.cpp.o"
+  "CMakeFiles/minigs2_tests.dir/minigs2/test_layout.cpp.o.d"
+  "minigs2_tests"
+  "minigs2_tests.pdb"
+  "minigs2_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minigs2_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minipetsc/test_cavity.cpp" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_cavity.cpp.o" "gcc" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_cavity.cpp.o.d"
+  "/root/repo/tests/minipetsc/test_csr_matrix.cpp" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_csr_matrix.cpp.o" "gcc" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_csr_matrix.cpp.o.d"
+  "/root/repo/tests/minipetsc/test_da.cpp" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_da.cpp.o" "gcc" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_da.cpp.o.d"
+  "/root/repo/tests/minipetsc/test_ksp.cpp" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_ksp.cpp.o" "gcc" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_ksp.cpp.o.d"
+  "/root/repo/tests/minipetsc/test_mat_gen.cpp" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_mat_gen.cpp.o" "gcc" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_mat_gen.cpp.o.d"
+  "/root/repo/tests/minipetsc/test_partition.cpp" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_partition.cpp.o" "gcc" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_partition.cpp.o.d"
+  "/root/repo/tests/minipetsc/test_pc.cpp" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_pc.cpp.o" "gcc" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_pc.cpp.o.d"
+  "/root/repo/tests/minipetsc/test_perf_model.cpp" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_perf_model.cpp.o" "gcc" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_perf_model.cpp.o.d"
+  "/root/repo/tests/minipetsc/test_snes.cpp" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_snes.cpp.o" "gcc" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_snes.cpp.o.d"
+  "/root/repo/tests/minipetsc/test_vec.cpp" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_vec.cpp.o" "gcc" "tests/CMakeFiles/minipetsc_tests.dir/minipetsc/test_vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ah_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/ah_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/minipetsc/CMakeFiles/ah_minipetsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/minipop/CMakeFiles/ah_minipop.dir/DependInfo.cmake"
+  "/root/repo/build/src/minigs2/CMakeFiles/ah_minigs2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_cavity.cpp.o"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_cavity.cpp.o.d"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_csr_matrix.cpp.o"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_csr_matrix.cpp.o.d"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_da.cpp.o"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_da.cpp.o.d"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_ksp.cpp.o"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_ksp.cpp.o.d"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_mat_gen.cpp.o"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_mat_gen.cpp.o.d"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_partition.cpp.o"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_partition.cpp.o.d"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_pc.cpp.o"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_pc.cpp.o.d"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_perf_model.cpp.o"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_perf_model.cpp.o.d"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_snes.cpp.o"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_snes.cpp.o.d"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_vec.cpp.o"
+  "CMakeFiles/minipetsc_tests.dir/minipetsc/test_vec.cpp.o.d"
+  "minipetsc_tests"
+  "minipetsc_tests.pdb"
+  "minipetsc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minipetsc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

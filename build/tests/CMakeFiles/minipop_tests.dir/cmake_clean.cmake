@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minipop_tests.dir/minipop/test_blocks.cpp.o"
+  "CMakeFiles/minipop_tests.dir/minipop/test_blocks.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/minipop/test_grid.cpp.o"
+  "CMakeFiles/minipop_tests.dir/minipop/test_grid.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/minipop/test_io_model.cpp.o"
+  "CMakeFiles/minipop_tests.dir/minipop/test_io_model.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/minipop/test_pop_model.cpp.o"
+  "CMakeFiles/minipop_tests.dir/minipop/test_pop_model.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/minipop/test_pop_params.cpp.o"
+  "CMakeFiles/minipop_tests.dir/minipop/test_pop_params.cpp.o.d"
+  "minipop_tests"
+  "minipop_tests.pdb"
+  "minipop_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minipop_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcluster_tests.dir/simcluster/test_collectives.cpp.o"
+  "CMakeFiles/simcluster_tests.dir/simcluster/test_collectives.cpp.o.d"
+  "CMakeFiles/simcluster_tests.dir/simcluster/test_machine.cpp.o"
+  "CMakeFiles/simcluster_tests.dir/simcluster/test_machine.cpp.o.d"
+  "CMakeFiles/simcluster_tests.dir/simcluster/test_simulator.cpp.o"
+  "CMakeFiles/simcluster_tests.dir/simcluster/test_simulator.cpp.o.d"
+  "simcluster_tests"
+  "simcluster_tests.pdb"
+  "simcluster_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcluster_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

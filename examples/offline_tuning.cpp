@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/harmony.hpp"
+#include "engine/engine.hpp"
 #include "minigs2/minigs2.hpp"
 #include "simcluster/simcluster.hpp"
 
@@ -72,5 +73,31 @@ int main() {
   std::printf("production run: %.1f s -> %.1f s (improvement %s; paper: 83.5%%)\n",
               prod_default, prod_tuned,
               harmony::percent_improvement(prod_default, prod_tuned).c_str());
+
+  // Same search through the parallel evaluation engine: the speculative
+  // Nelder-Mead evaluates the reflection, expansion and both contractions
+  // concurrently across a worker pool, landing on the identical simplex
+  // trajectory while short runs overlap in wall-clock time. Duplicate or
+  // revisited configurations are served by the engine's concurrent cache.
+  harmony::engine::ParallelOfflineOptions popts;
+  popts.short_run_steps = opts.short_run_steps;
+  popts.max_runs = opts.max_runs;
+  popts.restart_overhead_s = opts.restart_overhead_s;
+  popts.pool_size = 4;
+  harmony::engine::ParallelOfflineDriver pdriver(space, popts);
+  harmony::engine::SpeculativeNelderMead spec(space, nm_opts, start);
+  const auto presult = pdriver.tune(spec, [&](const harmony::Config& c, int steps) {
+    harmony::ShortRunResult r;
+    r.measured_s = run_with(c, steps);
+    r.warmup_s = 0.2 * r.measured_s;
+    return r;
+  });
+  std::printf("\nparallel engine (pool of %d, speculative simplex):\n",
+              popts.pool_size);
+  std::printf("tuned: %s = %.2f s in %d short runs over %d batches "
+              "(%zu cache hits, %zu coalesced)\n",
+              space.format(*presult.best).c_str(), presult.best_measured_s,
+              presult.runs, presult.batches, presult.cache_hits,
+              presult.cache_coalesced);
   return 0;
 }

@@ -41,6 +41,13 @@ class History {
   /// Number of distinct (non-cached) evaluations — the paper's "iterations".
   [[nodiscard]] int iterations() const noexcept { return iterations_; }
 
+  /// Number of entries served from an evaluation cache instead of a fresh
+  /// run — including the parallel engine's in-flight coalesced evaluations,
+  /// which it records with the same `cached` flag.
+  [[nodiscard]] int cached_count() const noexcept {
+    return static_cast<int>(entries_.size()) - iterations_;
+  }
+
   [[nodiscard]] std::optional<Config> best_config() const;
   [[nodiscard]] double best_objective() const noexcept { return best_value_; }
 

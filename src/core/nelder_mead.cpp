@@ -207,6 +207,50 @@ void NelderMead::report(const Config& c, const EvaluationResult& r) {
   }
 }
 
+std::vector<Config> NelderMead::speculative_candidates() const {
+  std::vector<Config> out;
+  switch (phase_) {
+    case Phase::BuildSimplex:
+    case Phase::Shrink:
+      for (const auto& v : simplex_) {
+        if (!v.evaluated) out.push_back(make_config(v.coords));
+      }
+      break;
+    case Phase::Reflect: {
+      // pending_coords_ holds the continuous reflection point xr prepared by
+      // begin_iteration(). The expansion and outside-contraction points are
+      // functions of xr and the centroid; the inside-contraction point is a
+      // function of the centroid and the worst vertex. All four use exactly
+      // the formulas report() would apply, so speculative results replayed
+      // through report() are bitwise-identical to a serial drive.
+      const auto centroid = centroid_excluding_worst();
+      const auto& xr = pending_coords_;
+      const auto& worst = simplex_.back().coords;
+      std::vector<double> xe(centroid.size());
+      std::vector<double> xoc(centroid.size());
+      std::vector<double> xic(centroid.size());
+      for (std::size_t i = 0; i < centroid.size(); ++i) {
+        xe[i] = centroid[i] + opts_.expansion * (xr[i] - centroid[i]);
+        xoc[i] = centroid[i] + opts_.contraction * (xr[i] - centroid[i]);
+        xic[i] = centroid[i] - opts_.contraction * (centroid[i] - worst[i]);
+      }
+      out.push_back(make_config(xr));
+      out.push_back(make_config(xe));
+      out.push_back(make_config(xoc));
+      out.push_back(make_config(xic));
+      break;
+    }
+    case Phase::Expand:
+    case Phase::ContractOutside:
+    case Phase::ContractInside:
+      out.push_back(make_config(pending_coords_));
+      break;
+    case Phase::Done:
+      break;
+  }
+  return out;
+}
+
 void NelderMead::order_simplex() {
   std::stable_sort(simplex_.begin(), simplex_.end(),
                    [](const Vertex& a, const Vertex& b) { return a.value < b.value; });

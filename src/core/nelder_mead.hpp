@@ -73,6 +73,21 @@ class NelderMead final : public SearchStrategy {
   [[nodiscard]] double best_objective() const override;
   [[nodiscard]] std::string name() const override { return "nelder-mead"; }
 
+  /// Batch-evaluation hook for the parallel engine: every configuration the
+  /// state machine may ask for before the current phase resolves, in the
+  /// order a serial drive would first need them.
+  ///
+  ///  * BuildSimplex/Shrink: all not-yet-evaluated vertices (their coordinates
+  ///    are fixed for the whole phase, so they are independent).
+  ///  * Reflect: the reflection point plus the expansion and both contraction
+  ///    points derived from the same centroid/worst pair — evaluating all
+  ///    four speculatively and then replaying the standard acceptance rule
+  ///    reproduces the serial simplex exactly on deterministic objectives.
+  ///  * Expand/Contract phases: just the pending candidate.
+  ///
+  /// Used by harmony::engine::SpeculativeNelderMead; const, no state change.
+  [[nodiscard]] std::vector<Config> speculative_candidates() const;
+
   /// Current simplex diameter (max pairwise L-inf distance), for tests.
   [[nodiscard]] double simplex_diameter() const;
 

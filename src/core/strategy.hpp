@@ -8,6 +8,19 @@
 /// and tells the strategy the observed performance. The ask/tell split is
 /// what lets the same strategy serve the in-process Tuner, the off-line
 /// driver, and the TCP tuning server.
+///
+/// Batch pathway: the parallel evaluation engine (src/engine) drives
+/// strategies through harmony::engine::BatchSearchStrategy, which proposes
+/// and reports whole batches so short runs can execute concurrently on a
+/// thread pool. Any SearchStrategy can ride that pathway unchanged via
+/// harmony::engine::SequentialBatchAdapter, which emits batches of exactly
+/// one configuration and therefore preserves this interface's contract to
+/// the letter — propose() and report() still alternate strictly, in the
+/// same order a serial driver would call them. Strategies whose proposals
+/// are independent of reports (random, systematic, exhaustive) additionally
+/// get native batch wrappers, and NelderMead exposes
+/// speculative_candidates() so the engine can evaluate all possible next
+/// simplex points concurrently without changing the search trajectory.
 
 #include <optional>
 #include <string>

@@ -1,0 +1,130 @@
+#include "engine/batch_strategy.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/exhaustive.hpp"
+#include "core/random_search.hpp"
+#include "core/systematic_sampler.hpp"
+
+namespace harmony::engine {
+
+std::vector<Config> SequentialBatchAdapter::propose_batch(std::size_t max_n) {
+  if (max_n == 0) return {};
+  auto c = inner_->propose();
+  if (!c) return {};
+  return {std::move(*c)};
+}
+
+void SequentialBatchAdapter::report_batch(const std::vector<Config>& configs,
+                                          const std::vector<EvaluationResult>& results) {
+  if (configs.size() != results.size()) {
+    throw std::invalid_argument("SequentialBatchAdapter: batch size mismatch");
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    inner_->report(configs[i], results[i]);
+  }
+}
+
+IndependentBatchStrategy::IndependentBatchStrategy(
+    std::unique_ptr<SearchStrategy> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("IndependentBatchStrategy: null inner");
+}
+
+std::vector<Config> IndependentBatchStrategy::propose_batch(std::size_t max_n) {
+  std::vector<Config> batch;
+  batch.reserve(max_n);
+  for (std::size_t i = 0; i < max_n; ++i) {
+    auto c = inner_->propose();
+    if (!c) break;
+    batch.push_back(std::move(*c));
+  }
+  return batch;
+}
+
+void IndependentBatchStrategy::report_batch(
+    const std::vector<Config>& configs, const std::vector<EvaluationResult>& results) {
+  if (configs.size() != results.size()) {
+    throw std::invalid_argument("IndependentBatchStrategy: batch size mismatch");
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    inner_->report(configs[i], results[i]);
+  }
+}
+
+bool IndependentBatchStrategy::converged() const { return inner_->converged(); }
+
+BatchRandomSearch::BatchRandomSearch(const ParamSpace& space, int max_samples,
+                                     std::uint64_t seed)
+    : IndependentBatchStrategy(
+          std::make_unique<RandomSearch>(space, max_samples, seed)) {}
+
+BatchSystematicSampler::BatchSystematicSampler(const ParamSpace& space,
+                                               std::vector<int> samples_per_dim)
+    : IndependentBatchStrategy(std::make_unique<SystematicSampler>(
+          space, std::move(samples_per_dim))) {}
+
+BatchSystematicSampler::BatchSystematicSampler(const ParamSpace& space,
+                                               int samples_per_dim)
+    : IndependentBatchStrategy(
+          std::make_unique<SystematicSampler>(space, samples_per_dim)) {}
+
+BatchExhaustive::BatchExhaustive(const ParamSpace& space, std::uint64_t max_points)
+    : IndependentBatchStrategy(std::make_unique<Exhaustive>(space, max_points)) {}
+
+SpeculativeNelderMead::SpeculativeNelderMead(const ParamSpace& space,
+                                             NelderMeadOptions opts,
+                                             std::optional<Config> initial,
+                                             ConstraintSet constraints)
+    : space_(&space),
+      nm_(space, opts, std::move(initial), std::move(constraints)) {}
+
+std::vector<Config> SpeculativeNelderMead::propose_batch(std::size_t max_n) {
+  drive();  // consume anything already known before speculating further
+  if (nm_.converged() || max_n == 0) return {};
+  std::vector<Config> batch;
+  for (auto& c : nm_.speculative_candidates()) {
+    if (batch.size() >= max_n) break;
+    const std::string key = space_->key(c);
+    if (results_.count(key) != 0) continue;  // already evaluated: free replay
+    bool dup = false;
+    for (const auto& b : batch) {
+      if (space_->key(b) == key) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) batch.push_back(std::move(c));
+  }
+  // speculative_candidates() lists the serially-needed point first and
+  // drive() guarantees it is not in results_, so `batch` is never empty here
+  // and any prefix truncation by the driver's budget guard keeps it.
+  return batch;
+}
+
+void SpeculativeNelderMead::report_batch(const std::vector<Config>& configs,
+                                         const std::vector<EvaluationResult>& results) {
+  if (configs.size() != results.size()) {
+    throw std::invalid_argument("SpeculativeNelderMead: batch size mismatch");
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    results_[space_->key(configs[i])] = results[i];
+  }
+  drive();
+}
+
+void SpeculativeNelderMead::drive() {
+  // Replay the serial ask/tell alternation against memoized results. The
+  // state machine advances exactly as a serial driver would have advanced
+  // it; we stop the moment it asks for a point we have not evaluated.
+  while (!nm_.converged()) {
+    const auto c = nm_.propose();
+    if (!c) break;
+    const auto it = results_.find(space_->key(*c));
+    if (it == results_.end()) break;  // next batch will contain this point
+    nm_.report(*c, it->second);
+  }
+}
+
+}  // namespace harmony::engine

@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file batch_strategy.hpp
+/// Batched counterpart of the serial ask/tell SearchStrategy interface. The
+/// paper's off-line loop (Section III) evaluates one candidate per iteration;
+/// on deterministic simulation substrates those evaluations are independent,
+/// so a strategy that can name several candidates at once lets the
+/// ParallelOfflineDriver dispatch them across a thread pool.
+///
+/// Three ways onto the batch pathway:
+///  * SequentialBatchAdapter wraps ANY SearchStrategy with batch size 1 —
+///    zero behavior change, the wrapped strategy still sees a strict
+///    propose/report alternation in serial order.
+///  * BatchRandomSearch / BatchSystematicSampler / BatchExhaustive propose up
+///    to max_n points per batch. Their serial counterparts never consult
+///    report() state when proposing, so the batched trajectory (the sequence
+///    of evaluated configurations and the final best) is identical.
+///  * SpeculativeNelderMead evaluates the reflection, expansion and both
+///    contraction points of the worst vertex concurrently, then replays the
+///    standard acceptance rule — bitwise-identical to the serial simplex on
+///    deterministic objectives, at the cost of some wasted evaluations.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/constraint.hpp"
+#include "core/evaluation.hpp"
+#include "core/nelder_mead.hpp"
+#include "core/param_space.hpp"
+#include "core/strategy.hpp"
+#include "core/types.hpp"
+
+namespace harmony::engine {
+
+class BatchSearchStrategy {
+ public:
+  virtual ~BatchSearchStrategy() = default;
+
+  /// Up to `max_n` configurations to evaluate concurrently, ordered so that a
+  /// prefix truncation still contains the configuration the strategy needs
+  /// first. Empty means converged / plan exhausted.
+  [[nodiscard]] virtual std::vector<Config> propose_batch(std::size_t max_n) = 0;
+
+  /// Report the whole batch, element-wise aligned with what propose_batch
+  /// returned (possibly truncated to a prefix by the driver's budget guard).
+  virtual void report_batch(const std::vector<Config>& configs,
+                            const std::vector<EvaluationResult>& results) = 0;
+
+  [[nodiscard]] virtual bool converged() const = 0;
+  [[nodiscard]] virtual std::optional<Config> best() const = 0;
+  [[nodiscard]] virtual double best_objective() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Batch size 1 wrapper around any serial strategy: the engine sees batches,
+/// the wrapped strategy sees exactly the serial propose/report alternation.
+class SequentialBatchAdapter final : public BatchSearchStrategy {
+ public:
+  /// Non-owning; `inner` must outlive the adapter.
+  explicit SequentialBatchAdapter(SearchStrategy& inner) : inner_(&inner) {}
+
+  [[nodiscard]] std::vector<Config> propose_batch(std::size_t max_n) override;
+  void report_batch(const std::vector<Config>& configs,
+                    const std::vector<EvaluationResult>& results) override;
+  [[nodiscard]] bool converged() const override { return inner_->converged(); }
+  [[nodiscard]] std::optional<Config> best() const override { return inner_->best(); }
+  [[nodiscard]] double best_objective() const override {
+    return inner_->best_objective();
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+ private:
+  SearchStrategy* inner_;
+};
+
+/// Batches a serial strategy whose proposals never depend on reports by
+/// pulling up to max_n proposals ahead, then reporting them in order. Base
+/// for the native batch strategies below; owns the wrapped strategy.
+class IndependentBatchStrategy : public BatchSearchStrategy {
+ public:
+  explicit IndependentBatchStrategy(std::unique_ptr<SearchStrategy> inner);
+
+  [[nodiscard]] std::vector<Config> propose_batch(std::size_t max_n) override;
+  void report_batch(const std::vector<Config>& configs,
+                    const std::vector<EvaluationResult>& results) override;
+  [[nodiscard]] bool converged() const override;
+  [[nodiscard]] std::optional<Config> best() const override { return inner_->best(); }
+  [[nodiscard]] double best_objective() const override {
+    return inner_->best_objective();
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+ private:
+  std::unique_ptr<SearchStrategy> inner_;
+  std::size_t outstanding_ = 0;  // proposals pulled but not yet reported
+};
+
+/// Native batch form of RandomSearch: max_n independent uniform samples.
+class BatchRandomSearch final : public IndependentBatchStrategy {
+ public:
+  BatchRandomSearch(const ParamSpace& space, int max_samples,
+                    std::uint64_t seed = 1);
+};
+
+/// Native batch form of SystematicSampler: max_n consecutive plan points.
+class BatchSystematicSampler final : public IndependentBatchStrategy {
+ public:
+  BatchSystematicSampler(const ParamSpace& space, std::vector<int> samples_per_dim);
+  BatchSystematicSampler(const ParamSpace& space, int samples_per_dim);
+};
+
+/// Native batch form of Exhaustive: max_n consecutive lattice points.
+class BatchExhaustive final : public IndependentBatchStrategy {
+ public:
+  explicit BatchExhaustive(const ParamSpace& space,
+                           std::uint64_t max_points = 1'000'000);
+};
+
+/// Speculative-evaluation Nelder–Mead. Each batch contains every point the
+/// serial simplex might need before its current phase resolves (all initial /
+/// shrink vertices, or the reflection + expansion + both contractions of the
+/// worst vertex); once results arrive the serial state machine is replayed
+/// against them. On a deterministic objective the search trajectory — every
+/// accepted vertex, the restart schedule, the final best — is identical to
+/// the serial NelderMead with the same options.
+class SpeculativeNelderMead final : public BatchSearchStrategy {
+ public:
+  SpeculativeNelderMead(const ParamSpace& space, NelderMeadOptions opts = {},
+                        std::optional<Config> initial = std::nullopt,
+                        ConstraintSet constraints = {});
+
+  [[nodiscard]] std::vector<Config> propose_batch(std::size_t max_n) override;
+  void report_batch(const std::vector<Config>& configs,
+                    const std::vector<EvaluationResult>& results) override;
+  [[nodiscard]] bool converged() const override { return nm_.converged(); }
+  [[nodiscard]] std::optional<Config> best() const override { return nm_.best(); }
+  [[nodiscard]] double best_objective() const override {
+    return nm_.best_objective();
+  }
+  [[nodiscard]] std::string name() const override {
+    return "speculative-nelder-mead";
+  }
+
+  /// The underlying serial state machine (for tests: transformations, ...).
+  [[nodiscard]] const NelderMead& inner() const noexcept { return nm_; }
+
+ private:
+  /// Feed known results through the serial state machine until it asks for a
+  /// configuration we have not evaluated yet (or converges).
+  void drive();
+
+  const ParamSpace* space_;
+  NelderMead nm_;
+  std::unordered_map<std::string, EvaluationResult> results_;
+};
+
+}  // namespace harmony::engine

@@ -1,0 +1,99 @@
+#include "engine/eval_cache.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace harmony::engine {
+
+ConcurrentEvalCache::ConcurrentEvalCache(const ParamSpace& space, std::size_t shards)
+    : space_(&space), shards_(shards == 0 ? 1 : shards) {}
+
+ConcurrentEvalCache::Shard& ConcurrentEvalCache::shard_for(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+ConcurrentEvalCache::Outcome ConcurrentEvalCache::evaluate(
+    const Config& c, const std::function<EvaluationResult()>& compute) {
+  if (!compute) throw std::invalid_argument("ConcurrentEvalCache: null compute");
+  const std::string key = space_->key(c);
+  Shard& shard = shard_for(key);
+
+  std::promise<EvaluationResult> promise;
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    const auto it = shard.table.find(key);
+    if (it != shard.table.end()) {
+      // Completed entry -> plain hit; still running -> coalesce onto it.
+      const bool ready = it->second.wait_for(std::chrono::seconds(0)) ==
+                         std::future_status::ready;
+      if (ready) {
+        ++hits_;
+      } else {
+        ++coalesced_;
+      }
+      auto fut = it->second;
+      // Release the shard before a potentially long wait: holding it would
+      // stall every other key hashed to this shard.
+      lock.unlock();
+      Outcome out;
+      out.coalesced = !ready;
+      out.result = fut.get();
+      return out;
+    }
+    ++misses_;
+    shard.table.emplace(key, promise.get_future().share());
+  }
+
+  try {
+    EvaluationResult r = compute();
+    promise.set_value(r);
+    Outcome out;
+    out.result = std::move(r);
+    out.ran = true;
+    return out;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      // Drop the failed entry so a later call retries; existing waiters
+      // already hold the shared_future and will observe the exception.
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.table.erase(key);
+    }
+    throw;
+  }
+}
+
+std::optional<EvaluationResult> ConcurrentEvalCache::lookup(const Config& c) const {
+  const std::string key = space_->key(c);
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.table.find(key);
+  if (it == shard.table.end() ||
+      it->second.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second.get();
+}
+
+std::size_t ConcurrentEvalCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.table.size();
+  }
+  return n;
+}
+
+void ConcurrentEvalCache::clear() {
+  for (auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.table.clear();
+  }
+  hits_ = 0;
+  misses_ = 0;
+  coalesced_ = 0;
+}
+
+}  // namespace harmony::engine

@@ -1,0 +1,136 @@
+#include "engine/parallel_driver.hpp"
+
+#include <algorithm>
+#include <future>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "engine/eval_cache.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace harmony::engine {
+
+namespace {
+
+/// Per-configuration outcome collected from a worker.
+struct TaskOutcome {
+  EvaluationResult result;
+  bool ran = false;    ///< a short run was actually launched for this config
+  double cost_s = 0.0; ///< restart + warmup + measured, when ran
+};
+
+}  // namespace
+
+ParallelOfflineDriver::ParallelOfflineDriver(const ParamSpace& space,
+                                             ParallelOfflineOptions opts)
+    : space_(&space), opts_(opts), history_(space) {
+  if (opts.max_runs < 1) {
+    throw std::invalid_argument("ParallelOfflineDriver: max_runs < 1");
+  }
+  if (opts.short_run_steps < 1) {
+    throw std::invalid_argument("ParallelOfflineDriver: short_run_steps < 1");
+  }
+  if (opts.restart_overhead_s < 0) {
+    throw std::invalid_argument("ParallelOfflineDriver: negative restart overhead");
+  }
+  if (opts.pool_size < 1) {
+    throw std::invalid_argument("ParallelOfflineDriver: pool_size < 1");
+  }
+  if (opts.max_batch < 0) {
+    throw std::invalid_argument("ParallelOfflineDriver: negative max_batch");
+  }
+}
+
+ParallelOfflineResult ParallelOfflineDriver::tune(SearchStrategy& strategy,
+                                                  const ShortRunFn& run) {
+  SequentialBatchAdapter adapter(strategy);
+  return tune(adapter, run);
+}
+
+ParallelOfflineResult ParallelOfflineDriver::tune(BatchSearchStrategy& strategy,
+                                                  const ShortRunFn& run) {
+  if (!run) throw std::invalid_argument("ParallelOfflineDriver::tune: null run function");
+  history_ = History(*space_);
+  ConcurrentEvalCache cache(*space_);
+  ThreadPool pool(static_cast<std::size_t>(opts_.pool_size));
+  const std::size_t batch_cap = static_cast<std::size_t>(
+      opts_.max_batch > 0 ? opts_.max_batch : opts_.pool_size);
+
+  ParallelOfflineResult out;
+  out.best_measured_s = std::numeric_limits<double>::infinity();
+
+  // Same generous proposal guard as the serial driver: strategies may propose
+  // cached points freely without burning the run budget.
+  const int max_proposals = opts_.max_runs * 64 + 256;
+  int proposals = 0;
+
+  while (out.runs < opts_.max_runs && proposals < max_proposals) {
+    // Budget guard: never ask for (and never submit) more candidates than
+    // the remaining run budget, so max_runs holds even with a batch in
+    // flight. Cached entries consume no budget; any slack this reservation
+    // leaves is available again next batch.
+    const std::size_t want = std::min(
+        batch_cap, static_cast<std::size_t>(opts_.max_runs - out.runs));
+    auto batch = strategy.propose_batch(want);
+    if (batch.empty()) break;
+    if (batch.size() > want) batch.resize(want);  // defensive prefix cut
+    proposals += static_cast<int>(batch.size());
+    ++out.batches;
+
+    std::vector<std::future<TaskOutcome>> futures;
+    futures.reserve(batch.size());
+    for (const auto& c : batch) {
+      futures.push_back(pool.submit([this, &cache, &run, c]() {
+        // One tuning iteration == one representative short run (Section
+        // III): stop, reconfigure, restart, warm up, measure. Every
+        // component of that cost is charged to the tuning bill.
+        double cost_s = 0.0;
+        const auto launch = [&]() {
+          const ShortRunResult r = run(c, opts_.short_run_steps);
+          cost_s = opts_.restart_overhead_s + r.warmup_s + r.measured_s;
+          EvaluationResult res;
+          res.valid = r.ok;
+          res.objective =
+              r.ok ? r.measured_s : std::numeric_limits<double>::infinity();
+          res.metrics["warmup_s"] = r.warmup_s;
+          return res;
+        };
+        TaskOutcome t;
+        if (opts_.use_cache) {
+          const auto o = cache.evaluate(c, launch);
+          t.result = o.result;
+          t.ran = o.ran;
+        } else {
+          t.result = launch();
+          t.ran = true;
+        }
+        t.cost_s = t.ran ? cost_s : 0.0;
+        return t;
+      }));
+    }
+
+    std::vector<EvaluationResult> results(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const TaskOutcome t = futures[i].get();  // rethrows worker exceptions
+      if (t.ran) {
+        ++out.runs;
+        out.total_tuning_cost_s += t.cost_s;
+      }
+      history_.record(batch[i], t.result, /*cached=*/!t.ran);
+      if (t.result.valid && t.result.objective < out.best_measured_s) {
+        out.best_measured_s = t.result.objective;
+        out.best = batch[i];
+      }
+      results[i] = t.result;
+    }
+    strategy.report_batch(batch, results);
+  }
+
+  out.strategy_converged = strategy.converged();
+  out.cache_hits = cache.hits();
+  out.cache_coalesced = cache.coalesced();
+  return out;
+}
+
+}  // namespace harmony::engine

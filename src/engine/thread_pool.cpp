@@ -1,0 +1,63 @@
+#include "engine/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace harmony::engine {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) throw std::invalid_argument("ThreadPool: zero threads");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::post(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+    queue_.push(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::size_t ThreadPool::completed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Graceful shutdown: drain the queue before exiting, so every future
+      // handed out by submit() becomes ready.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();  // packaged_task captures exceptions into the future
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+    }
+  }
+}
+
+}  // namespace harmony::engine

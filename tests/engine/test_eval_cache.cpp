@@ -1,0 +1,178 @@
+#include "engine/eval_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <latch>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/param_space.hpp"
+#include "core/parameter.hpp"
+
+namespace {
+
+using harmony::Config;
+using harmony::EvaluationResult;
+using harmony::Parameter;
+using harmony::ParamSpace;
+using harmony::engine::ConcurrentEvalCache;
+
+ParamSpace line(int n) {
+  ParamSpace s;
+  s.add(Parameter::Integer("x", 0, n - 1));
+  return s;
+}
+
+Config at(const ParamSpace& s, std::int64_t x) {
+  Config c = s.default_config();
+  s.set(c, "x", x);
+  return c;
+}
+
+EvaluationResult value(double v) {
+  EvaluationResult r;
+  r.objective = v;
+  return r;
+}
+
+TEST(ConcurrentEvalCache, MissThenHitCounters) {
+  const auto s = line(10);
+  ConcurrentEvalCache cache(s);
+  int computed = 0;
+  const auto compute = [&] {
+    ++computed;
+    return value(3.5);
+  };
+
+  const auto first = cache.evaluate(at(s, 4), compute);
+  EXPECT_TRUE(first.ran);
+  EXPECT_FALSE(first.coalesced);
+  EXPECT_DOUBLE_EQ(first.result.objective, 3.5);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  const auto second = cache.evaluate(at(s, 4), compute);
+  EXPECT_FALSE(second.ran);
+  EXPECT_FALSE(second.coalesced);
+  EXPECT_DOUBLE_EQ(second.result.objective, 3.5);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(computed, 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ConcurrentEvalCache, LookupDoesNotCompute) {
+  const auto s = line(10);
+  ConcurrentEvalCache cache(s);
+  EXPECT_FALSE(cache.lookup(at(s, 2)).has_value());
+  (void)cache.evaluate(at(s, 2), [] { return value(1.0); });
+  const auto hit = cache.lookup(at(s, 2));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->objective, 1.0);
+}
+
+TEST(ConcurrentEvalCache, InFlightCoalescing) {
+  // Barrier-gated slow objective: worker A starts computing config X and
+  // blocks; worker B then asks for X and must coalesce onto A's evaluation
+  // (counted separately from completed-entry hits) instead of computing.
+  const auto s = line(10);
+  ConcurrentEvalCache cache(s);
+  std::latch gate(1);
+  std::atomic<int> computed{0};
+
+  std::thread a([&] {
+    const auto out = cache.evaluate(at(s, 7), [&] {
+      ++computed;
+      gate.wait();  // hold the evaluation open until B is provably waiting
+      return value(9.0);
+    });
+    EXPECT_TRUE(out.ran);
+    EXPECT_FALSE(out.coalesced);
+  });
+
+  // Wait until A is inside the computation (its miss is recorded first).
+  while (cache.misses() == 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+
+  std::thread b([&] {
+    const auto out = cache.evaluate(at(s, 7), [&] {
+      ++computed;
+      return value(-1.0);  // must never run
+    });
+    EXPECT_FALSE(out.ran);
+    EXPECT_TRUE(out.coalesced);
+    EXPECT_DOUBLE_EQ(out.result.objective, 9.0);
+  });
+
+  // B registers as coalesced before blocking on the shared future.
+  while (cache.coalesced() == 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  gate.count_down();
+  a.join();
+  b.join();
+
+  EXPECT_EQ(computed.load(), 1);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.coalesced(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ConcurrentEvalCache, ThrowingComputeRetriesLater) {
+  const auto s = line(10);
+  ConcurrentEvalCache cache(s);
+  EXPECT_THROW((void)cache.evaluate(
+                   at(s, 3),
+                   []() -> EvaluationResult { throw std::runtime_error("fail"); }),
+               std::runtime_error);
+  // The failed entry was dropped: the next call computes again.
+  const auto out = cache.evaluate(at(s, 3), [] { return value(2.0); });
+  EXPECT_TRUE(out.ran);
+  EXPECT_DOUBLE_EQ(out.result.objective, 2.0);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(ConcurrentEvalCache, ClearResetsStateAndCounters) {
+  const auto s = line(10);
+  ConcurrentEvalCache cache(s);
+  (void)cache.evaluate(at(s, 1), [] { return value(1.0); });
+  (void)cache.evaluate(at(s, 1), [] { return value(1.0); });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.coalesced(), 0u);
+  const auto out = cache.evaluate(at(s, 1), [] { return value(4.0); });
+  EXPECT_TRUE(out.ran);
+}
+
+TEST(ConcurrentEvalCache, ManyThreadsSharedAndDistinctKeys) {
+  const auto s = line(8);
+  ConcurrentEvalCache cache(s);
+  std::atomic<int> computed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const std::int64_t x = (t + i) % 8;
+        const auto out = cache.evaluate(at(s, x), [&] {
+          ++computed;
+          return value(static_cast<double>(x));
+        });
+        EXPECT_DOUBLE_EQ(out.result.objective, static_cast<double>(x));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every key computed exactly once, everything else served from the table.
+  EXPECT_EQ(computed.load(), 8);
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_EQ(cache.misses(), 8u);
+  EXPECT_EQ(cache.hits() + cache.coalesced(), 8u * 50u - 8u);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#include "engine/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <latch>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using harmony::engine::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTaskAndReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ZeroThreadsThrows) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  // The worker must survive a throwing task.
+  auto ok = pool.submit([] { return 1; });
+  EXPECT_EQ(ok.get(), 1);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingWork) {
+  // Queue far more tasks than workers, then shut down immediately: graceful
+  // shutdown must finish every accepted task, so all futures become ready.
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ++done;
+      }));
+    }
+    pool.shutdown();
+    EXPECT_EQ(pool.completed(), 64u);
+  }
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] { return 0; }), std::runtime_error);
+}
+
+TEST(ThreadPool, TasksExecuteConcurrently) {
+  // Two tasks that can only finish together: requires two live workers.
+  ThreadPool pool(2);
+  std::latch rendezvous(2);
+  auto a = pool.submit([&] { rendezvous.arrive_and_wait(); });
+  auto b = pool.submit([&] { rendezvous.arrive_and_wait(); });
+  // Completing at all requires both tasks to be in flight simultaneously.
+  a.get();
+  b.get();
+}
+
+TEST(ThreadPool, SizeReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ManyProducersOneQueue) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> producers;
+  std::mutex m;
+  std::vector<std::future<void>> futures;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < 25; ++i) {
+        auto f = pool.submit([&sum, p, i] { sum += p * 100 + i % 3; });
+        const std::lock_guard<std::mutex> lock(m);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(futures.size(), 100u);
+  EXPECT_EQ(pool.completed(), 100u);
+}
+
+}  // namespace

@@ -1,0 +1,362 @@
+// bench_gate: the CI benchmark regression gate.
+//
+// Runs two small, fully deterministic tuning workloads (a GS2 systematic
+// sweep through the parallel engine and a POP Nelder-Mead search through the
+// serial driver), writes one BENCH_<name>.json report per workload, and
+// compares the fresh results against checked-in baselines:
+//
+//  * evaluations-to-best — how many distinct short runs the search needed
+//    before it first reached its final best objective. Deterministic: a
+//    change here means the search behaviour itself changed.
+//  * wall-clock ratio — workload wall time divided by the wall time of a
+//    fixed in-process calibration loop measured in the same run. Comparing
+//    ratios instead of raw seconds makes the baselines roughly
+//    machine-independent; each evaluation also performs a fixed amount of
+//    arithmetic so host-wide slowdowns cancel out of the ratio.
+//
+// Exits nonzero when either metric regresses past its tolerance (default
+// 20%, per --evals-tol / --wall-tol) or when the best objective itself gets
+// worse. `--update` rewrites the baselines instead of comparing.
+//
+// AH_GATE_SLOWDOWN_US=<n> injects an n-microsecond busy spin into every
+// evaluation — a deliberate slowdown used by the test suite to prove the
+// gate actually trips.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/harmony.hpp"
+#include "engine/engine.hpp"
+#include "minigs2/minigs2.hpp"
+#include "minipop/minipop.hpp"
+#include "obs/bench_report.hpp"
+#include "simcluster/simcluster.hpp"
+
+using harmony::Config;
+namespace obs = harmony::obs;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct GateOptions {
+  std::string baselines_dir;  // required unless --update writes them
+  std::string out_dir = obs::bench_out_dir();
+  bool update = false;
+  double evals_tol = 0.20;
+  double wall_tol = 0.20;
+  int reps = 3;  // wall time is the min over this many repetitions
+};
+
+int g_slowdown_us = 0;  // from AH_GATE_SLOWDOWN_US
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Fixed-iteration dependent arithmetic chain. Used both as the per-eval
+/// workload and (with a larger count) as the calibration loop, so the
+/// wall-clock ratio is dominated by work that scales identically on any host.
+double spin_work(std::uint64_t iters) {
+  double x = 1.0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x = x * 1.0000000931322575 + 1e-9;  // dependent chain: not vectorizable
+  }
+  return x;
+}
+volatile double g_spin_sink = 0.0;
+
+void per_eval_work() {
+  g_spin_sink = spin_work(400'000);
+  if (g_slowdown_us > 0) {
+    const auto until = Clock::now() + std::chrono::microseconds(g_slowdown_us);
+    while (Clock::now() < until) {
+    }
+  }
+}
+
+/// Wall time of the calibration loop (min over 3 measurements).
+double calibrate() {
+  double best = 1e300;
+  for (int i = 0; i < 3; ++i) {
+    const auto t0 = Clock::now();
+    g_spin_sink = spin_work(20'000'000);
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+// ---- workload 1: GS2 systematic sweep through the parallel engine ---------
+
+obs::BenchReport run_gate_gs2_sweep(int reps) {
+  const minigs2::Gs2Model model;
+  harmony::ParamSpace space;
+  space.add(harmony::Parameter::Integer("negrid", 4, 16));
+  space.add(harmony::Parameter::Integer("ntheta", 10, 32, 2));
+  space.add(harmony::Parameter::Integer("nodes", 1, 64));
+  const std::vector<int> plan{4, 4, 23};  // 368 evenly spaced points
+
+  const auto short_run = [&](const Config& c, int steps) {
+    minigs2::Resolution res;
+    res.negrid = static_cast<int>(space.get_int(c, "negrid"));
+    res.ntheta = static_cast<int>(space.get_int(c, "ntheta"));
+    const int nodes = static_cast<int>(space.get_int(c, "nodes"));
+    const auto machine = simcluster::presets::xeon_myrinet(nodes, 2);
+    harmony::ShortRunResult r;
+    r.measured_s = model.run_time(machine, 2 * nodes, res,
+                                  minigs2::Layout("lxyes"),
+                                  minigs2::CollisionModel::None, steps);
+    per_eval_work();
+    return r;
+  };
+
+  obs::BenchReport report;
+  report.name = "gate_gs2_sweep";
+  double wall = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    harmony::engine::ParallelOfflineOptions opts;
+    opts.max_runs = 368;
+    opts.pool_size = 4;
+    opts.max_batch = 16;
+    harmony::engine::ParallelOfflineDriver driver(space, opts);
+    harmony::engine::BatchSystematicSampler sweep(space, plan);
+    const auto t0 = Clock::now();
+    const auto result = driver.tune(sweep, short_run);
+    wall = std::min(wall, seconds_since(t0));
+    report.best_config = space.format(*result.best);
+    report.best_value = result.best_measured_s;
+    report.evaluations = result.runs;
+    report.evals_to_best = driver.history().evals_to_best();
+    report.metrics["cache_hits"] =
+        static_cast<double>(result.cache_hits + result.cache_coalesced);
+    report.metrics["batches"] = result.batches;
+  }
+  report.wall_s = wall;
+  return report;
+}
+
+// ---- workload 2: POP block-size Nelder-Mead through the serial driver -----
+
+obs::BenchReport run_gate_pop_nm(int reps) {
+  const minipop::PopGrid grid = minipop::PopGrid::production();
+  const minipop::PopModel model(grid);
+  const auto pspace = minipop::make_param_space(32);
+  const auto mult =
+      minipop::evaluate_multipliers(pspace, minipop::default_config(pspace));
+  const auto machine = simcluster::presets::nersc_sp3(30, 16);
+
+  harmony::ParamSpace space;
+  space.add(harmony::Parameter::Integer("block_x", 30, 720, 6));
+  space.add(harmony::Parameter::Integer("block_y", 24, 600, 4));
+  Config start = space.default_config();
+  space.set(start, "block_x", std::int64_t{180});
+  space.set(start, "block_y", std::int64_t{100});
+
+  const auto short_run = [&](const Config& c, int) {
+    const minipop::BlockShape shape{
+        static_cast<int>(space.get_int(c, "block_x")),
+        static_cast<int>(space.get_int(c, "block_y"))};
+    harmony::ShortRunResult r;
+    r.measured_s = model.step_time(machine, 16, shape, mult).total_s;
+    per_eval_work();
+    return r;
+  };
+
+  obs::BenchReport report;
+  report.name = "gate_pop_nm";
+  double wall = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    harmony::OfflineOptions opts;
+    opts.max_runs = 400;
+    harmony::OfflineDriver driver(space, opts);
+    harmony::NelderMeadOptions nm_opts;
+    nm_opts.max_restarts = 2;
+    harmony::NelderMead nm(space, nm_opts, start);
+    const auto t0 = Clock::now();
+    const auto result = driver.tune(nm, short_run);
+    wall = std::min(wall, seconds_since(t0));
+    report.best_config = space.format(*result.best);
+    report.best_value = result.best_measured_s;
+    report.evaluations = result.runs;
+    report.evals_to_best = driver.history().evals_to_best();
+    report.metrics["cache_hits"] =
+        static_cast<double>(driver.history().cached_count());
+  }
+  report.wall_s = wall;
+  return report;
+}
+
+// ---- gate ------------------------------------------------------------------
+
+struct CheckRow {
+  std::string label;
+  double baseline;
+  double current;
+  double limit;  // current must stay <= limit
+  bool ok;
+};
+
+/// Compare one fresh report against its baseline; append rows; return ok.
+bool check_report(const obs::BenchReport& fresh, const obs::BenchReport& base,
+                  const GateOptions& gate, std::vector<CheckRow>& rows) {
+  bool ok = true;
+  const auto add = [&](const std::string& label, double baseline, double current,
+                       double limit) {
+    const bool row_ok = current <= limit;
+    rows.push_back({fresh.name + "." + label, baseline, current, limit, row_ok});
+    ok = ok && row_ok;
+  };
+  add("evals_to_best", static_cast<double>(base.evals_to_best),
+      static_cast<double>(fresh.evals_to_best),
+      static_cast<double>(base.evals_to_best) * (1.0 + gate.evals_tol));
+  const double base_ratio = base.metrics.count("wall_ratio")
+                                ? base.metrics.at("wall_ratio")
+                                : 0.0;
+  const double fresh_ratio = fresh.metrics.at("wall_ratio");
+  add("wall_ratio", base_ratio, fresh_ratio, base_ratio * (1.0 + gate.wall_tol));
+  // The searches are deterministic: the tuned objective must not get worse.
+  add("best_value", base.best_value, fresh.best_value,
+      base.best_value * 1.0001 + 1e-12);
+  if (fresh.best_config != base.best_config) {
+    std::printf("note: %s best config changed: '%s' -> '%s'\n",
+                fresh.name.c_str(), base.best_config.c_str(),
+                fresh.best_config.c_str());
+  }
+  return ok;
+}
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--baselines DIR] [--out DIR] [--update]\n"
+      "          [--evals-tol F] [--wall-tol F] [--runs N]\n\n"
+      "Runs the gate workloads, writes BENCH_<name>.json into --out, and\n"
+      "compares against the baselines in --baselines (exit 1 on regression).\n"
+      "--update rewrites the baselines from the fresh run instead.\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  GateOptions gate;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--baselines") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      gate.baselines_dir = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      gate.out_dir = v;
+    } else if (arg == "--update") {
+      gate.update = true;
+    } else if (arg == "--evals-tol") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      gate.evals_tol = std::atof(v);
+    } else if (arg == "--wall-tol") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      gate.wall_tol = std::atof(v);
+    } else if (arg == "--runs") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      gate.reps = std::max(1, std::atoi(v));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (gate.baselines_dir.empty()) {
+    std::printf("error: --baselines DIR is required\n");
+    return usage(argv[0]);
+  }
+  if (const char* env = std::getenv("AH_GATE_SLOWDOWN_US")) {
+    g_slowdown_us = std::atoi(env);
+    if (g_slowdown_us > 0) {
+      std::printf("injecting %d us of slowdown per evaluation "
+                  "(AH_GATE_SLOWDOWN_US)\n",
+                  g_slowdown_us);
+    }
+  }
+
+  std::printf("== bench_gate: benchmark regression gate ==\n");
+  const double calib_s = calibrate();
+  std::printf("calibration loop: %.4f s\n", calib_s);
+
+  std::vector<obs::BenchReport> reports;
+  reports.push_back(run_gate_gs2_sweep(gate.reps));
+  reports.push_back(run_gate_pop_nm(gate.reps));
+  for (auto& r : reports) {
+    r.metrics["wall_ratio"] = r.wall_s / calib_s;
+    r.metrics["calib_s"] = calib_s;
+    std::printf("%s: best %s = %.4f, %d evals (%d to best), wall %.4f s "
+                "(ratio %.3f)\n",
+                r.name.c_str(), r.best_config.c_str(), r.best_value,
+                r.evaluations, r.evals_to_best, r.wall_s,
+                r.metrics["wall_ratio"]);
+  }
+
+  // Always drop fresh reports into --out for CI artifact upload.
+  for (const auto& r : reports) {
+    if (const auto path = r.write_file(gate.out_dir)) {
+      std::printf("wrote %s\n", path->c_str());
+    } else {
+      std::printf("error: could not write report into '%s'\n",
+                  gate.out_dir.c_str());
+      return 2;
+    }
+  }
+
+  if (gate.update) {
+    for (const auto& r : reports) {
+      const auto path = r.write_file(gate.baselines_dir);
+      if (!path) {
+        std::printf("error: could not write baseline into '%s'\n",
+                    gate.baselines_dir.c_str());
+        return 2;
+      }
+      std::printf("updated baseline %s\n", path->c_str());
+    }
+    return 0;
+  }
+
+  bool ok = true;
+  std::vector<CheckRow> rows;
+  for (const auto& r : reports) {
+    const std::string path =
+        gate.baselines_dir + "/" + obs::BenchReport::filename(r.name);
+    const auto base = obs::BenchReport::load(path);
+    if (!base) {
+      std::printf("error: missing or unreadable baseline %s "
+                  "(run with --update to create it)\n",
+                  path.c_str());
+      return 2;
+    }
+    ok = check_report(r, *base, gate, rows) && ok;
+  }
+
+  harmony::TextTable table({"check", "baseline", "current", "limit", "status"});
+  for (const auto& row : rows) {
+    table.add_row({row.label, harmony::fmt(row.baseline, 3),
+                   harmony::fmt(row.current, 3), harmony::fmt(row.limit, 3),
+                   row.ok ? "ok" : "REGRESSED"});
+  }
+  table.print(std::cout);
+
+  if (!ok) {
+    std::printf("\nFAILED: benchmark regression past tolerance "
+                "(evals-tol %.0f%%, wall-tol %.0f%%)\n",
+                100.0 * gate.evals_tol, 100.0 * gate.wall_tol);
+    return 1;
+  }
+  std::printf("\nall benchmarks within tolerance\n");
+  return 0;
+}

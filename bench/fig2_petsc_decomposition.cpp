@@ -9,12 +9,14 @@
 //      laptop-fast — the shape, not the absolute size, is reproduced).
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 
 #include "core/harmony.hpp"
 #include "minipetsc/minipetsc.hpp"
+#include "obs/bench_report.hpp"
 #include "simcluster/simcluster.hpp"
 
 using namespace minipetsc;
@@ -164,6 +166,7 @@ int main() {
     harmony::NelderMead nm(space, nm_opts, start);
     harmony::TunerOptions topts;
     topts.max_iterations = 400;
+    const auto tune_start = std::chrono::steady_clock::now();
     harmony::Tuner tuner(space, topts);
     const auto result = tuner.run(nm, [&](const Config& c) {
       harmony::EvaluationResult r;
@@ -197,6 +200,26 @@ int main() {
     const double log10_space = 31.0 * std::log10(21024.0);
     std::printf("  raw search space: O(10^%.0f) points (paper: O(10^100))\n",
                 log10_space);
+
+    harmony::obs::BenchReport report;
+    report.name = "fig2_petsc_decomposition";
+    report.best_config =
+        polished.best_result.objective < result.best_result.objective
+            ? "polished weights"
+            : "simplex weights";
+    report.best_value = t_tuned;
+    report.evaluations = result.iterations + polished.iterations;
+    report.evals_to_best = tuner.history().evals_to_best();
+    report.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      tune_start)
+            .count();
+    report.speedup = t_default / t_tuned;
+    report.metrics["default_ms"] = 1e3 * t_default;
+    report.metrics["tuned_ms"] = 1e3 * t_tuned;
+    if (const auto path = report.write_file(harmony::obs::bench_out_dir())) {
+      std::printf("  wrote %s\n", path->c_str());
+    }
   }
   return 0;
 }

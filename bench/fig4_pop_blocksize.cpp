@@ -8,11 +8,13 @@
 // machine reproduces the *shape* (topology-dependent optimum, default
 // suboptimal everywhere) with a smaller magnitude — see EXPERIMENTS.md.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "core/harmony.hpp"
 #include "minipop/minipop.hpp"
+#include "obs/bench_report.hpp"
 #include "simcluster/simcluster.hpp"
 
 using namespace minipop;
@@ -38,6 +40,11 @@ int main() {
 
   const int topologies[][2] = {{30, 16}, {48, 10}, {60, 8},
                                {80, 6},  {120, 4}, {240, 2}};
+  harmony::obs::BenchReport report;
+  report.name = "fig4_pop_blocksize";
+  double total_tuned = 0.0;
+  double total_default = 0.0;
+  const auto bench_start = std::chrono::steady_clock::now();
   for (const auto& t : topologies) {
     const int nodes = t[0];
     const int ppn = t[1];
@@ -77,8 +84,27 @@ int main() {
                    harmony::percent_improvement(t_default, t_tuned)});
     rows.push_back({topo + " (" + block + ")", t_tuned, t_default});
     worst_bar = std::max(worst_bar, t_default);
+
+    if (!report.best_config.empty()) report.best_config += "; ";
+    report.best_config += topo + ":" + block;
+    report.evaluations += result.iterations;
+    report.evals_to_best =
+        std::max(report.evals_to_best, tuner.history().evals_to_best());
+    total_tuned += t_tuned;
+    total_default += t_default;
   }
   table.print(std::cout);
+
+  report.best_value = total_tuned;  // summed tuned s/step over all topologies
+  report.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  report.speedup = total_default / total_tuned;
+  report.metrics["total_default_s"] = total_default;
+  if (const auto path = report.write_file(harmony::obs::bench_out_dir())) {
+    std::printf("wrote %s\n", path->c_str());
+  }
 
   std::printf("\nexecution-time bars (first=tuned, second=default), as in the figure:\n");
   for (const auto& row : rows) {

@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -29,6 +30,8 @@
 #include "engine/engine.hpp"
 #include "minigs2/minigs2.hpp"
 #include "minipop/minipop.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/trace.hpp"
 #include "simcluster/simcluster.hpp"
 
 using harmony::Config;
@@ -89,17 +92,23 @@ int main() {
     harmony::TextTable table(
         {"pool", "runs", "wall (s)", "speedup", "best config", "best (s)"});
     double wall8 = serial_wall;
+    int runs8 = serial_result.runs;
+    harmony::obs::SearchTracer tracer;  // attached to the pool-8 run
     for (const int pool : {1, 2, 4, 8}) {
       harmony::engine::ParallelOfflineOptions opts;
       opts.max_runs = 368;
       opts.pool_size = pool;
       opts.max_batch = 4 * pool;
+      if (pool == 8) opts.tracer = &tracer;
       const auto t1 = Clock::now();
       harmony::engine::ParallelOfflineDriver driver(space, opts);
       harmony::engine::BatchSystematicSampler sweep(space, plan);
       const auto result = driver.tune(sweep, short_run);
       const double wall = seconds_since(t1);
-      if (pool == 8) wall8 = wall;
+      if (pool == 8) {
+        wall8 = wall;
+        runs8 = result.runs;
+      }
       const std::string best = space.format(*result.best);
       table.add_row({std::to_string(pool), std::to_string(result.runs),
                      harmony::fmt(wall), harmony::speedup(serial_wall, wall),
@@ -115,6 +124,31 @@ int main() {
     std::printf("pool 8 speedup on the sweep: %.2fx (required >= 3x)\n",
                 sweep_speedup);
     if (sweep_speedup < 3.0) ok = false;
+
+    // Export the pool-8 search trace (one lane per pool worker) for
+    // chrome://tracing, plus the machine-readable report for CI artifacts.
+    const std::string out_dir = harmony::obs::bench_out_dir();
+    const std::string trace_path = out_dir + "/trace_parallel_speedup.json";
+    std::ofstream trace_os(trace_path);
+    if (trace_os) {
+      tracer.write_chrome_trace(trace_os);
+      std::printf("wrote %s (%zu events across %zu worker lanes)\n",
+                  trace_path.c_str(), tracer.size(), tracer.lanes());
+    }
+
+    harmony::obs::BenchReport report;
+    report.name = "parallel_speedup_gs2_sweep";
+    report.best_config = serial_best;
+    report.best_value = serial_result.best_measured_s;
+    report.evaluations = runs8;
+    report.evals_to_best = serial_driver.history().evals_to_best();
+    report.wall_s = wall8;
+    report.speedup = sweep_speedup;
+    report.metrics["serial_wall_s"] = serial_wall;
+    report.metrics["trace_lanes"] = static_cast<double>(tracer.lanes());
+    if (const auto path = report.write_file(out_dir)) {
+      std::printf("wrote %s\n", path->c_str());
+    }
   }
 
   // ---- Fig. 4 search: POP block size via speculative Nelder-Mead ----
@@ -161,6 +195,8 @@ int main() {
 
     harmony::TextTable table(
         {"pool", "runs", "wall (s)", "speedup", "best config"});
+    double wall8 = serial_wall;
+    int runs8 = serial_result.runs;
     for (const int pool : {1, 2, 4, 8}) {
       harmony::engine::ParallelOfflineOptions opts;
       opts.max_runs = 400;
@@ -170,6 +206,10 @@ int main() {
       harmony::engine::SpeculativeNelderMead spec(space, nm_opts, start);
       const auto result = driver.tune(spec, short_run);
       const double wall = seconds_since(t1);
+      if (pool == 8) {
+        wall8 = wall;
+        runs8 = result.runs;
+      }
       table.add_row({std::to_string(pool), std::to_string(result.runs),
                      harmony::fmt(wall), harmony::speedup(serial_wall, wall),
                      space.format(*result.best)});
@@ -182,6 +222,20 @@ int main() {
     std::printf("(speculation evaluates reflection/expansion/contractions "
                 "concurrently;\n speedup is bounded by the simplex's ~2 "
                 "useful points per iteration)\n");
+
+    harmony::obs::BenchReport report;
+    report.name = "parallel_speedup_pop_nm";
+    report.best_config = serial_best;
+    report.best_value = serial_result.best_measured_s;
+    report.evaluations = runs8;
+    report.evals_to_best = serial_driver.history().evals_to_best();
+    report.wall_s = wall8;
+    report.speedup = serial_wall / wall8;
+    report.metrics["serial_wall_s"] = serial_wall;
+    if (const auto path =
+            report.write_file(harmony::obs::bench_out_dir())) {
+      std::printf("wrote %s\n", path->c_str());
+    }
   }
 
   if (!ok) {

@@ -32,6 +32,14 @@ double History::best_after(int k) const {
   return best;
 }
 
+int History::evals_to_best() const {
+  int at = 0;
+  for (const auto& e : entries_) {
+    if (e.improved) at = e.iteration;
+  }
+  return at;
+}
+
 std::vector<History::ParamChange> History::improvement_trace() const {
   std::vector<ParamChange> out;
   const Config* incumbent = nullptr;

@@ -55,6 +55,11 @@ class History {
   /// convergence curves); k past the end returns the final best.
   [[nodiscard]] double best_after(int k) const;
 
+  /// Distinct evaluations needed before the final best objective was first
+  /// reached — the convergence-speed number the benchmark regression gate
+  /// compares across commits. Zero when nothing valid was recorded.
+  [[nodiscard]] int evals_to_best() const;
+
   /// For each improving iteration, which parameters changed relative to the
   /// previous incumbent: the exact shape of the paper's Table I rows.
   struct ParamChange {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace harmony {
 
 namespace {
@@ -144,6 +146,7 @@ void NelderMead::report(const Config& c, const EvaluationResult& r) {
       if (value < f_second_worst) {
         simplex_[n] = Vertex{reflected_coords_, value, true};
         ++transformations_;
+        obs::count("nm.reflect");
         begin_iteration();
         return;
       }
@@ -173,8 +176,10 @@ void NelderMead::report(const Config& c, const EvaluationResult& r) {
       const std::size_t n = simplex_.size() - 1;
       if (value < reflected_value_) {
         simplex_[n] = Vertex{pending_coords_, value, true};
+        obs::count("nm.expand");
       } else {
         simplex_[n] = Vertex{reflected_coords_, reflected_value_, true};
+        obs::count("nm.reflect");
       }
       ++transformations_;
       begin_iteration();
@@ -185,6 +190,7 @@ void NelderMead::report(const Config& c, const EvaluationResult& r) {
       if (value <= reflected_value_) {
         simplex_[n] = Vertex{pending_coords_, value, true};
         ++transformations_;
+        obs::count("nm.contract_outside");
         begin_iteration();
       } else {
         begin_shrink();
@@ -196,6 +202,7 @@ void NelderMead::report(const Config& c, const EvaluationResult& r) {
       if (value < simplex_[n].value) {
         simplex_[n] = Vertex{pending_coords_, value, true};
         ++transformations_;
+        obs::count("nm.contract_inside");
         begin_iteration();
       } else {
         begin_shrink();
@@ -313,6 +320,7 @@ void NelderMead::begin_shrink() {
     vert.evaluated = false;
   }
   ++transformations_;
+  obs::count("nm.shrink");
   phase_ = Phase::Shrink;
   pending_index_ = 1;
 }
@@ -323,6 +331,7 @@ void NelderMead::maybe_restart() {
     return;
   }
   ++restarts_used_;
+  obs::count("nm.restart");
   current_step_fraction_ = std::max(current_step_fraction_ * opts_.restart_shrink,
                                     1e-3);
   // Jitter the restart center slightly so a re-seeded simplex does not

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "core/evaluation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace harmony {
 
@@ -29,17 +31,22 @@ OfflineResult OfflineDriver::tune(SearchStrategy& strategy, const ShortRunFn& ru
   const int max_proposals = opts_.max_runs * 64 + 256;
   int proposals = 0;
 
+  obs::SearchTracer* const tracer = opts_.tracer;
+
   while (out.runs < opts_.max_runs && proposals < max_proposals) {
     auto proposal = strategy.propose();
     if (!proposal) break;
     ++proposals;
+    obs::count("offline.proposals");
 
+    const double t_start_us = tracer != nullptr ? tracer->now_us() : 0.0;
     EvaluationResult result;
     bool cached = false;
     if (opts_.use_cache) {
       if (auto hit = cache.lookup(*proposal)) {
         result = *hit;
         cached = true;
+        obs::count("offline.cache_hits");
       }
     }
     if (!cached) {
@@ -54,6 +61,13 @@ OfflineResult OfflineDriver::tune(SearchStrategy& strategy, const ShortRunFn& ru
           r.ok ? r.measured_s : std::numeric_limits<double>::infinity();
       result.metrics["warmup_s"] = r.warmup_s;
       if (opts_.use_cache) cache.store(*proposal, result);
+      obs::count("offline.runs");
+      obs::observe("offline.short_run_s", r.warmup_s + r.measured_s);
+    }
+    if (tracer != nullptr) {
+      tracer->record({strategy.name(), space_->format(*proposal),
+                      result.objective, result.valid, cached, /*thread_lane=*/0,
+                      t_start_us, tracer->now_us()});
     }
     history_.record(*proposal, result, cached);
     strategy.report(*proposal, result);

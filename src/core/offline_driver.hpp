@@ -17,6 +17,10 @@
 #include "core/strategy.hpp"
 #include "core/tuner.hpp"
 
+namespace harmony::obs {
+class SearchTracer;
+}  // namespace harmony::obs
+
 namespace harmony {
 
 /// One representative short run of the application under configuration `c`,
@@ -34,6 +38,12 @@ struct OfflineOptions {
   int max_runs = 40;              ///< tuning-iteration budget (distinct runs)
   double restart_overhead_s = 0;  ///< stop/reconfigure/restart cost per run
   bool use_cache = true;          ///< skip re-running configurations already measured
+
+  /// Optional per-evaluation tracer (not owned; may be null). When set, the
+  /// driver records one TraceEvent per proposal — strategy, point, objective,
+  /// cache hit/miss, wall-clock span — independent of obs::enabled(), which
+  /// only gates the aggregate metrics.
+  obs::SearchTracer* tracer = nullptr;
 };
 
 struct OfflineResult {

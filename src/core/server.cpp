@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/protocol.hpp"
+#include "obs/metrics.hpp"
 
 namespace harmony {
 
@@ -48,6 +49,7 @@ void TuningServer::accept_loop() {
     net::Socket client = net::accept_connection(listener_);
     if (!client.valid()) break;  // listener closed by stop()
     ++sessions_;
+    obs::count("server.sessions");
     const std::lock_guard<std::mutex> lock(workers_mutex_);
     workers_.emplace_back(
         [this, c = std::move(client)]() mutable { serve_client(std::move(c)); });
@@ -70,6 +72,7 @@ void TuningServer::serve_client(net::Socket client) {
     if (!line) return;  // peer closed
     const auto msg = proto::parse_line(*line);
     if (!msg) continue;
+    obs::count("server.messages");
 
     if (msg->verb == "HELLO") {
       if (!send("OK harmony-server/1.0")) return;
@@ -132,6 +135,7 @@ void TuningServer::serve_client(net::Socket client) {
       }
       pending = std::move(*proposal);
       --iterations_left;
+      obs::count("server.fetches");
       if (!send("CONFIG " + proto::encode_config(space, *pending))) return;
     } else if (msg->verb == "REPORT") {
       if (!search || !pending) {
@@ -154,6 +158,8 @@ void TuningServer::serve_client(net::Socket client) {
       r.valid = std::isfinite(value);
       search->report(*pending, r);
       pending.reset();
+      // One completed FETCH -> REPORT pair is one tuning round trip.
+      obs::count("server.roundtrips");
       if (!send("OK")) return;
     } else if (msg->verb == "BEST") {
       if (!search || !search->best()) {

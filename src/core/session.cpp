@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace harmony {
 
 Session::Session(std::string app_name) : app_name_(std::move(app_name)) {
@@ -89,6 +91,7 @@ bool Session::fetch() {
     return false;
   }
   ++fetches_;
+  obs::count("session.fetches");
   current_ = std::move(*proposal);
   write_bound(*current_);
   awaiting_report_ = true;
@@ -100,6 +103,7 @@ void Session::report(double performance) {
     throw std::logic_error("Session::report without a pending fetch()");
   }
   awaiting_report_ = false;
+  obs::count("session.reports");
   EvaluationResult r;
   r.objective = performance;
   r.valid = true;

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace harmony::engine {
 
 ConcurrentEvalCache::ConcurrentEvalCache(const ParamSpace& space, std::size_t shards)
@@ -28,8 +30,10 @@ ConcurrentEvalCache::Outcome ConcurrentEvalCache::evaluate(
                          std::future_status::ready;
       if (ready) {
         ++hits_;
+        obs::count("engine.cache.hits");
       } else {
         ++coalesced_;
+        obs::count("engine.cache.coalesced");
       }
       auto fut = it->second;
       // Release the shard before a potentially long wait: holding it would
@@ -41,6 +45,7 @@ ConcurrentEvalCache::Outcome ConcurrentEvalCache::evaluate(
       return out;
     }
     ++misses_;
+    obs::count("engine.cache.misses");
     shard.table.emplace(key, promise.get_future().share());
   }
 

@@ -8,6 +8,8 @@
 
 #include "engine/eval_cache.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace harmony::engine {
 
@@ -65,6 +67,9 @@ ParallelOfflineResult ParallelOfflineDriver::tune(BatchSearchStrategy& strategy,
   const int max_proposals = opts_.max_runs * 64 + 256;
   int proposals = 0;
 
+  obs::SearchTracer* const tracer = opts_.tracer;
+  const std::string strategy_name = strategy.name();
+
   while (out.runs < opts_.max_runs && proposals < max_proposals) {
     // Budget guard: never ask for (and never submit) more candidates than
     // the remaining run budget, so max_runs holds even with a batch in
@@ -77,18 +82,22 @@ ParallelOfflineResult ParallelOfflineDriver::tune(BatchSearchStrategy& strategy,
     if (batch.size() > want) batch.resize(want);  // defensive prefix cut
     proposals += static_cast<int>(batch.size());
     ++out.batches;
+    obs::count("engine.driver.batches");
+    obs::count("engine.driver.proposals", batch.size());
 
     std::vector<std::future<TaskOutcome>> futures;
     futures.reserve(batch.size());
     for (const auto& c : batch) {
-      futures.push_back(pool.submit([this, &cache, &run, c]() {
+      futures.push_back(pool.submit([this, &cache, &run, &strategy_name, tracer, c]() {
         // One tuning iteration == one representative short run (Section
         // III): stop, reconfigure, restart, warm up, measure. Every
         // component of that cost is charged to the tuning bill.
+        const double t_start_us = tracer != nullptr ? tracer->now_us() : 0.0;
         double cost_s = 0.0;
         const auto launch = [&]() {
           const ShortRunResult r = run(c, opts_.short_run_steps);
           cost_s = opts_.restart_overhead_s + r.warmup_s + r.measured_s;
+          obs::observe("engine.short_run_s", r.warmup_s + r.measured_s);
           EvaluationResult res;
           res.valid = r.ok;
           res.objective =
@@ -106,6 +115,12 @@ ParallelOfflineResult ParallelOfflineDriver::tune(BatchSearchStrategy& strategy,
           t.ran = true;
         }
         t.cost_s = t.ran ? cost_s : 0.0;
+        if (t.ran) obs::count("engine.driver.runs");
+        if (tracer != nullptr) {
+          tracer->record({strategy_name, space_->format(c), t.result.objective,
+                          t.result.valid, /*cache_hit=*/!t.ran,
+                          /*thread_lane=*/0, t_start_us, tracer->now_us()});
+        }
         return t;
       }));
     }

@@ -27,6 +27,10 @@
 #include "core/strategy.hpp"
 #include "engine/batch_strategy.hpp"
 
+namespace harmony::obs {
+class SearchTracer;
+}  // namespace harmony::obs
+
 namespace harmony::engine {
 
 struct ParallelOfflineOptions {
@@ -36,6 +40,12 @@ struct ParallelOfflineOptions {
   bool use_cache = true;          ///< memoize + deduplicate evaluations
   int pool_size = 4;              ///< worker threads evaluating short runs
   int max_batch = 0;              ///< per-batch candidate cap (0 = pool_size)
+
+  /// Optional per-evaluation tracer (not owned; may be null). Events are
+  /// recorded from the worker threads, so an exported Chrome trace shows one
+  /// lane per pool worker. Independent of obs::enabled(), which only gates
+  /// the aggregate metrics.
+  obs::SearchTracer* tracer = nullptr;
 };
 
 struct ParallelOfflineResult {

@@ -2,10 +2,13 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace harmony::engine {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) throw std::invalid_argument("ThreadPool: zero threads");
+  obs::gauge_set("engine.pool.size", static_cast<double>(threads));
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -52,7 +55,13 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop();
     }
-    job();  // packaged_task captures exceptions into the future
+    {
+      // Zero-cost when disabled: time_scope holds no histogram (and reads
+      // no clock) unless observability is on at task start.
+      const auto timer = obs::time_scope("engine.pool.task_s");
+      job();  // packaged_task captures exceptions into the future
+    }
+    obs::count("engine.pool.tasks");
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       ++completed_;

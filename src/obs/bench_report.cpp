@@ -1,0 +1,94 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace harmony::obs {
+
+namespace {
+constexpr const char* kSchema = "ah-bench-report/1";
+}
+
+std::string BenchReport::filename(const std::string& name) {
+  return "BENCH_" + name + ".json";
+}
+
+void BenchReport::write_json(std::ostream& os) const {
+  os.precision(17);
+  os << "{\n"
+     << "  \"schema\": \"" << kSchema << "\",\n"
+     << "  \"name\": \"" << json_escape(name) << "\",\n"
+     << "  \"best_config\": \"" << json_escape(best_config) << "\",\n"
+     << "  \"best_value\": " << best_value << ",\n"
+     << "  \"evaluations\": " << evaluations << ",\n"
+     << "  \"evals_to_best\": " << evals_to_best << ",\n"
+     << "  \"wall_s\": " << wall_s << ",\n"
+     << "  \"speedup\": " << speedup << ",\n"
+     << "  \"metrics\": {";
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    \"" << json_escape(key) << "\": " << value;
+  }
+  if (!metrics.empty()) os << "\n  ";
+  os << "}\n}\n";
+}
+
+std::string BenchReport::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+std::optional<std::string> BenchReport::write_file(const std::string& dir) const {
+  const std::string path =
+      (dir.empty() ? std::string(".") : dir) + "/" + filename(name);
+  std::ofstream out(path);
+  if (!out) return std::nullopt;
+  write_json(out);
+  out.flush();
+  if (!out) return std::nullopt;
+  return path;
+}
+
+std::optional<BenchReport> BenchReport::parse(const std::string& text) {
+  const auto doc = json_parse(text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  if (doc->string_or("schema", "") != kSchema) return std::nullopt;
+
+  BenchReport r;
+  r.name = doc->string_or("name", "");
+  if (r.name.empty()) return std::nullopt;
+  r.best_config = doc->string_or("best_config", "");
+  r.best_value = doc->number_or("best_value", 0.0);
+  r.evaluations = static_cast<int>(doc->number_or("evaluations", 0.0));
+  r.evals_to_best = static_cast<int>(doc->number_or("evals_to_best", 0.0));
+  r.wall_s = doc->number_or("wall_s", 0.0);
+  r.speedup = doc->number_or("speedup", 0.0);
+  if (const auto* m = doc->find("metrics"); m != nullptr && m->is_object()) {
+    for (const auto& [key, value] : m->as_object()) {
+      if (value.is_number()) r.metrics[key] = value.as_number();
+    }
+  }
+  return r;
+}
+
+std::optional<BenchReport> BenchReport::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::string bench_out_dir() {
+  const char* dir = std::getenv("AH_BENCH_OUT");
+  return (dir != nullptr && dir[0] != '\0') ? dir : ".";
+}
+
+}  // namespace harmony::obs

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file bench_report.hpp
+/// Machine-readable benchmark results. Every figure/table bench and the CI
+/// gate serialize a BenchReport to `BENCH_<name>.json` so the numbers the
+/// paper argues from (best configuration, evaluations spent, evaluations
+/// until the best was first reached, wall clock, speedup) are diffable
+/// artifacts rather than stdout prose. `bench/bench_gate` compares fresh
+/// reports against checked-in baselines and fails CI on regression.
+///
+/// Schema (`ah-bench-report/1`), all keys at the top level:
+///   schema, name, best_config, best_value, evaluations, evals_to_best,
+///   wall_s, speedup, metrics{ free-form string->number }.
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace harmony::obs {
+
+struct BenchReport {
+  std::string name;         ///< bench identifier; file is BENCH_<name>.json
+  std::string best_config;  ///< formatted best configuration
+  double best_value = 0.0;  ///< best objective reached (seconds in this repo)
+  int evaluations = 0;      ///< distinct evaluations (short runs) spent
+  int evals_to_best = 0;    ///< distinct evaluations until best first reached
+  double wall_s = 0.0;      ///< harness wall-clock for the search
+  double speedup = 0.0;     ///< bench-defined ratio (0 = not applicable)
+  std::map<std::string, double> metrics;  ///< free-form extras
+
+  /// "BENCH_<name>.json".
+  [[nodiscard]] static std::string filename(const std::string& name);
+
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to `<dir>/BENCH_<name>.json`; returns the path written, or
+  /// nullopt when the file could not be opened.
+  std::optional<std::string> write_file(const std::string& dir = ".") const;
+
+  /// Parse a serialized report; nullopt on malformed JSON or wrong schema.
+  [[nodiscard]] static std::optional<BenchReport> parse(const std::string& text);
+
+  /// Load from a file path; nullopt when unreadable or malformed.
+  [[nodiscard]] static std::optional<BenchReport> load(const std::string& path);
+};
+
+/// Directory benches write reports into: $AH_BENCH_OUT or ".".
+[[nodiscard]] std::string bench_out_dir();
+
+}  // namespace harmony::obs

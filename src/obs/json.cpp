@@ -1,0 +1,231 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ <= 12
+// GCC 12 reports spurious -Wmaybe-uninitialized on moves of the
+// variant-backed JsonValue out of std::optional returns (GCC PR105593 /
+// PR108000 family — the diagnostics point inside libstdc++'s variant
+// storage, not at any real read). GCC 13+ and Clang compile this file
+// warning-free; suppress only for the affected compiler.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace harmony::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const auto* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::string JsonValue::string_or(const std::string& key, std::string fallback) const {
+  const auto* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::move(fallback);
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run() {
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        auto s = string();
+        if (!s) return std::nullopt;
+        return JsonValue(std::move(*s));
+      }
+      case 't': return literal("true") ? std::optional<JsonValue>(JsonValue(true)) : std::nullopt;
+      case 'f': return literal("false") ? std::optional<JsonValue>(JsonValue(false)) : std::nullopt;
+      case 'n': return literal("null") ? std::optional<JsonValue>(JsonValue(nullptr)) : std::nullopt;
+      default: return number();
+    }
+  }
+
+  std::optional<JsonValue> number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    double d{};
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (ec != std::errc{} || ptr != text_.data() + pos_ || pos_ == start) {
+      return std::nullopt;
+    }
+    return JsonValue(d);
+  }
+
+  std::optional<std::string> string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned cp{};
+            const auto [p, ec] = std::from_chars(
+                text_.data() + pos_, text_.data() + pos_ + 4, cp, 16);
+            if (ec != std::errc{} || p != text_.data() + pos_ + 4) return std::nullopt;
+            pos_ += 4;
+            // Encode the code point as UTF-8 (surrogate pairs are not
+            // recombined — our own writers only emit \u00xx escapes).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> array() {
+    if (!eat('[')) return std::nullopt;
+    JsonValue::Array items;
+    skip_ws();
+    if (eat(']')) return JsonValue(std::move(items));
+    while (true) {
+      auto v = value();
+      if (!v) return std::nullopt;
+      items.push_back(std::move(*v));
+      skip_ws();
+      if (eat(']')) return JsonValue(std::move(items));
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> object() {
+    if (!eat('{')) return std::nullopt;
+    JsonValue::Object members;
+    skip_ws();
+    if (eat('}')) return JsonValue(std::move(members));
+    while (true) {
+      skip_ws();
+      auto key = string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!eat(':')) return std::nullopt;
+      auto v = value();
+      if (!v) return std::nullopt;
+      // emplace (move-construct), not operator[]= (default-construct then
+      // move-assign): later duplicate keys lose, and GCC 12 flags a spurious
+      // -Wmaybe-uninitialized on the variant move-assignment path.
+      members.emplace(std::move(*key), std::move(*v));
+      skip_ws();
+      if (eat('}')) return JsonValue(std::move(members));
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace harmony::obs

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON support for the observability layer: string escaping for the
+/// writers (metrics snapshots, trace exports, bench reports) and a small
+/// recursive-descent parser used to load checked-in benchmark baselines and
+/// to round-trip exports in tests. Deliberately tiny — no external
+/// dependency, no streaming, just enough JSON for our own schemas.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace harmony::obs {
+
+/// Escape a string for inclusion inside JSON double quotes (control
+/// characters, quotes and backslashes; UTF-8 passes through untouched).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// A parsed JSON value. Numbers are always doubles (our schemas only carry
+/// counts and seconds, both safely representable).
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;
+  JsonValue(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  explicit JsonValue(bool b) : value_(b) {}
+  explicit JsonValue(double d) : value_(d) {}
+  explicit JsonValue(std::string s) : value_(std::move(s)) {}
+  explicit JsonValue(Array a) : value_(std::move(a)) {}
+  explicit JsonValue(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::monostate>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(value_); }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(value_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(value_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Typed member accessors with defaults, for schema readers.
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key, std::string fallback) const;
+
+ private:
+  std::variant<std::monostate, bool, double, std::string, Array, Object> value_;
+};
+
+/// Parse a complete JSON document. Returns nullopt on any syntax error or
+/// trailing garbage.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace harmony::obs

@@ -1,0 +1,235 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace harmony::obs {
+
+namespace {
+
+std::atomic<int> g_enabled{-1};  // -1 = not yet resolved from environment
+
+int resolve_from_env() {
+  const char* v = std::getenv("AH_OBS");
+  const int on = (v != nullptr && v[0] != '\0' && v[0] != '0') ? 1 : 0;
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on, std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  const int v = g_enabled.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  return resolve_from_env() != 0;
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// ---- Histogram ------------------------------------------------------------
+
+int Histogram::bucket_index(double v) noexcept {
+  if (!(v > kBucketFloor)) return 0;  // also catches NaN and negatives
+  // log2(v) - log2(floor) rather than log2(v / floor): the quotient can
+  // overflow to inf for huge v (1e300 / 1e-9 > DBL_MAX).
+  const int idx =
+      1 + static_cast<int>(std::floor(std::log2(v) - std::log2(kBucketFloor)));
+  return std::clamp(idx, 0, kBuckets - 1);
+}
+
+void Histogram::record(double v) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // C++20 atomic<double>::fetch_add; compiled to a CAS loop where needed.
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+
+  // min/max via CAS; the any_ flag handles the empty->first-value race by
+  // letting the first recorder seed both extrema before relaxing into CAS.
+  if (!any_.exchange(true, std::memory_order_acq_rel)) {
+    min_.store(v, std::memory_order_release);
+    max_.store(v, std::memory_order_release);
+    return;
+  }
+  double cur = min_.load(std::memory_order_acquire);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_acq_rel)) {
+  }
+  cur = max_.load(std::memory_order_acquire);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_acq_rel)) {
+  }
+}
+
+double Histogram::min() const noexcept {
+  return any_.load(std::memory_order_acquire) ? min_.load(std::memory_order_acquire) : 0.0;
+}
+
+double Histogram::max() const noexcept {
+  return any_.load(std::memory_order_acquire) ? max_.load(std::memory_order_acquire) : 0.0;
+}
+
+double Histogram::mean() const noexcept {
+  const auto n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  any_.store(false, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// ---- MetricsRegistry ------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry(std::size_t shards)
+    : shards_(std::max<std::size_t>(1, shards)) {}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for(std::string_view name) const {
+  const std::size_t h = std::hash<std::string_view>{}(name);
+  return shards_[h % shards_.size()];
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_for(std::string_view name,
+                                                   Entry::Kind kind) {
+  Shard& shard = shard_for(name);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.table.find(std::string(name));
+  if (it == shard.table.end()) {
+    Entry e{kind, nullptr, nullptr, nullptr};
+    switch (kind) {
+      case Entry::Kind::Counter: e.counter = std::make_unique<Counter>(); break;
+      case Entry::Kind::Gauge: e.gauge = std::make_unique<Gauge>(); break;
+      case Entry::Kind::Histogram: e.histogram = std::make_unique<Histogram>(); break;
+    }
+    it = shard.table.emplace(std::string(name), std::move(e)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("MetricsRegistry: metric '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *entry_for(name, Entry::Kind::Counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *entry_for(name, Entry::Kind::Gauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return *entry_for(name, Entry::Kind::Histogram).histogram;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.table.size();
+  }
+  return n;
+}
+
+void MetricsRegistry::reset_values() {
+  for (auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto& [name, entry] : shard.table) {
+      switch (entry.kind) {
+        case Entry::Kind::Counter: entry.counter->reset(); break;
+        case Entry::Kind::Gauge: entry.gauge->reset(); break;
+        case Entry::Kind::Histogram: entry.histogram->reset(); break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  // Snapshot under the shard locks, then render sorted for stable output.
+  struct Row {
+    std::string name;
+    std::string body;
+  };
+  std::vector<Row> rows;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, entry] : shard.table) {
+      std::ostringstream body;
+      body.precision(17);
+      switch (entry.kind) {
+        case Entry::Kind::Counter:
+          body << "{\"type\":\"counter\",\"value\":" << entry.counter->value() << "}";
+          break;
+        case Entry::Kind::Gauge:
+          body << "{\"type\":\"gauge\",\"value\":" << entry.gauge->value() << "}";
+          break;
+        case Entry::Kind::Histogram: {
+          const Histogram& h = *entry.histogram;
+          body << "{\"type\":\"histogram\",\"count\":" << h.count()
+               << ",\"sum\":" << h.sum() << ",\"min\":" << h.min()
+               << ",\"max\":" << h.max() << ",\"mean\":" << h.mean() << "}";
+          break;
+        }
+      }
+      rows.push_back({name, body.str()});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+  os << "{";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << json_escape(rows[i].name) << "\":" << rows[i].body;
+  }
+  os << "}";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+// ---- ScopedTimer ----------------------------------------------------------
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+ScopedTimer::ScopedTimer(Histogram* h) noexcept : histogram_(h) {
+  if (histogram_ != nullptr) start_ns_ = now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ != nullptr) {
+    histogram_->record(static_cast<double>(now_ns() - start_ns_) * 1e-9);
+  }
+}
+
+ScopedTimer time_scope(std::string_view name) {
+  return ScopedTimer(enabled() ? &MetricsRegistry::global().histogram(name) : nullptr);
+}
+
+}  // namespace harmony::obs

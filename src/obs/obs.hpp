@@ -1,0 +1,14 @@
+#pragma once
+
+/// \file obs.hpp
+/// Umbrella header for the observability layer: process metrics
+/// (MetricsRegistry), per-evaluation search tracing (SearchTracer) and
+/// machine-readable benchmark reports (BenchReport). See each header for
+/// the design; the one-line story is "measure the tuner the way the paper
+/// measures the applications" — iterations, evaluations, wall clock and
+/// cache behaviour as exportable data, at zero cost when disabled.
+
+#include "obs/bench_report.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

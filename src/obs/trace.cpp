@@ -1,0 +1,143 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace harmony::obs {
+
+namespace {
+
+/// Render a double for JSON: finite values print plainly; non-finite values
+/// (infinite objectives mark infeasible configurations) become null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+SearchTracer::SearchTracer()
+    : epoch_(std::chrono::steady_clock::now()), shards_(kShards) {}
+
+double SearchTracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint32_t SearchTracer::lane_for_current_thread() {
+  const auto id = std::this_thread::get_id();
+  const std::lock_guard<std::mutex> lock(lanes_mutex_);
+  const auto it = lane_ids_.find(id);
+  if (it != lane_ids_.end()) return it->second;
+  const auto lane = static_cast<std::uint32_t>(lane_ids_.size());
+  lane_ids_.emplace(id, lane);
+  return lane;
+}
+
+void SearchTracer::record(TraceEvent e) {
+  e.thread_lane = lane_for_current_thread();
+  Shard& shard = shards_[std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+                         shards_.size()];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.events.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> SearchTracer::events() const {
+  std::vector<TraceEvent> out;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    out.insert(out.end(), shard.events.begin(), shard.events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.t_start_us != b.t_start_us) {
+                       return a.t_start_us < b.t_start_us;
+                     }
+                     return a.thread_lane < b.thread_lane;
+                   });
+  return out;
+}
+
+std::size_t SearchTracer::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.events.size();
+  }
+  return n;
+}
+
+std::size_t SearchTracer::lanes() const {
+  const std::lock_guard<std::mutex> lock(lanes_mutex_);
+  return lane_ids_.size();
+}
+
+void SearchTracer::clear() {
+  for (auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.events.clear();
+  }
+  const std::lock_guard<std::mutex> lock(lanes_mutex_);
+  lane_ids_.clear();
+}
+
+void SearchTracer::write_jsonl(std::ostream& os) const {
+  for (const auto& e : events()) {
+    os << "{\"strategy\":\"" << json_escape(e.strategy) << "\""
+       << ",\"point\":\"" << json_escape(e.point) << "\""
+       << ",\"objective\":" << json_number(e.objective)
+       << ",\"valid\":" << (e.valid ? "true" : "false")
+       << ",\"cache_hit\":" << (e.cache_hit ? "true" : "false")
+       << ",\"thread\":" << e.thread_lane
+       << ",\"t_start_us\":" << json_number(e.t_start_us)
+       << ",\"t_end_us\":" << json_number(e.t_end_us) << "}\n";
+  }
+}
+
+void SearchTracer::write_chrome_trace(std::ostream& os) const {
+  const auto evs = events();
+  std::uint32_t max_lane = 0;
+  for (const auto& e : evs) max_lane = std::max(max_lane, e.thread_lane);
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+
+  // Lane labels so chrome://tracing shows "worker 0..N" instead of raw tids.
+  if (!evs.empty()) {
+    for (std::uint32_t lane = 0; lane <= max_lane; ++lane) {
+      comma();
+      os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << lane
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker " << lane
+         << "\"}}";
+    }
+  }
+
+  for (const auto& e : evs) {
+    comma();
+    const double dur = std::max(0.0, e.t_end_us - e.t_start_us);
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << e.thread_lane
+       << ",\"ts\":" << json_number(e.t_start_us)
+       << ",\"dur\":" << json_number(dur) << ",\"cat\":\""
+       << (e.cache_hit ? "cache" : "eval") << "\",\"name\":\""
+       << json_escape(e.point) << "\",\"args\":{\"strategy\":\""
+       << json_escape(e.strategy) << "\",\"objective\":"
+       << json_number(e.objective) << ",\"valid\":" << (e.valid ? "true" : "false")
+       << ",\"cache_hit\":" << (e.cache_hit ? "true" : "false") << "}}";
+  }
+  os << "]}";
+}
+
+}  // namespace harmony::obs

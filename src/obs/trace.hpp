@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file trace.hpp
+/// Per-evaluation search tracing. A SearchTracer records one event per
+/// objective evaluation — which strategy asked, which point was tried, what
+/// came back, whether the evaluation cache served it, which thread ran it
+/// and when — and exports the record two ways:
+///
+///  * JSON-lines (one event object per line), the machine-readable
+///    trajectory log behind the paper's Tables I-IV / Fig. 6 analyses;
+///  * Chrome trace format (chrome://tracing or https://ui.perfetto.dev),
+///    where each recording thread gets its own lane, so a
+///    ParallelOfflineDriver run shows one lane per pool worker with the
+///    short runs laid out on the wall clock.
+///
+/// Recording is thread-safe and cheap: events append to lock-sharded
+/// buffers (shard chosen by thread id, so pool workers almost never share a
+/// shard), timestamps come from one steady clock anchored at construction.
+/// Thread lane ids are small integers assigned in order of first appearance.
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace harmony::obs {
+
+/// One objective evaluation as seen by a driver.
+struct TraceEvent {
+  std::string strategy;    ///< SearchStrategy::name() of the proposer
+  std::string point;       ///< formatted configuration (ParamSpace::format)
+  double objective = 0.0;  ///< observed objective (infinity when invalid)
+  bool valid = true;       ///< run succeeded / configuration feasible
+  bool cache_hit = false;  ///< served from an evaluation cache (or coalesced)
+  std::uint32_t thread_lane = 0;  ///< small dense id of the recording thread
+  double t_start_us = 0.0;        ///< microseconds since tracer construction
+  double t_end_us = 0.0;
+};
+
+class SearchTracer {
+ public:
+  SearchTracer();
+
+  /// Microseconds since construction, from the tracer's steady clock.
+  [[nodiscard]] double now_us() const;
+
+  /// Dense lane id of the calling thread (assigned on first use).
+  [[nodiscard]] std::uint32_t lane_for_current_thread();
+
+  /// Append one event. `thread_lane` is filled in from the calling thread;
+  /// callers set every other field. Thread-safe.
+  void record(TraceEvent e);
+
+  /// All events so far, merged across shards and sorted by start time
+  /// (ties broken by lane). Thread-safe snapshot.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t lanes() const;
+  void clear();
+
+  /// One JSON object per line:
+  /// {"strategy":...,"point":...,"objective":...,"valid":...,"cache_hit":...,
+  ///  "thread":...,"t_start_us":...,"t_end_us":...}
+  void write_jsonl(std::ostream& os) const;
+
+  /// Chrome trace JSON: one complete ("ph":"X") event per evaluation in the
+  /// lane of its recording thread, plus thread_name metadata so
+  /// chrome://tracing labels each pool worker.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::vector<Shard> shards_;
+  mutable std::mutex lanes_mutex_;
+  std::unordered_map<std::thread::id, std::uint32_t> lane_ids_;
+};
+
+}  // namespace harmony::obs

@@ -97,7 +97,9 @@ TEST_P(MonotoneProjection, AlwaysFeasible) {
     for (int i = 0; i < n; ++i) {
       EXPECT_GE(coords[i], s.param(i).coord_min() - 1e-9);
       EXPECT_LE(coords[i], s.param(i).coord_max() + 1e-9);
-      if (i > 0) EXPECT_GE(coords[i] - coords[i - 1], 1.0 - 1e-9);
+      if (i > 0) {
+        EXPECT_GE(coords[i] - coords[i - 1], 1.0 - 1e-9);
+      }
     }
   }
 }

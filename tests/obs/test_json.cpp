@@ -1,0 +1,70 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obs = harmony::obs;
+
+TEST(ObsJson, EscapesControlCharactersQuotesAndBackslashes) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(obs::json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(obs::json_escape(std::string("nul\x01") + "x"), "nul\\u0001x");
+}
+
+TEST(ObsJson, ParsesScalars) {
+  EXPECT_TRUE(obs::json_parse("null")->is_null());
+  EXPECT_TRUE(obs::json_parse("true")->as_bool());
+  EXPECT_FALSE(obs::json_parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(obs::json_parse("42")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(obs::json_parse("-3.25e2")->as_number(), -325.0);
+  EXPECT_EQ(obs::json_parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(ObsJson, ParsesEscapedStrings) {
+  const auto v = obs::json_parse(R"("a\"b\\c\n\tA")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\"b\\c\n\tA");
+}
+
+TEST(ObsJson, ParsesNestedStructures) {
+  const auto v = obs::json_parse(
+      R"({"name":"x","vals":[1,2,3],"inner":{"flag":true,"n":-7}})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->string_or("name", ""), "x");
+  const auto* vals = v->find("vals");
+  ASSERT_NE(vals, nullptr);
+  ASSERT_EQ(vals->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(vals->as_array()[2].as_number(), 3.0);
+  const auto* inner = v->find("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_TRUE(inner->find("flag")->as_bool());
+  EXPECT_DOUBLE_EQ(inner->number_or("n", 0.0), -7.0);
+}
+
+TEST(ObsJson, WhitespaceIsInsignificant) {
+  const auto v = obs::json_parse("  { \"a\" :\n[ 1 ,\t2 ] }  ");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("a")->as_array().size(), 2u);
+}
+
+TEST(ObsJson, RejectsMalformedDocuments) {
+  EXPECT_FALSE(obs::json_parse("").has_value());
+  EXPECT_FALSE(obs::json_parse("{").has_value());
+  EXPECT_FALSE(obs::json_parse("[1,]").has_value());
+  EXPECT_FALSE(obs::json_parse("{\"a\":}").has_value());
+  EXPECT_FALSE(obs::json_parse("\"unterminated").has_value());
+  EXPECT_FALSE(obs::json_parse("tru").has_value());
+  EXPECT_FALSE(obs::json_parse("{} trailing").has_value());
+  EXPECT_FALSE(obs::json_parse("nan").has_value());
+}
+
+TEST(ObsJson, RoundTripsEscapedKeysAndValues) {
+  const std::string doc =
+      "{\"we\\\"ird\":\"v\\\\al\"}";
+  const auto v = obs::json_parse(doc);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string_or("we\"ird", ""), "v\\al");
+}

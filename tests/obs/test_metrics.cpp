@@ -1,0 +1,184 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace obs = harmony::obs;
+
+namespace {
+
+/// Every test runs against its own registry (except the explicitly global
+/// ones), and restores the process-wide enabled flag on exit.
+class MetricsEnabledGuard {
+ public:
+  MetricsEnabledGuard() : was_(obs::enabled()) {}
+  ~MetricsEnabledGuard() { obs::set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+}  // namespace
+
+TEST(MetricsRegistry, CounterGaugeHistogramBasics) {
+  obs::MetricsRegistry reg;
+  auto& c = reg.counter("runs");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  auto& g = reg.gauge("pool_size");
+  g.set(8.0);
+  g.set(4.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+
+  auto& h = reg.histogram("short_run_s");
+  h.record(0.5);
+  h.record(2.0);
+  h.record(0.125);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.625);
+  EXPECT_DOUBLE_EQ(h.min(), 0.125);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.875);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameMetric) {
+  obs::MetricsRegistry reg;
+  auto& a = reg.counter("x");
+  auto& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x"), std::logic_error);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreLogScale) {
+  using H = obs::Histogram;
+  EXPECT_EQ(H::bucket_index(0.0), 0);
+  EXPECT_EQ(H::bucket_index(-1.0), 0);
+  EXPECT_EQ(H::bucket_index(H::kBucketFloor), 0);
+  // Each doubling advances one bucket.
+  const int b1 = H::bucket_index(1e-6);
+  EXPECT_EQ(H::bucket_index(2e-6), b1 + 1);
+  EXPECT_EQ(H::bucket_index(4e-6), b1 + 2);
+  // Huge values clamp into the last bucket instead of overflowing.
+  EXPECT_EQ(H::bucket_index(1e300), H::kBuckets - 1);
+
+  // Buckets are power-of-2 aligned to the floor: 1e-6 (1000x floor) and
+  // 0.7e-6 (700x) both land in the (512x, 1024x] bucket.
+  obs::Histogram h;
+  h.record(1e-6);
+  h.record(0.7e-6);
+  EXPECT_EQ(h.bucket(b1), 2u);
+  EXPECT_EQ(h.bucket(b1 + 1), 0u);
+  h.record(2e-6);
+  EXPECT_EQ(h.bucket(b1 + 1), 1u);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
+  obs::MetricsRegistry reg;
+  reg.counter("a").add(7);
+  reg.gauge("b").set(1.5);
+  reg.histogram("c").record(3.0);
+  reg.reset_values();
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.counter("a").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("b").value(), 0.0);
+  EXPECT_EQ(reg.histogram("c").count(), 0u);
+  EXPECT_DOUBLE_EQ(reg.histogram("c").min(), 0.0);
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsValidAndSorted) {
+  obs::MetricsRegistry reg;
+  reg.counter("z.count").add(2);
+  reg.gauge("a.gauge").set(-1.25);
+  reg.histogram("m.hist").record(4.0);
+  const std::string json = reg.to_json();
+
+  const auto doc = obs::json_parse(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->as_object().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc->find("z.count")->number_or("value", -1), 2.0);
+  EXPECT_EQ(doc->find("z.count")->string_or("type", ""), "counter");
+  EXPECT_DOUBLE_EQ(doc->find("a.gauge")->number_or("value", 0), -1.25);
+  EXPECT_DOUBLE_EQ(doc->find("m.hist")->number_or("count", 0), 1.0);
+  EXPECT_DOUBLE_EQ(doc->find("m.hist")->number_or("mean", 0), 4.0);
+  // Sorted keys -> deterministic output for diffing snapshots.
+  EXPECT_LT(json.find("a.gauge"), json.find("m.hist"));
+  EXPECT_LT(json.find("m.hist"), json.find("z.count"));
+}
+
+TEST(MetricsRegistry, ConcurrentCountersLoseNothing) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Half the threads hammer a shared counter, half their own — exercises
+      // both same-metric atomics and cross-shard registry lookups.
+      auto& shared = reg.counter("shared");
+      auto& own = reg.counter("own." + std::to_string(t));
+      for (int i = 0; i < kIncrements; ++i) {
+        shared.add();
+        own.add();
+        reg.histogram("hist").record(1e-6 * (t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter("own." + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(kIncrements));
+  }
+  auto& h = reg.histogram("hist");
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.max(), 8e-6);
+}
+
+TEST(MetricsRegistry, DisabledHelpersRecordNothing) {
+  const MetricsEnabledGuard guard;
+  obs::set_enabled(false);
+  const auto before = obs::MetricsRegistry::global().size();
+  obs::count("disabled.counter");
+  obs::gauge_set("disabled.gauge", 1.0);
+  obs::observe("disabled.hist", 1.0);
+  { const auto timer = obs::time_scope("disabled.timer_s"); }
+  EXPECT_EQ(obs::MetricsRegistry::global().size(), before);
+}
+
+TEST(MetricsRegistry, EnabledHelpersRecordIntoGlobal) {
+  const MetricsEnabledGuard guard;
+  obs::set_enabled(true);
+  obs::count("test.enabled.counter", 2);
+  obs::observe("test.enabled.hist", 0.5);
+  {
+    const auto timer = obs::time_scope("test.enabled.timer_s");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  EXPECT_GE(reg.counter("test.enabled.counter").value(), 2u);
+  EXPECT_GE(reg.histogram("test.enabled.hist").count(), 1u);
+  auto& timer_hist = reg.histogram("test.enabled.timer_s");
+  EXPECT_GE(timer_hist.count(), 1u);
+  EXPECT_GE(timer_hist.max(), 0.0005);
+}

@@ -51,11 +51,15 @@ CaseResult tune_case(const std::vector<int>& block_sizes, int nranks,
 
   harmony::ParamSpace space;
   for (int i = 0; i < nranks - 1; ++i) {
-    space.add(harmony::Parameter::Integer("b" + std::to_string(i), 1, n - 1));
+    std::string name = "b";
+    name += std::to_string(i);
+    space.add(harmony::Parameter::Integer(name, 1, n - 1));
   }
   Config start = space.default_config();
   for (int i = 0; i < nranks - 1; ++i) {
-    space.set(start, "b" + std::to_string(i),
+    std::string name = "b";
+    name += std::to_string(i);
+    space.set(start, name,
               std::int64_t{even.boundaries()[static_cast<std::size_t>(i)]});
   }
 
@@ -138,11 +142,15 @@ int main() {
     // over 32 ranks).
     harmony::ParamSpace space;
     for (int i = 0; i < nranks; ++i) {
-      space.add(harmony::Parameter::Integer("w" + std::to_string(i), 1, 200));
+      std::string name = "w";
+      name += std::to_string(i);
+      space.add(harmony::Parameter::Integer(name, 1, 200));
     }
     Config start = space.default_config();
     for (int i = 0; i < nranks; ++i) {
-      space.set(start, "w" + std::to_string(i), std::int64_t{100});
+      std::string name = "w";
+      name += std::to_string(i);
+      space.set(start, name, std::int64_t{100});
     }
     const auto to_partition = [&](const Config& c) {
       double total = 0;

@@ -90,11 +90,15 @@ CaseResult tune_distribution(int nx, int ny, int nranks,
 
   harmony::ParamSpace space;
   for (int i = 0; i < nclasses; ++i) {
-    space.add(harmony::Parameter::Integer("w" + std::to_string(i), 1, 200));
+    std::string name = "w";
+    name += std::to_string(i);
+    space.add(harmony::Parameter::Integer(name, 1, 200));
   }
   Config start = space.default_config();
   for (int i = 0; i < nclasses; ++i) {
-    space.set(start, "w" + std::to_string(i), std::int64_t{100});
+    std::string name = "w";
+    name += std::to_string(i);
+    space.set(start, name, std::int64_t{100});
   }
   const auto to_da = [&](const Config& c) {
     std::vector<double> share(static_cast<std::size_t>(nranks));

@@ -10,11 +10,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "core/harmony.hpp"
 #include "minipop/minipop.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/trace.hpp"
 #include "simcluster/simcluster.hpp"
 
 using namespace minipop;
@@ -42,6 +44,7 @@ int main() {
                                {80, 6},  {120, 4}, {240, 2}};
   harmony::obs::BenchReport report;
   report.name = "fig4_pop_blocksize";
+  harmony::obs::SearchTracer tracer;  // per-evaluation trace for report_gen
   double total_tuned = 0.0;
   double total_default = 0.0;
   const auto bench_start = std::chrono::steady_clock::now();
@@ -64,6 +67,7 @@ int main() {
     harmony::TunerOptions topts;
     topts.max_iterations = 400;
     topts.max_proposals = 40000;
+    topts.tracer = &tracer;
     harmony::Tuner tuner(space, topts);
     const auto result = tuner.run(search, [&](const Config& c) {
       const BlockShape shape{static_cast<int>(space.get_int(c, "block_x")),
@@ -104,6 +108,14 @@ int main() {
   report.metrics["total_default_s"] = total_default;
   if (const auto path = report.write_file(harmony::obs::bench_out_dir())) {
     std::printf("wrote %s\n", path->c_str());
+  }
+  // JSONL evaluation trace alongside the report — tools/report_gen turns the
+  // pair into a self-contained HTML convergence report.
+  const std::string trace_path =
+      harmony::obs::bench_out_dir() + "/TRACE_fig4_pop_blocksize.jsonl";
+  if (std::ofstream tf(trace_path); tf) {
+    tracer.write_jsonl(tf);
+    std::printf("wrote %s (%zu events)\n", trace_path.c_str(), tracer.size());
   }
 
   std::printf("\nexecution-time bars (first=tuned, second=default), as in the figure:\n");

@@ -16,7 +16,9 @@ void BM_NelderMeadCycle(benchmark::State& state) {
   const auto dims = static_cast<std::size_t>(state.range(0));
   harmony::ParamSpace space;
   for (std::size_t i = 0; i < dims; ++i) {
-    space.add(harmony::Parameter::Integer("p" + std::to_string(i), 0, 1000));
+    std::string name = "p";
+    name += std::to_string(i);
+    space.add(harmony::Parameter::Integer(name, 0, 1000));
   }
   harmony::NelderMeadOptions opts;
   opts.max_restarts = 1000000;  // never stop during the benchmark

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 
 #include "core/harmony.hpp"
 #include "minigs2/minigs2.hpp"
@@ -63,9 +64,11 @@ TuneOutcome tune_resolution(const Gs2Model& model, const Layout& layout,
   out.t_tuned = result.best_measured_s;
   out.runs = result.runs;
   out.best = *result.best;
-  out.tuned = "(" + std::to_string(space.get_int(*result.best, "negrid")) + "," +
-              std::to_string(space.get_int(*result.best, "ntheta")) + "," +
-              std::to_string(space.get_int(*result.best, "nodes")) + ")";
+  std::ostringstream tuned;
+  tuned << '(' << space.get_int(*result.best, "negrid") << ','
+        << space.get_int(*result.best, "ntheta") << ','
+        << space.get_int(*result.best, "nodes") << ')';
+  out.tuned = tuned.str();
   return out;
 }
 

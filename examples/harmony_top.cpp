@@ -1,0 +1,173 @@
+// harmony_top: a `top`-style admin client for a live Harmony tuning server.
+// It opens an ordinary protocol connection and polls the introspection verbs
+// (STATUS / METRICS / LOG), pretty-printing the live session board, a few
+// headline metrics and the recent event log on every refresh.
+//
+//   harmony_top <port> [refreshes] [interval_ms]   attach to a running server
+//   harmony_top                                    self-contained demo: starts
+//                                                  a server plus a background
+//                                                  tuning client, then watches
+//
+// The same verbs work from any tool that can speak "one line in, lines out"
+// TCP — e.g. `printf 'METRICS\n' | nc 127.0.0.1 <port>` emits Prometheus
+// text exposition ready for a scraper.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "minipop/minipop.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "simcluster/simcluster.hpp"
+
+namespace {
+
+void print_status(const std::string& json) {
+  const auto doc = harmony::obs::json_parse(json);
+  if (!doc || !doc->is_object()) {
+    std::printf("  (unparseable STATUS reply)\n");
+    return;
+  }
+  std::printf("  epoch %.0f, %.0f session(s) started\n",
+              doc->number_or("epoch", 0), doc->number_or("sessions_started", 0));
+  if (const auto* sessions = doc->find("sessions");
+      sessions != nullptr && sessions->is_array()) {
+    std::printf("  %-12s %-10s %-14s %-12s %6s %10s  %s\n", "SESSION", "APP",
+                "STRATEGY", "PHASE", "ITER", "BEST", "CONFIG");
+    for (const auto& s : sessions->as_array()) {
+      const auto* best = s.find("best_value");
+      const std::string best_str =
+          best != nullptr && best->is_number()
+              ? [&] {
+                  char buf[32];
+                  std::snprintf(buf, sizeof(buf), "%.5g", best->as_number());
+                  return std::string(buf);
+                }()
+              : std::string("-");
+      std::printf("  %-12s %-10s %-14s %-12s %6.0f %10s  %s\n",
+                  s.string_or("id", "?").c_str(), s.string_or("app", "-").c_str(),
+                  s.string_or("strategy", "-").c_str(),
+                  s.string_or("phase", "-").c_str(), s.number_or("iterations", 0),
+                  best_str.c_str(), s.string_or("best_config", "").c_str());
+    }
+  }
+  if (const auto* workers = doc->find("workers");
+      workers != nullptr && workers->is_array() && !workers->as_array().empty()) {
+    std::printf("  %zu pool worker lane(s):", workers->as_array().size());
+    for (const auto& w : workers->as_array()) {
+      std::printf(" %s/%.0f%s", w.string_or("pool", "?").c_str(),
+                  w.number_or("lane", 0),
+                  w.find("busy") != nullptr && w.find("busy")->is_bool() &&
+                          w.find("busy")->as_bool()
+                      ? "*"
+                      : "");
+    }
+    std::printf("\n");
+  }
+}
+
+void print_metrics_headlines(const std::string& text) {
+  // Show the server.* samples only; the full exposition can be long.
+  std::size_t shown = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    if (line.rfind("ah_server_", 0) == 0 &&
+        line.find("_bucket{") == std::string::npos) {
+      std::printf("  %s\n", line.c_str());
+      ++shown;
+    }
+  }
+  if (shown == 0) std::printf("  (no server metrics yet — is AH_OBS=1?)\n");
+}
+
+int watch(harmony::TuningClient& admin, int refreshes, int interval_ms) {
+  for (int i = 0; i < refreshes; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    std::printf("---- refresh %d/%d ----\n", i + 1, refreshes);
+    if (const auto status = admin.status_json()) {
+      print_status(*status);
+    } else {
+      std::fprintf(stderr, "STATUS failed: %s\n", admin.last_error().c_str());
+      return 1;
+    }
+    if (const auto metrics = admin.metrics_text()) {
+      print_metrics_headlines(*metrics);
+    }
+    if (const auto events = admin.log_tail(5)) {
+      for (const auto& e : *events) std::printf("  log %s\n", e.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int refreshes = argc > 2 ? std::atoi(argv[2]) : 5;
+  const int interval_ms = argc > 3 ? std::atoi(argv[3]) : 500;
+
+  if (argc > 1) {
+    // Attach to an already-running server.
+    harmony::TuningClient admin;
+    if (!admin.connect(std::atoi(argv[1]), "harmony_top")) {
+      std::fprintf(stderr, "connect failed: %s\n", admin.last_error().c_str());
+      return 1;
+    }
+    const int rc = watch(admin, refreshes, interval_ms);
+    admin.bye();
+    return rc;
+  }
+
+  // Self-contained demo: server + a background tuning client to watch.
+  harmony::obs::set_enabled(true);  // events + metrics for the demo
+  harmony::TuningServer server;
+  if (!server.start()) {
+    std::fprintf(stderr, "could not start tuning server\n");
+    return 1;
+  }
+  std::printf("harmony server listening on 127.0.0.1:%d\n", server.port());
+
+  std::thread app([port = server.port()] {
+    const minipop::PopGrid grid = minipop::PopGrid::production();
+    const minipop::PopModel model(grid);
+    const auto machine = simcluster::presets::hockney(8, 4);
+    const auto space = minipop::make_param_space(32);
+
+    harmony::TuningClient client;
+    if (!client.connect(port, "pop")) return;
+    bool ok = client.add_int("num_iotasks", 1, 32);
+    for (const auto& spec : minipop::parameter_table()) {
+      ok = ok && client.add_enum(spec.name, spec.choices);
+    }
+    if (!ok || !client.start(300)) return;
+    while (auto config = client.fetch()) {
+      const auto mult = minipop::evaluate_multipliers(space, *config);
+      const double t = model.step_time(machine, 4, {180, 100}, mult).total_s;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      if (!client.report(t)) break;
+    }
+    client.bye();
+  });
+
+  harmony::TuningClient admin;
+  int rc = 1;
+  if (admin.connect(server.port(), "harmony_top")) {
+    rc = watch(admin, refreshes, interval_ms);
+    admin.bye();
+  } else {
+    std::fprintf(stderr, "admin connect failed: %s\n", admin.last_error().c_str());
+  }
+  app.join();
+  server.stop();
+  return rc;
+}

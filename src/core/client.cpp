@@ -116,4 +116,69 @@ void TuningClient::bye() {
   ok_ = false;
 }
 
+std::optional<std::string> TuningClient::status_json() {
+  auto reply = transact("STATUS");
+  if (!reply) return std::nullopt;
+  if (reply->rfind("ERR", 0) == 0) {
+    error_ = *reply;
+    return std::nullopt;
+  }
+  return reply;
+}
+
+std::optional<std::string> TuningClient::metrics_text() {
+  auto first = transact("METRICS");
+  if (!first) return std::nullopt;
+  if (first->rfind("ERR", 0) == 0) {
+    error_ = *first;
+    return std::nullopt;
+  }
+  std::string text;
+  std::string line = *first;
+  // Accumulate exposition lines until the "# EOF" terminator.
+  while (line != "# EOF") {
+    text += line;
+    text += '\n';
+    auto next = reader_->read_line();
+    if (!next) {
+      ok_ = false;
+      error_ = "server closed connection";
+      return std::nullopt;
+    }
+    line = *next;
+  }
+  return text;
+}
+
+std::optional<std::vector<std::string>> TuningClient::log_tail(std::size_t n) {
+  std::ostringstream os;
+  os << "LOG tail " << n;
+  const auto reply = transact(os.str());
+  if (!reply) return std::nullopt;
+  const auto msg = proto::parse_line(*reply);
+  if (!msg || msg->verb != "LOG" || msg->args.size() != 1) {
+    error_ = *reply;
+    return std::nullopt;
+  }
+  std::size_t count{};
+  try {
+    count = static_cast<std::size_t>(std::stoull(msg->args[0]));
+  } catch (const std::exception&) {
+    error_ = "bad LOG count: " + *reply;
+    return std::nullopt;
+  }
+  std::vector<std::string> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto line = reader_->read_line();
+    if (!line) {
+      ok_ = false;
+      error_ = "server closed connection";
+      return std::nullopt;
+    }
+    events.push_back(std::move(*line));
+  }
+  return events;
+}
+
 }  // namespace harmony

@@ -7,6 +7,7 @@
 /// developers can easily hook up the application with the Active Harmony
 /// tuning server" (Section III).
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -47,6 +48,20 @@ class TuningClient {
 
   /// Polite shutdown.
   void bye();
+
+  // ---- introspection verbs (admin clients, e.g. examples/harmony_top) ----
+
+  /// STATUS: one JSON object describing every live session and pool worker
+  /// lane (the server's obs::StatusRegistry snapshot).
+  [[nodiscard]] std::optional<std::string> status_json();
+
+  /// METRICS: the server's metrics in Prometheus text exposition format
+  /// (the trailing "# EOF" terminator line is stripped).
+  [[nodiscard]] std::optional<std::string> metrics_text();
+
+  /// LOG tail n: the most recent structured log events, oldest first, one
+  /// JSON object per element.
+  [[nodiscard]] std::optional<std::vector<std::string>> log_tail(std::size_t n);
 
   [[nodiscard]] bool ok() const noexcept { return ok_; }
   [[nodiscard]] const std::string& last_error() const noexcept { return error_; }

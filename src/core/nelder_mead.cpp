@@ -346,6 +346,19 @@ void NelderMead::maybe_restart() {
   seed_simplex(center, current_step_fraction_);
 }
 
+const char* NelderMead::phase_name() const noexcept {
+  switch (phase_) {
+    case Phase::BuildSimplex: return "build";
+    case Phase::Reflect: return "reflect";
+    case Phase::Expand: return "expand";
+    case Phase::ContractOutside: return "contract-out";
+    case Phase::ContractInside: return "contract-in";
+    case Phase::Shrink: return "shrink";
+    case Phase::Done: return "done";
+  }
+  return "unknown";
+}
+
 bool NelderMead::converged() const { return phase_ == Phase::Done; }
 
 std::optional<Config> NelderMead::best() const { return best_; }

@@ -91,6 +91,11 @@ class NelderMead final : public SearchStrategy {
   /// Current simplex diameter (max pairwise L-inf distance), for tests.
   [[nodiscard]] double simplex_diameter() const;
 
+  /// Human-readable name of the current simplex phase ("build", "reflect",
+  /// "expand", "contract-out", "contract-in", "shrink", "done") — published
+  /// to the live-status board by the tuning server.
+  [[nodiscard]] const char* phase_name() const noexcept;
+
   /// Number of completed simplex transformations (reflect/expand/...).
   [[nodiscard]] int transformations() const noexcept { return transformations_; }
   [[nodiscard]] int restarts_used() const noexcept { return restarts_used_; }

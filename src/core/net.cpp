@@ -14,31 +14,33 @@ namespace harmony::net {
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_.exchange(-1, std::memory_order_relaxed)) {}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = std::exchange(other.fd_, -1);
+    fd_.store(other.fd_.exchange(-1, std::memory_order_relaxed),
+              std::memory_order_relaxed);
   }
   return *this;
 }
 
 void Socket::close() noexcept {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  const int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
 }
 
 void Socket::shutdown() noexcept {
-  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  const int fd = fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
 bool Socket::send_all(const std::string& data) const {
+  const int fd = this->fd();
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
 #ifdef MSG_NOSIGNAL
                              MSG_NOSIGNAL
 #else
@@ -59,13 +61,25 @@ bool Socket::send_line(const std::string& line) const {
 }
 
 std::optional<std::string> LineReader::read_line() {
+  if (overflowed_) return std::nullopt;  // poisoned: stream no longer framed
   while (true) {
     const auto pos = buffer_.find('\n');
     if (pos != std::string::npos) {
+      if (max_line_ != 0 && pos > max_line_) {
+        overflowed_ = true;
+        buffer_.clear();
+        return std::nullopt;
+      }
       std::string line = buffer_.substr(0, pos);
       buffer_.erase(0, pos + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
+    }
+    // No terminator buffered yet: refuse to accumulate past the limit.
+    if (max_line_ != 0 && buffer_.size() > max_line_) {
+      overflowed_ = true;
+      buffer_.clear();
+      return std::nullopt;
     }
     char chunk[4096];
     const ssize_t n = ::recv(socket_->fd(), chunk, sizeof(chunk), 0);

@@ -5,12 +5,18 @@
 /// and client. Loopback-only by design: the Harmony server in this repo is a
 /// localhost coordination service, not an internet-facing daemon.
 
+#include <atomic>
+#include <cstddef>
 #include <optional>
 #include <string>
 
 namespace harmony::net {
 
-/// RAII file-descriptor owner.
+/// RAII file-descriptor owner. The descriptor is stored atomically so one
+/// thread may shutdown()/close() a socket another thread is blocked in
+/// accept()/recv() on — the tuning server's stop path — without a data
+/// race; ownership is still single-threaded (moves are not synchronized
+/// against concurrent moves).
 class Socket {
  public:
   Socket() = default;
@@ -22,8 +28,10 @@ class Socket {
   Socket(Socket&& other) noexcept;
   Socket& operator=(Socket&& other) noexcept;
 
-  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
-  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd() >= 0; }
+  [[nodiscard]] int fd() const noexcept {
+    return fd_.load(std::memory_order_relaxed);
+  }
   void close() noexcept;
 
   /// Shut down both directions without releasing the fd. Unlike close(),
@@ -38,20 +46,36 @@ class Socket {
   [[nodiscard]] bool send_line(const std::string& line) const;
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
-/// Buffered line reader over a socket.
+/// Buffered line reader over a socket. Reassembles lines across partial
+/// reads; `max_line_bytes` bounds a single line so a peer streaming an
+/// unterminated (or overlong) line cannot grow the buffer without limit —
+/// the read fails instead (see overflowed()). 0 disables the limit.
 class LineReader {
  public:
-  explicit LineReader(const Socket& s) : socket_(&s) {}
+  static constexpr std::size_t kDefaultMaxLine = 1 << 20;  // 1 MiB
+
+  explicit LineReader(const Socket& s,
+                      std::size_t max_line_bytes = kDefaultMaxLine)
+      : socket_(&s), max_line_(max_line_bytes) {}
 
   /// Blocking read of the next '\n'-terminated line (terminator stripped).
-  /// nullopt on EOF or error.
+  /// nullopt on EOF, error, or when the line limit is exceeded.
   [[nodiscard]] std::optional<std::string> read_line();
+
+  /// True once a read failed because a line exceeded max_line_bytes. The
+  /// reader is poisoned from then on: callers should drop the connection
+  /// (buffered bytes past the overflow are not a trustworthy stream).
+  [[nodiscard]] bool overflowed() const noexcept { return overflowed_; }
+
+  [[nodiscard]] std::size_t max_line_bytes() const noexcept { return max_line_; }
 
  private:
   const Socket* socket_;
+  std::size_t max_line_;
+  bool overflowed_ = false;
   std::string buffer_;
 };
 

@@ -3,8 +3,12 @@
 #include <limits>
 #include <stdexcept>
 
+#include <atomic>
+#include <cstdint>
+
 #include "core/evaluation.hpp"
 #include "obs/metrics.hpp"
+#include "obs/status.hpp"
 #include "obs/trace.hpp"
 
 namespace harmony {
@@ -32,6 +36,21 @@ OfflineResult OfflineDriver::tune(SearchStrategy& strategy, const ShortRunFn& ru
   int proposals = 0;
 
   obs::SearchTracer* const tracer = opts_.tracer;
+
+  // Live-status slot (gated: nothing is published unless observability is
+  // on, so the disabled path costs one relaxed load here).
+  obs::StatusRegistry::SessionHandle status;
+  std::uint64_t cache_hits = 0;
+  if (obs::enabled()) {
+    static std::atomic<std::uint64_t> next_id{0};
+    std::string id = "offline/";
+    id += std::to_string(next_id.fetch_add(1));
+    status = obs::StatusRegistry::global().publish_session(id);
+    status.update([&](obs::SessionStatus& s) {
+      s.strategy = strategy.name();
+      s.phase = "short-runs";
+    });
+  }
 
   while (out.runs < opts_.max_runs && proposals < max_proposals) {
     auto proposal = strategy.propose();
@@ -75,6 +94,17 @@ OfflineResult OfflineDriver::tune(SearchStrategy& strategy, const ShortRunFn& ru
     if (result.valid && result.objective < out.best_measured_s) {
       out.best_measured_s = result.objective;
       out.best = *proposal;
+    }
+    if (cached) ++cache_hits;
+    if (status.valid()) {
+      status.update([&](obs::SessionStatus& s) {
+        s.iterations = static_cast<std::uint64_t>(out.runs);
+        s.cache_hits = cache_hits;
+        if (out.best) {
+          s.best_value = out.best_measured_s;
+          s.best_config = space_->format(*out.best);
+        }
+      });
     }
   }
   out.strategy_converged = strategy.converged();

@@ -16,6 +16,17 @@
 ///   BEST
 ///   BYE
 ///
+/// Introspection verbs (valid on any connection, any time — an admin client
+/// such as examples/harmony_top polls them against a live server):
+///   STATUS                    -> one line of JSON: the StatusRegistry
+///                                snapshot (every active session with its
+///                                current best, plus pool worker lanes)
+///   METRICS                   -> the MetricsRegistry in Prometheus text
+///                                exposition format, terminated by a
+///                                "# EOF" comment line
+///   LOG [tail] [N]            -> "LOG <n>" then n structured EventLog
+///                                records as JSON lines (default N = 20)
+///
 /// Server -> client:
 ///   OK [detail]
 ///   CONFIG <v1> <v2> ...      (positional, matching PARAM registration order)

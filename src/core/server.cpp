@@ -2,12 +2,17 @@
 
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
 
 #include "core/protocol.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/status.hpp"
 
 namespace harmony {
 
@@ -22,6 +27,7 @@ bool TuningServer::start() {
   port_ = lr.port;
   running_.store(true);
   accept_thread_ = std::thread([this] { accept_loop(); });
+  obs::log_info("server", "listening on port " + std::to_string(port_));
   return true;
 }
 
@@ -42,26 +48,52 @@ void TuningServer::stop() {
   for (auto& w : workers) {
     if (w.joinable()) w.join();
   }
+  obs::log_info("server", "stopped");
 }
 
 void TuningServer::accept_loop() {
   while (running_.load()) {
     net::Socket client = net::accept_connection(listener_);
     if (!client.valid()) break;  // listener closed by stop()
-    ++sessions_;
+    const int session_no = ++sessions_;
     obs::count("server.sessions");
     const std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers_.emplace_back(
-        [this, c = std::move(client)]() mutable { serve_client(std::move(c)); });
+    workers_.emplace_back([this, c = std::move(client), session_no]() mutable {
+      serve_client(std::move(c), session_no);
+    });
   }
 }
 
-void TuningServer::serve_client(net::Socket client) {
-  net::LineReader reader(client);
+void TuningServer::serve_client(net::Socket client, int session_no) {
+  net::LineReader reader(client, opts_.max_line_bytes);
   ParamSpace space;
   std::unique_ptr<NelderMead> search;
   std::optional<Config> pending;
   int iterations_left = opts_.default_max_iterations;
+  int roundtrips = 0;
+
+  // Live-status slot for this session. Published unconditionally (the STATUS
+  // verb is part of the protocol surface, not passive instrumentation); the
+  // handle unpublishes when the connection ends.
+  const std::string session_id = "server/" + std::to_string(session_no);
+  auto status = obs::StatusRegistry::global().publish_session(session_id);
+  const auto publish = [&](const char* phase_override = nullptr) {
+    status.update([&](obs::SessionStatus& s) {
+      s.phase = phase_override != nullptr
+                    ? phase_override
+                    : (search ? search->phase_name() : "registering");
+      s.iterations = static_cast<std::uint64_t>(roundtrips);
+      if (search) {
+        s.strategy = search->name();
+        if (const auto b = search->best()) {
+          s.best_value = search->best_objective();
+          s.best_config = space.format(*b);
+        }
+      }
+    });
+  };
+  publish();
+  obs::log_info("server", "session opened", session_id);
 
   const auto send = [&client](const std::string& line) {
     return client.send_line(line);
@@ -69,37 +101,49 @@ void TuningServer::serve_client(net::Socket client) {
 
   while (running_.load()) {
     const auto line = reader.read_line();
-    if (!line) return;  // peer closed
+    if (!line) {
+      if (reader.overflowed()) {
+        obs::log_warn("server", "line limit exceeded, disconnecting",
+                      session_id);
+        (void)send("ERR line too long");
+      }
+      break;  // peer closed (or misbehaved)
+    }
     const auto msg = proto::parse_line(*line);
     if (!msg) continue;
     obs::count("server.messages");
+    const auto handle_timer = obs::time_scope("server.handle_s");
 
     if (msg->verb == "HELLO") {
-      if (!send("OK harmony-server/1.0")) return;
+      const std::string app = msg->args.empty() ? "" : msg->args[0];
+      status.update([&](obs::SessionStatus& s) { s.app = app; });
+      obs::log_info("server", "HELLO " + app, session_id);
+      if (!send("OK harmony-server/1.0")) break;
     } else if (msg->verb == "PARAM") {
       if (search) {
-        if (!send("ERR session already started")) return;
+        if (!send("ERR session already started")) break;
         continue;
       }
       auto p = proto::decode_param(msg->args);
       if (!p) {
-        if (!send("ERR malformed PARAM")) return;
+        obs::log_warn("server", "malformed PARAM", session_id);
+        if (!send("ERR malformed PARAM")) break;
         continue;
       }
       try {
         space.add(std::move(*p));
       } catch (const std::exception& e) {
-        if (!send(std::string("ERR ") + e.what())) return;
+        if (!send(std::string("ERR ") + e.what())) break;
         continue;
       }
-      if (!send("OK")) return;
+      if (!send("OK")) break;
     } else if (msg->verb == "START") {
       if (space.empty()) {
-        if (!send("ERR no parameters registered")) return;
+        if (!send("ERR no parameters registered")) break;
         continue;
       }
       if (search) {
-        if (!send("ERR session already started")) return;
+        if (!send("ERR session already started")) break;
         continue;
       }
       if (!msg->args.empty()) {
@@ -107,50 +151,54 @@ void TuningServer::serve_client(net::Socket client) {
         const auto* s = msg->args[0].c_str();
         const auto [ptr, ec] = std::from_chars(s, s + msg->args[0].size(), v);
         if (ec != std::errc{} || ptr != s + msg->args[0].size() || v < 1) {
-          if (!send("ERR bad iteration budget")) return;
+          if (!send("ERR bad iteration budget")) break;
           continue;
         }
         iterations_left = v;
       }
       search = std::make_unique<NelderMead>(space, opts_.search);
-      if (!send("OK started")) return;
+      publish();
+      obs::log_info("server",
+                    "search started, budget " + std::to_string(iterations_left),
+                    session_id);
+      if (!send("OK started")) break;
     } else if (msg->verb == "FETCH") {
       if (!search) {
-        if (!send("ERR not started")) return;
+        if (!send("ERR not started")) break;
         continue;
       }
       if (pending) {
         // Idempotent re-fetch of the outstanding candidate.
-        if (!send("CONFIG " + proto::encode_config(space, *pending))) return;
+        if (!send("CONFIG " + proto::encode_config(space, *pending))) break;
         continue;
       }
       if (iterations_left <= 0) {
-        if (!send("DONE")) return;
+        if (!send("DONE")) break;
         continue;
       }
       auto proposal = search->propose();
       if (!proposal) {
-        if (!send("DONE")) return;
+        if (!send("DONE")) break;
         continue;
       }
       pending = std::move(*proposal);
       --iterations_left;
       obs::count("server.fetches");
-      if (!send("CONFIG " + proto::encode_config(space, *pending))) return;
+      if (!send("CONFIG " + proto::encode_config(space, *pending))) break;
     } else if (msg->verb == "REPORT") {
       if (!search || !pending) {
-        if (!send("ERR nothing to report")) return;
+        if (!send("ERR nothing to report")) break;
         continue;
       }
       if (msg->args.size() != 1) {
-        if (!send("ERR REPORT takes one value")) return;
+        if (!send("ERR REPORT takes one value")) break;
         continue;
       }
       double value{};
       try {
         value = std::stod(msg->args[0]);
       } catch (const std::exception&) {
-        if (!send("ERR bad objective value")) return;
+        if (!send("ERR bad objective value")) break;
         continue;
       }
       EvaluationResult r;
@@ -159,21 +207,63 @@ void TuningServer::serve_client(net::Socket client) {
       search->report(*pending, r);
       pending.reset();
       // One completed FETCH -> REPORT pair is one tuning round trip.
+      ++roundtrips;
       obs::count("server.roundtrips");
-      if (!send("OK")) return;
+      obs::observe("server.report_value", value);
+      publish();
+      if (!send("OK")) break;
     } else if (msg->verb == "BEST") {
       if (!search || !search->best()) {
-        if (!send("ERR no measurements yet")) return;
+        if (!send("ERR no measurements yet")) break;
         continue;
       }
-      if (!send("CONFIG " + proto::encode_config(space, *search->best()))) return;
+      if (!send("CONFIG " + proto::encode_config(space, *search->best()))) break;
+    } else if (msg->verb == "STATUS") {
+      // One line of JSON: the whole live-status board. Any connection may
+      // ask — harmony_top uses a dedicated admin connection.
+      obs::count("server.status_polls");
+      if (!send(obs::StatusRegistry::global().to_json())) break;
+    } else if (msg->verb == "METRICS") {
+      // Prometheus text exposition, terminated by a "# EOF" comment line
+      // ("#" lines are valid exposition, so raw `echo METRICS | nc` output
+      // is scrape-ready as-is).
+      obs::count("server.status_polls");
+      std::string text = obs::MetricsRegistry::global().to_prometheus();
+      text += "# EOF\n";
+      if (!client.send_all(text)) break;
+    } else if (msg->verb == "LOG") {
+      // LOG [tail] [N] -> "LOG <n>" header then n JSONL event records.
+      std::size_t want = opts_.log_tail_default;
+      std::size_t arg_idx = 0;
+      if (arg_idx < msg->args.size() && msg->args[arg_idx] == "tail") ++arg_idx;
+      if (arg_idx < msg->args.size()) {
+        unsigned long long v{};
+        const auto* s = msg->args[arg_idx].c_str();
+        const auto [ptr, ec] =
+            std::from_chars(s, s + msg->args[arg_idx].size(), v);
+        if (ec != std::errc{} || ptr != s + msg->args[arg_idx].size()) {
+          if (!send("ERR bad LOG count")) break;
+          continue;
+        }
+        want = static_cast<std::size_t>(v);
+      }
+      const auto events = obs::EventLog::global().tail(want);
+      std::ostringstream os;
+      os << "LOG " << events.size() << "\n";
+      for (const auto& e : events) {
+        obs::EventLog::write_event_json(os, e);
+        os << "\n";
+      }
+      if (!client.send_all(os.str())) break;
     } else if (msg->verb == "BYE") {
       (void)send("OK bye");
-      return;
+      break;
     } else {
-      if (!send("ERR unknown verb " + msg->verb)) return;
+      obs::log_warn("server", "unknown verb " + msg->verb, session_id);
+      if (!send("ERR unknown verb " + msg->verb)) break;
     }
   }
+  obs::log_info("server", "session closed", session_id);
 }
 
 }  // namespace harmony

@@ -8,8 +8,15 @@
 /// tuning session, so several applications can be tuned concurrently — the
 /// coordination role the paper contrasts against per-application adapters
 /// like AppLeS (Section VIII).
+///
+/// The server is also live-introspectable: every session publishes its
+/// state (app, phase, iteration, incumbent) to obs::StatusRegistry, and the
+/// STATUS / METRICS / LOG verbs serve that board, the Prometheus metrics
+/// exposition and the structured event log to any connection — see
+/// protocol.hpp and examples/harmony_top.cpp.
 
 #include <atomic>
+#include <cstddef>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -24,6 +31,14 @@ struct ServerOptions {
   int port = 0;  ///< 0 = pick an ephemeral port
   NelderMeadOptions search;
   int default_max_iterations = 200;
+
+  /// Per-connection cap on one protocol line; a client streaming an
+  /// unterminated line beyond this is disconnected instead of growing the
+  /// server's read buffer without bound (see net::LineReader).
+  std::size_t max_line_bytes = 1 << 20;
+
+  /// Default number of events a bare `LOG` / `LOG tail` serves.
+  std::size_t log_tail_default = 20;
 };
 
 class TuningServer {
@@ -49,7 +64,7 @@ class TuningServer {
 
  private:
   void accept_loop();
-  void serve_client(net::Socket client);
+  void serve_client(net::Socket client, int session_no);
 
   ServerOptions opts_;
   net::Socket listener_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace harmony {
 
 Tuner::Tuner(const ParamSpace& space, TunerOptions opts)
@@ -16,11 +18,14 @@ TuneResult Tuner::run(SearchStrategy& strategy, const Evaluator& evaluate) {
   TuneResult out;
   int distinct = 0;
 
+  obs::SearchTracer* const tracer = opts_.tracer;
+
   while (distinct < opts_.max_iterations && out.proposals < opts_.max_proposals) {
     auto proposal = strategy.propose();
     if (!proposal) break;
     ++out.proposals;
 
+    const double t_start_us = tracer != nullptr ? tracer->now_us() : 0.0;
     EvaluationResult result;
     bool cached = false;
     if (opts_.use_cache) {
@@ -33,6 +38,11 @@ TuneResult Tuner::run(SearchStrategy& strategy, const Evaluator& evaluate) {
       result = evaluate(*proposal);
       if (opts_.use_cache) cache_.store(*proposal, result);
       ++distinct;
+    }
+    if (tracer != nullptr) {
+      tracer->record({strategy.name(), space_->format(*proposal),
+                      result.objective, result.valid, cached, /*thread_lane=*/0,
+                      t_start_us, tracer->now_us()});
     }
     history_.record(*proposal, result, cached);
     strategy.report(*proposal, result);

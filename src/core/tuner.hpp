@@ -14,6 +14,10 @@
 #include "core/history.hpp"
 #include "core/strategy.hpp"
 
+namespace harmony::obs {
+class SearchTracer;
+}  // namespace harmony::obs
+
 namespace harmony {
 
 struct TunerOptions {
@@ -26,6 +30,13 @@ struct TunerOptions {
 
   /// Memoize evaluations per lattice point.
   bool use_cache = true;
+
+  /// Optional per-evaluation tracer (not owned; may be null). When set, the
+  /// loop records one TraceEvent per proposal — strategy, point, objective,
+  /// cache hit/miss, wall-clock span — independent of obs::enabled(), which
+  /// only gates the aggregate metrics. Feed the JSONL export to
+  /// tools/report_gen for the HTML convergence report.
+  obs::SearchTracer* tracer = nullptr;
 };
 
 struct TuneResult {

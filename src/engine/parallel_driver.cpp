@@ -1,14 +1,18 @@
 #include "engine/parallel_driver.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <future>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "engine/eval_cache.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/metrics.hpp"
+#include "obs/status.hpp"
 #include "obs/trace.hpp"
 
 namespace harmony::engine {
@@ -69,6 +73,19 @@ ParallelOfflineResult ParallelOfflineDriver::tune(BatchSearchStrategy& strategy,
 
   obs::SearchTracer* const tracer = opts_.tracer;
   const std::string strategy_name = strategy.name();
+
+  // Live-status slot (gated: published only while observability is on).
+  obs::StatusRegistry::SessionHandle status;
+  if (obs::enabled()) {
+    static std::atomic<std::uint64_t> next_id{0};
+    std::string id = "parallel/";
+    id += std::to_string(next_id.fetch_add(1));
+    status = obs::StatusRegistry::global().publish_session(id);
+    status.update([&](obs::SessionStatus& s) {
+      s.strategy = strategy_name;
+      s.phase = "batching";
+    });
+  }
 
   while (out.runs < opts_.max_runs && proposals < max_proposals) {
     // Budget guard: never ask for (and never submit) more candidates than
@@ -140,6 +157,19 @@ ParallelOfflineResult ParallelOfflineDriver::tune(BatchSearchStrategy& strategy,
       results[i] = t.result;
     }
     strategy.report_batch(batch, results);
+    if (status.valid()) {
+      status.update([&](obs::SessionStatus& s) {
+        std::string phase = "batch ";
+        phase += std::to_string(out.batches);
+        s.phase = std::move(phase);
+        s.iterations = static_cast<std::uint64_t>(out.runs);
+        s.cache_hits = static_cast<std::uint64_t>(cache.hits());
+        if (out.best) {
+          s.best_value = out.best_measured_s;
+          s.best_config = space_->format(*out.best);
+        }
+      });
+    }
   }
 
   out.strategy_converged = strategy.converged();

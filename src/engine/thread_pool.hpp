@@ -18,11 +18,13 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -60,9 +62,16 @@ class ThreadPool {
   /// Tasks executed over the pool's lifetime (for tests and reports).
   [[nodiscard]] std::size_t completed() const;
 
+  /// Identifier this pool's worker lanes publish under on the live-status
+  /// board ("pool/<n>", dense per process). Lanes appear in STATUS only
+  /// while observability is enabled (see obs::StatusRegistry).
+  [[nodiscard]] const std::string& status_name() const noexcept {
+    return status_name_;
+  }
+
  private:
   void post(std::function<void()> job);
-  void worker_loop();
+  void worker_loop(std::uint32_t lane);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
@@ -70,6 +79,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t completed_ = 0;
   bool stopping_ = false;
+  std::string status_name_;
 };
 
 }  // namespace harmony::engine

@@ -123,6 +123,15 @@ class MetricsRegistry {
   void write_json(std::ostream& os) const;
   [[nodiscard]] std::string to_json() const;
 
+  /// Prometheus text exposition format (one # HELP/# TYPE block per metric,
+  /// names sorted): counters become `ah_<name>_total`, gauges `ah_<name>`,
+  /// histograms the full cumulative `_bucket{le=...}/_sum/_count` family
+  /// rendered from the log-2 buckets. Dots in metric names map to
+  /// underscores. Served by the tuning server's METRICS verb; implemented in
+  /// prometheus.cpp.
+  void write_prometheus(std::ostream& os) const;
+  [[nodiscard]] std::string to_prometheus() const;
+
  private:
   struct Entry {
     enum class Kind { Counter, Gauge, Histogram } kind;

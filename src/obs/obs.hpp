@@ -2,13 +2,18 @@
 
 /// \file obs.hpp
 /// Umbrella header for the observability layer: process metrics
-/// (MetricsRegistry), per-evaluation search tracing (SearchTracer) and
-/// machine-readable benchmark reports (BenchReport). See each header for
-/// the design; the one-line story is "measure the tuner the way the paper
-/// measures the applications" — iterations, evaluations, wall clock and
-/// cache behaviour as exportable data, at zero cost when disabled.
+/// (MetricsRegistry, with Prometheus text exposition), per-evaluation search
+/// tracing (SearchTracer), machine-readable benchmark reports (BenchReport),
+/// live introspection (StatusRegistry), the structured EventLog, and the
+/// HTML session-report renderer. See each header for the design; the
+/// one-line story is "measure the tuner the way the paper measures the
+/// applications" — iterations, evaluations, wall clock and cache behaviour
+/// as exportable *and live-queryable* data, at zero cost when disabled.
 
 #include "obs/bench_report.hpp"
+#include "obs/event_log.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report_html.hpp"
+#include "obs/status.hpp"
 #include "obs/trace.hpp"

@@ -1,0 +1,107 @@
+/// \file prometheus.cpp
+/// Prometheus text exposition rendering for MetricsRegistry (the METRICS
+/// protocol verb and anything else that wants to be scraped). Kept out of
+/// metrics.cpp so the hot-path recording code stays separate from the
+/// (cold) exposition encoder.
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace harmony::obs {
+
+namespace {
+
+/// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*. Our dotted
+/// names ("server.roundtrips") become underscored with an "ah_" namespace
+/// prefix ("ah_server_roundtrips").
+std::string prometheus_name(const std::string& name) {
+  std::string out = "ah_";
+  for (const char c : name) {
+    const auto uc = static_cast<unsigned char>(c);
+    out += (std::isalnum(uc) != 0 || c == '_' || c == ':') ? c : '_';
+  }
+  return out;
+}
+
+std::string render_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// Upper bound of log-2 bucket `i` (see Histogram::bucket_index): bucket 0
+/// ends at kBucketFloor, bucket i at kBucketFloor * 2^i.
+double bucket_upper_bound(int i) {
+  return Histogram::kBucketFloor * std::ldexp(1.0, i);
+}
+
+void render_histogram(std::ostream& os, const std::string& name,
+                      const Histogram& h) {
+  os << "# TYPE " << name << " histogram\n";
+  // Emit up to the highest non-empty bucket (at least bucket 0) so typical
+  // timer histograms stay a dozen lines, not kBuckets.
+  int top = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    if (h.bucket(i) > 0) top = i;
+  }
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i <= top; ++i) {
+    cumulative += h.bucket(i);
+    os << name << "_bucket{le=\"" << render_double(bucket_upper_bound(i))
+       << "\"} " << cumulative << "\n";
+  }
+  os << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+  os << name << "_sum " << render_double(h.sum()) << "\n";
+  os << name << "_count " << h.count() << "\n";
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  struct Row {
+    std::string name;
+    std::string body;
+  };
+  std::vector<Row> rows;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, entry] : shard.table) {
+      const std::string pname = prometheus_name(name);
+      std::ostringstream body;
+      switch (entry.kind) {
+        case Entry::Kind::Counter:
+          body << "# TYPE " << pname << "_total counter\n"
+               << pname << "_total " << entry.counter->value() << "\n";
+          break;
+        case Entry::Kind::Gauge:
+          body << "# TYPE " << pname << " gauge\n"
+               << pname << " " << render_double(entry.gauge->value()) << "\n";
+          break;
+        case Entry::Kind::Histogram:
+          render_histogram(body, pname, *entry.histogram);
+          break;
+      }
+      rows.push_back({pname, body.str()});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+  for (const auto& row : rows) os << row.body;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+}  // namespace harmony::obs

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file report_html.hpp
+/// Self-contained HTML session reports rendered from SearchTracer JSONL
+/// traces and BenchReport JSON — the browsable counterpart of the paper's
+/// convergence figures (Figs. 2-6 are all trajectory plots). The emitted
+/// document embeds everything inline (CSS + SVG, no scripts, no external
+/// fetches), so a CI artifact opens directly in a browser:
+///
+///  * an SVG convergence curve — best objective so far vs evaluation index,
+///    with the raw per-evaluation objectives as faint markers;
+///  * an SVG evaluation timeline — one row per thread lane, one bar per
+///    evaluation colored by strategy (cache hits hollow), laid out on the
+///    trace's wall clock — the at-a-glance view of pool utilization;
+///  * a per-strategy summary table: evaluations, cache hits/rate, best
+///    value;
+///  * the BenchReport headline numbers, when a report is supplied.
+///
+/// The library half lives here so tests can exercise the renderer directly;
+/// `tools/report_gen` is the thin CLI that CI runs over bench artifacts.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.hpp"
+#include "obs/trace.hpp"
+
+namespace harmony::obs {
+
+struct HtmlReportOptions {
+  std::string title = "Active Harmony session report";
+  int width = 900;        ///< pixel width of the SVG charts
+  int curve_height = 320; ///< convergence chart height
+  int lane_height = 26;   ///< per-lane row height in the timeline
+};
+
+/// Parse a SearchTracer::write_jsonl export. Lines that fail to parse are
+/// skipped (counted in `*skipped` when non-null), so a truncated trace from
+/// a crashed run still renders.
+[[nodiscard]] std::vector<TraceEvent> load_trace_jsonl(std::istream& is,
+                                                       std::size_t* skipped = nullptr);
+
+/// Render the full report document. `bench` may be null (trace-only report).
+void write_html_report(std::ostream& os, const std::vector<TraceEvent>& events,
+                       const BenchReport* bench,
+                       const HtmlReportOptions& opts = {});
+
+/// Just the convergence-curve SVG element (exposed for tests/embedding).
+void write_convergence_svg(std::ostream& os,
+                           const std::vector<TraceEvent>& events,
+                           const HtmlReportOptions& opts = {});
+
+/// Just the per-lane evaluation-timeline SVG element.
+void write_timeline_svg(std::ostream& os, const std::vector<TraceEvent>& events,
+                        const HtmlReportOptions& opts = {});
+
+}  // namespace harmony::obs

@@ -1,0 +1,235 @@
+#include "obs/status.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace harmony::obs {
+
+namespace {
+
+/// Finite numbers print plainly; the "no measurement yet" infinity becomes
+/// null so STATUS consumers do not need to parse "inf".
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+StatusRegistry& StatusRegistry::global() {
+  static StatusRegistry registry;
+  return registry;
+}
+
+// ---- SessionHandle --------------------------------------------------------
+
+StatusRegistry::SessionHandle::SessionHandle(SessionHandle&& other) noexcept
+    : registry_(std::exchange(other.registry_, nullptr)),
+      slot_(std::exchange(other.slot_, nullptr)) {}
+
+StatusRegistry::SessionHandle& StatusRegistry::SessionHandle::operator=(
+    SessionHandle&& other) noexcept {
+  if (this != &other) {
+    reset();
+    registry_ = std::exchange(other.registry_, nullptr);
+    slot_ = std::exchange(other.slot_, nullptr);
+  }
+  return *this;
+}
+
+StatusRegistry::SessionHandle::~SessionHandle() { reset(); }
+
+void StatusRegistry::SessionHandle::update(
+    const std::function<void(SessionStatus&)>& fn) {
+  if (slot_ == nullptr || !fn) return;
+  {
+    const std::lock_guard<std::mutex> lock(slot_->mutex);
+    std::string id = slot_->status.id;  // fixed at publish time
+    fn(slot_->status);
+    slot_->status.id = std::move(id);
+  }
+  slot_->slot_epoch.fetch_add(1, std::memory_order_relaxed);
+  registry_->bump();
+}
+
+void StatusRegistry::SessionHandle::reset() {
+  if (slot_ != nullptr) registry_->drop_session(slot_);
+  registry_ = nullptr;
+  slot_ = nullptr;
+}
+
+// ---- WorkerHandle ---------------------------------------------------------
+
+StatusRegistry::WorkerHandle::WorkerHandle(WorkerHandle&& other) noexcept
+    : registry_(std::exchange(other.registry_, nullptr)),
+      slot_(std::exchange(other.slot_, nullptr)) {}
+
+StatusRegistry::WorkerHandle& StatusRegistry::WorkerHandle::operator=(
+    WorkerHandle&& other) noexcept {
+  if (this != &other) {
+    reset();
+    registry_ = std::exchange(other.registry_, nullptr);
+    slot_ = std::exchange(other.slot_, nullptr);
+  }
+  return *this;
+}
+
+StatusRegistry::WorkerHandle::~WorkerHandle() { reset(); }
+
+void StatusRegistry::WorkerHandle::set(bool busy, std::uint64_t tasks) {
+  if (slot_ == nullptr) return;
+  {
+    const std::lock_guard<std::mutex> lock(slot_->mutex);
+    slot_->status.busy = busy;
+    slot_->status.tasks = tasks;
+  }
+  slot_->slot_epoch.fetch_add(1, std::memory_order_relaxed);
+  registry_->bump();
+}
+
+void StatusRegistry::WorkerHandle::reset() {
+  if (slot_ != nullptr) registry_->drop_worker(slot_);
+  registry_ = nullptr;
+  slot_ = nullptr;
+}
+
+// ---- StatusRegistry -------------------------------------------------------
+
+StatusRegistry::SessionHandle StatusRegistry::publish_session(
+    const std::string& id) {
+  auto slot = std::make_unique<SessionSlot>();
+  slot->status.id = id;
+  SessionSlot* raw = slot.get();
+  {
+    const std::lock_guard<std::mutex> lock(table_mutex_);
+    std::string key = id;
+    while (sessions_.count(key) != 0) {
+      key = id;
+      key.push_back('#');
+      key += std::to_string(++clash_suffix_);
+    }
+    raw->status.id = key;
+    sessions_.emplace(std::move(key), std::move(slot));
+  }
+  sessions_started_.fetch_add(1, std::memory_order_relaxed);
+  bump();
+  return SessionHandle(this, raw);
+}
+
+StatusRegistry::WorkerHandle StatusRegistry::publish_worker(
+    const std::string& pool, std::uint32_t lane) {
+  auto slot = std::make_unique<WorkerSlot>();
+  slot->status.pool = pool;
+  slot->status.lane = lane;
+  WorkerSlot* raw = slot.get();
+  {
+    const std::lock_guard<std::mutex> lock(table_mutex_);
+    std::string key = pool;
+    key.push_back('/');
+    key += std::to_string(lane);
+    while (workers_.count(key) != 0) {
+      key.push_back('#');
+      key += std::to_string(++clash_suffix_);
+    }
+    workers_.emplace(std::move(key), std::move(slot));
+  }
+  bump();
+  return WorkerHandle(this, raw);
+}
+
+void StatusRegistry::drop_session(SessionSlot* slot) {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->second.get() == slot) {
+      sessions_.erase(it);
+      break;
+    }
+  }
+  bump();
+}
+
+void StatusRegistry::drop_worker(WorkerSlot* slot) {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+    if (it->second.get() == slot) {
+      workers_.erase(it);
+      break;
+    }
+  }
+  bump();
+}
+
+std::vector<SessionStatus> StatusRegistry::sessions() const {
+  std::vector<SessionStatus> out;
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  out.reserve(sessions_.size());
+  for (const auto& [key, slot] : sessions_) {
+    const std::lock_guard<std::mutex> slot_lock(slot->mutex);
+    out.push_back(slot->status);
+  }
+  return out;
+}
+
+std::vector<WorkerStatus> StatusRegistry::workers() const {
+  std::vector<WorkerStatus> out;
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  out.reserve(workers_.size());
+  for (const auto& [key, slot] : workers_) {
+    const std::lock_guard<std::mutex> slot_lock(slot->mutex);
+    out.push_back(slot->status);
+  }
+  return out;
+}
+
+std::size_t StatusRegistry::session_count() const {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  return sessions_.size();
+}
+
+std::size_t StatusRegistry::worker_count() const {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  return workers_.size();
+}
+
+void StatusRegistry::write_json(std::ostream& os) const {
+  const auto sess = sessions();
+  const auto work = workers();
+  os << "{\"epoch\":" << epoch()
+     << ",\"sessions_started\":" << sessions_started() << ",\"sessions\":[";
+  for (std::size_t i = 0; i < sess.size(); ++i) {
+    const auto& s = sess[i];
+    if (i != 0) os << ",";
+    os << "{\"id\":\"" << json_escape(s.id) << "\""
+       << ",\"app\":\"" << json_escape(s.app) << "\""
+       << ",\"strategy\":\"" << json_escape(s.strategy) << "\""
+       << ",\"phase\":\"" << json_escape(s.phase) << "\""
+       << ",\"best_config\":\"" << json_escape(s.best_config) << "\""
+       << ",\"best_value\":" << json_number(s.best_value)
+       << ",\"iterations\":" << s.iterations
+       << ",\"cache_hits\":" << s.cache_hits << "}";
+  }
+  os << "],\"workers\":[";
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const auto& w = work[i];
+    if (i != 0) os << ",";
+    os << "{\"pool\":\"" << json_escape(w.pool) << "\""
+       << ",\"lane\":" << w.lane << ",\"busy\":" << (w.busy ? "true" : "false")
+       << ",\"tasks\":" << w.tasks << "}";
+  }
+  os << "]}";
+}
+
+std::string StatusRegistry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace harmony::obs

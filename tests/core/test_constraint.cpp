@@ -20,7 +20,9 @@ using harmony::Rng;
 ParamSpace boundary_space(int n_boundaries, int rows) {
   ParamSpace s;
   for (int i = 0; i < n_boundaries; ++i) {
-    s.add(Parameter::Integer("b" + std::to_string(i), 1, rows - 1));
+    std::string name = "b";
+    name += std::to_string(i);
+    s.add(Parameter::Integer(name, 1, rows - 1));
   }
   return s;
 }

@@ -106,6 +106,78 @@ TEST(Net, SendOnInvalidSocketFails) {
   EXPECT_FALSE(s.send_line("nope"));
 }
 
+TEST(Net, LineReaderReassemblesPartialSends) {
+  // A line delivered one byte at a time (worst-case TCP fragmentation) must
+  // come out whole, and the buffer must carry over into the next line.
+  auto lr = listen_loopback(0);
+  std::thread client([port = lr.port] {
+    Socket s = connect_loopback(port);
+    const std::string payload = "FETCH with args\nBYE\n";
+    for (const char c : payload) {
+      ASSERT_TRUE(s.send_all(std::string(1, c)));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  Socket conn = accept_connection(lr.socket);
+  LineReader reader(conn);
+  EXPECT_EQ(reader.read_line().value(), "FETCH with args");
+  EXPECT_EQ(reader.read_line().value(), "BYE");
+  EXPECT_FALSE(reader.overflowed());
+  client.join();
+}
+
+TEST(Net, LineReaderRejectsOversizedUnterminatedLine) {
+  auto lr = listen_loopback(0);
+  std::thread client([port = lr.port] {
+    Socket s = connect_loopback(port);
+    // Never send a newline: a well-behaved reader must cap the buffer
+    // rather than grow it until the peer stops.
+    ASSERT_TRUE(s.send_all(std::string(4096, 'x')));
+    // Hold the connection open so nullopt means "limit", not "peer closed".
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  });
+  Socket conn = accept_connection(lr.socket);
+  LineReader reader(conn, /*max_line_bytes=*/256);
+  EXPECT_EQ(reader.max_line_bytes(), 256u);
+  EXPECT_FALSE(reader.read_line().has_value());
+  EXPECT_TRUE(reader.overflowed());
+  client.join();
+}
+
+TEST(Net, LineReaderRejectsOverlongTerminatedLine) {
+  auto lr = listen_loopback(0);
+  std::thread client([port = lr.port] {
+    Socket s = connect_loopback(port);
+    ASSERT_TRUE(s.send_line(std::string(1024, 'y')));
+    ASSERT_TRUE(s.send_line("short"));
+  });
+  Socket conn = accept_connection(lr.socket);
+  LineReader reader(conn, /*max_line_bytes=*/64);
+  EXPECT_FALSE(reader.read_line().has_value());
+  EXPECT_TRUE(reader.overflowed());
+  // The reader is poisoned: even well-formed follow-up lines are refused,
+  // so a server never resynchronizes mid-stream with a flooding client.
+  EXPECT_FALSE(reader.read_line().has_value());
+  EXPECT_TRUE(reader.overflowed());
+  client.join();
+}
+
+TEST(Net, LineReaderZeroLimitMeansUnlimited) {
+  auto lr = listen_loopback(0);
+  const std::string big(1 << 16, 'z');
+  std::thread client([&, port = lr.port] {
+    Socket s = connect_loopback(port);
+    ASSERT_TRUE(s.send_line(big));
+  });
+  Socket conn = accept_connection(lr.socket);
+  LineReader reader(conn, /*max_line_bytes=*/0);
+  const auto line = reader.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->size(), big.size());
+  EXPECT_FALSE(reader.overflowed());
+  client.join();
+}
+
 TEST(Net, LargePayloadRoundtrip) {
   auto lr = listen_loopback(0);
   const std::string big(1 << 18, 'x');

@@ -97,7 +97,9 @@ TEST(ParamSpace, TotalPointsHugeSpaceStillFinite) {
   // The paper's O(10^100) PETSc search space must not overflow.
   ParamSpace s;
   for (int i = 0; i < 50; ++i) {
-    s.add(Parameter::Integer("b" + std::to_string(i), 1, 90600));
+    std::string name = "b";
+    name += std::to_string(i);
+    s.add(Parameter::Integer(name, 1, 90600));
   }
   const double total = s.total_points();
   EXPECT_GT(total, 1e100);

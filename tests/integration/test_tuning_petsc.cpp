@@ -43,7 +43,9 @@ TEST(TuningPetscIntegration, DecompositionTuningBeatsDefault) {
 
   ParamSpace space;
   for (int i = 0; i < nranks - 1; ++i) {
-    space.add(Parameter::Integer("b" + std::to_string(i), 1, n - 1));
+    std::string name = "b";
+    name += std::to_string(i);
+    space.add(Parameter::Integer(name, 1, n - 1));
   }
   ConstraintSet constraints;
   constraints.add(std::make_shared<MonotoneConstraint>(0, nranks - 1, 1.0));

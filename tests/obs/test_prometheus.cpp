@@ -1,0 +1,137 @@
+/// \file test_prometheus.cpp
+/// Prometheus text exposition rendering (MetricsRegistry::write_prometheus).
+/// The METRICS protocol verb serves exactly this output (plus a trailing
+/// "# EOF" framing line added by the server), so these tests pin down the
+/// exposition-format contract: counters get a _total suffix, histograms a
+/// cumulative _bucket/_sum/_count family, names are sanitized and sorted.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace obs = harmony::obs;
+
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) out.push_back(line);
+  return out;
+}
+
+TEST(Prometheus, CounterRendersWithTotalSuffix) {
+  obs::MetricsRegistry reg;
+  reg.counter("server.roundtrips").add(3);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# TYPE ah_server_roundtrips_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ah_server_roundtrips_total 3\n"), std::string::npos);
+}
+
+TEST(Prometheus, GaugeRendersPlainName) {
+  obs::MetricsRegistry reg;
+  reg.gauge("sa.temperature").set(0.5);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# TYPE ah_sa_temperature gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("ah_sa_temperature 0.5\n"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramFamilyIsCumulativeAndConsistent) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("short_run_s");
+  h.record(0.125);
+  h.record(0.125);
+  h.record(2.0);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# TYPE ah_short_run_s histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("ah_short_run_s_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("ah_short_run_s_sum 2.25\n"), std::string::npos);
+  EXPECT_NE(text.find("ah_short_run_s_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+
+  // Bucket counts must be cumulative (non-decreasing) and end at count().
+  std::uint64_t prev = 0;
+  std::uint64_t last = 0;
+  int buckets = 0;
+  for (const auto& line : lines_of(text)) {
+    const auto pos = line.find("_bucket{le=\"");
+    if (pos == std::string::npos) continue;
+    ++buckets;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    last = std::stoull(line.substr(space + 1));
+    EXPECT_GE(last, prev) << line;
+    prev = last;
+  }
+  EXPECT_GE(buckets, 2) << text;  // 0.125 and 2.0 land in distinct buckets
+  EXPECT_EQ(last, 3u);            // +Inf bucket covers everything
+
+  // The le bound of the bucket a value lands in is >= the value itself
+  // (upper bounds are kBucketFloor * 2^i, matching Histogram::bucket_index).
+  const int idx = obs::Histogram::bucket_index(2.0);
+  const double ub = obs::Histogram::kBucketFloor * std::ldexp(1.0, idx);
+  EXPECT_GE(ub, 2.0);
+  EXPECT_LT(ub / 2.0, 2.0 + 1e-12);  // and is tight within one doubling
+}
+
+TEST(Prometheus, NamesAreSanitizedAndPrefixed) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.b-c").add(1);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("ah_a_b_c_total 1\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find("a.b-c"), std::string::npos);
+}
+
+TEST(Prometheus, OutputIsSortedByMetricName) {
+  obs::MetricsRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.gauge("alpha").set(1.0);
+  reg.histogram("mid").record(1.0);
+  const std::string text = reg.to_prometheus();
+  const auto a = text.find("ah_alpha");
+  const auto m = text.find("ah_mid");
+  const auto z = text.find("ah_zeta");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+}
+
+TEST(Prometheus, EveryLineIsCommentOrSample) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").add(2);
+  reg.gauge("g").set(-1.25);
+  reg.histogram("h").record(1e-3);
+  for (const auto& line : lines_of(reg.to_prometheus())) {
+    if (line.rfind("# TYPE ah_", 0) == 0) continue;
+    // Sample line: "ah_<name>[{labels}] <value>".
+    ASSERT_EQ(line.rfind("ah_", 0), 0u) << line;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+  }
+}
+
+TEST(Prometheus, RendererAddsNoFramingMarker) {
+  // The "# EOF" terminator is protocol framing added by the server's METRICS
+  // handler, not part of the exposition itself.
+  obs::MetricsRegistry reg;
+  reg.counter("c").add(1);
+  EXPECT_EQ(reg.to_prometheus().find("# EOF"), std::string::npos);
+}
+
+TEST(Prometheus, EmptyRegistryRendersEmpty) {
+  const obs::MetricsRegistry reg;
+  EXPECT_TRUE(reg.to_prometheus().empty());
+}
+
+}  // namespace

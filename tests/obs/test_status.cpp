@@ -1,0 +1,189 @@
+#include "obs/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace obs = harmony::obs;
+
+namespace {
+
+TEST(Status, PublishUpdateSnapshot) {
+  obs::StatusRegistry reg;
+  auto h = reg.publish_session("offline/0");
+  EXPECT_TRUE(h.valid());
+  EXPECT_EQ(reg.session_count(), 1u);
+  EXPECT_EQ(reg.sessions_started(), 1u);
+
+  h.update([](obs::SessionStatus& s) {
+    s.app = "pop";
+    s.strategy = "nelder-mead";
+    s.phase = "reflect";
+    s.best_value = 1.25;
+    s.best_config = "block_x=180";
+    s.iterations = 7;
+    s.cache_hits = 2;
+  });
+  const auto sessions = reg.sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].id, "offline/0");
+  EXPECT_EQ(sessions[0].app, "pop");
+  EXPECT_EQ(sessions[0].phase, "reflect");
+  EXPECT_DOUBLE_EQ(sessions[0].best_value, 1.25);
+  EXPECT_EQ(sessions[0].iterations, 7u);
+}
+
+TEST(Status, EpochBumpsOnEveryChange) {
+  obs::StatusRegistry reg;
+  const auto e0 = reg.epoch();
+  auto h = reg.publish_session("s");
+  const auto e1 = reg.epoch();
+  EXPECT_GT(e1, e0);
+  h.update([](obs::SessionStatus& s) { s.iterations = 1; });
+  const auto e2 = reg.epoch();
+  EXPECT_GT(e2, e1);
+  h.reset();
+  EXPECT_GT(reg.epoch(), e2);
+}
+
+TEST(Status, HandleUnpublishesOnDestruction) {
+  obs::StatusRegistry reg;
+  {
+    auto h = reg.publish_session("ephemeral");
+    EXPECT_EQ(reg.session_count(), 1u);
+  }
+  EXPECT_EQ(reg.session_count(), 0u);
+  // Lifetime total survives the unpublish.
+  EXPECT_EQ(reg.sessions_started(), 1u);
+}
+
+TEST(Status, IdIsFixedAtPublishTime) {
+  obs::StatusRegistry reg;
+  auto h = reg.publish_session("fixed");
+  h.update([](obs::SessionStatus& s) { s.id = "hijacked"; });
+  const auto sessions = reg.sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].id, "fixed");
+}
+
+TEST(Status, IdClashGetsSuffix) {
+  obs::StatusRegistry reg;
+  auto a = reg.publish_session("dup");
+  auto b = reg.publish_session("dup");
+  const auto sessions = reg.sessions();
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_NE(sessions[0].id, sessions[1].id);
+  EXPECT_EQ(sessions[0].id.rfind("dup", 0), 0u);
+  EXPECT_EQ(sessions[1].id.rfind("dup", 0), 0u);
+}
+
+TEST(Status, WorkerLanes) {
+  obs::StatusRegistry reg;
+  auto w0 = reg.publish_worker("pool/0", 0);
+  auto w1 = reg.publish_worker("pool/0", 1);
+  w0.set(true, 3);
+  w1.set(false, 9);
+  const auto workers = reg.workers();
+  ASSERT_EQ(workers.size(), 2u);
+  EXPECT_EQ(workers[0].pool, "pool/0");
+  EXPECT_TRUE(workers[0].busy);
+  EXPECT_EQ(workers[0].tasks, 3u);
+  EXPECT_FALSE(workers[1].busy);
+  EXPECT_EQ(workers[1].tasks, 9u);
+  w0.reset();
+  EXPECT_EQ(reg.worker_count(), 1u);
+}
+
+TEST(Status, HandleMoveSemantics) {
+  obs::StatusRegistry reg;
+  auto a = reg.publish_session("mover");
+  auto b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): post-move test
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(reg.session_count(), 1u);
+  obs::StatusRegistry::SessionHandle c;
+  c = std::move(b);
+  EXPECT_TRUE(c.valid());
+  c.reset();
+  EXPECT_EQ(reg.session_count(), 0u);
+}
+
+TEST(Status, JsonSnapshotParsesAndNullsMissingBest) {
+  obs::StatusRegistry reg;
+  auto fresh = reg.publish_session("fresh");      // no measurement yet
+  auto measured = reg.publish_session("measured");
+  measured.update([](obs::SessionStatus& s) {
+    s.app = "gs2";
+    s.best_value = 0.5;
+    s.best_config = "layout=yxles";
+  });
+  auto w = reg.publish_worker("pool/7", 2);
+  w.set(true, 11);
+
+  const auto doc = obs::json_parse(reg.to_json());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->number_or("sessions_started", -1), 2.0);
+
+  const auto* sessions = doc->find("sessions");
+  ASSERT_NE(sessions, nullptr);
+  ASSERT_TRUE(sessions->is_array());
+  ASSERT_EQ(sessions->as_array().size(), 2u);
+  // Ordered by id: "fresh" < "measured".
+  const auto& s0 = sessions->as_array()[0];
+  ASSERT_NE(s0.find("best_value"), nullptr);
+  EXPECT_TRUE(s0.find("best_value")->is_null());
+  const auto& s1 = sessions->as_array()[1];
+  EXPECT_EQ(s1.string_or("app", ""), "gs2");
+  EXPECT_DOUBLE_EQ(s1.number_or("best_value", -1), 0.5);
+
+  const auto* workers = doc->find("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_EQ(workers->as_array().size(), 1u);
+  EXPECT_EQ(workers->as_array()[0].string_or("pool", ""), "pool/7");
+  EXPECT_EQ(workers->as_array()[0].number_or("tasks", -1), 11.0);
+}
+
+TEST(Status, ConcurrentPublishersAndPollers) {
+  obs::StatusRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  std::atomic<bool> stop{false};
+
+  std::thread poller([&] {
+    while (!stop.load()) {
+      (void)reg.to_json();
+      (void)reg.epoch();
+    }
+  });
+  std::vector<std::thread> publishers;
+  publishers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    publishers.emplace_back([&reg, t] {
+      std::string id = "session/";
+      id += std::to_string(t);
+      for (int i = 0; i < kRounds; ++i) {
+        auto h = reg.publish_session(id);
+        h.update([i](obs::SessionStatus& s) {
+          s.iterations = static_cast<std::uint64_t>(i);
+          s.best_value = static_cast<double>(i);
+        });
+      }  // handle drops -> unpublish
+    });
+  }
+  for (auto& th : publishers) th.join();
+  stop.store(true);
+  poller.join();
+
+  EXPECT_EQ(reg.session_count(), 0u);
+  EXPECT_EQ(reg.sessions_started(),
+            static_cast<std::uint64_t>(kThreads) * kRounds);
+}
+
+}  // namespace

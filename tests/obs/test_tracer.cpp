@@ -160,9 +160,10 @@ TEST(SearchTracer, ConcurrentRecordersGetDistinctLanes) {
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&tracer, t] {
+      std::string strategy = "t";
+      strategy += std::to_string(t);
       for (int i = 0; i < kEvents; ++i) {
-        tracer.record(
-            make_event(tracer, "t" + std::to_string(t), double(i), false));
+        tracer.record(make_event(tracer, strategy, double(i), false));
       }
     });
   }

@@ -1,0 +1,113 @@
+// report_gen: render a SearchTracer JSONL trace (plus an optional BenchReport
+// JSON) into a self-contained HTML session report — inline CSS and SVG, no
+// scripts — with the convergence curve, the per-lane evaluation timeline and
+// per-strategy cache statistics. CI runs it over the bench-smoke artifacts so
+// every run uploads a browsable convergence report.
+//
+//   report_gen --trace TRACE_x.jsonl [--bench BENCH_x.json]
+//              [--out report.html] [--title "..."]
+//
+// With no --out, the document goes to stdout. Exit status: 0 on success,
+// 1 on unusable input (unreadable trace, or zero parseable events).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "obs/bench_report.hpp"
+#include "obs/report_html.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --trace <trace.jsonl> [--bench <bench.json>] "
+               "[--out <report.html>] [--title <title>]\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string bench_path;
+  std::string out_path;
+  harmony::obs::HtmlReportOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      const char* v = need_value("--trace");
+      if (v == nullptr) return usage(argv[0]);
+      trace_path = v;
+    } else if (std::strcmp(argv[i], "--bench") == 0) {
+      const char* v = need_value("--bench");
+      if (v == nullptr) return usage(argv[0]);
+      bench_path = v;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      const char* v = need_value("--out");
+      if (v == nullptr) return usage(argv[0]);
+      out_path = v;
+    } else if (std::strcmp(argv[i], "--title") == 0) {
+      const char* v = need_value("--title");
+      if (v == nullptr) return usage(argv[0]);
+      opts.title = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+  if (trace_path.empty()) return usage(argv[0]);
+
+  std::ifstream trace_in(trace_path);
+  if (!trace_in) {
+    std::fprintf(stderr, "cannot read trace: %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::size_t skipped = 0;
+  const auto events = harmony::obs::load_trace_jsonl(trace_in, &skipped);
+  if (skipped > 0) {
+    std::fprintf(stderr, "warning: skipped %zu unparseable trace line(s)\n",
+                 skipped);
+  }
+  if (events.empty()) {
+    std::fprintf(stderr, "no usable events in %s\n", trace_path.c_str());
+    return 1;
+  }
+
+  std::optional<harmony::obs::BenchReport> bench;
+  if (!bench_path.empty()) {
+    bench = harmony::obs::BenchReport::load(bench_path);
+    if (!bench) {
+      std::fprintf(stderr, "warning: could not load bench report %s\n",
+                   bench_path.c_str());
+    } else if (opts.title == harmony::obs::HtmlReportOptions{}.title) {
+      opts.title = "Session report: " + bench->name;
+    }
+  }
+
+  if (out_path.empty()) {
+    harmony::obs::write_html_report(std::cout, events,
+                                    bench ? &*bench : nullptr, opts);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  harmony::obs::write_html_report(out, events, bench ? &*bench : nullptr, opts);
+  std::fprintf(stderr, "wrote %s (%zu events)\n", out_path.c_str(),
+               events.size());
+  return 0;
+}

@@ -77,7 +77,9 @@ int main() {
     opts.shrink = v.sigma;
     opts.max_restarts = 3;
     harmony::NelderMead nm(p.space, opts, p.start);
-    harmony::Tuner tuner(p.space, harmony::TunerOptions{.max_iterations = 80});
+    harmony::TunerOptions topts;
+    topts.max_iterations = 80;
+    harmony::Tuner tuner(p.space, topts);
     const auto result = tuner.run(nm, p.evaluate);
     t1.add_row({v.label, harmony::fmt(result.best_result.objective, 4),
                 harmony::percent_improvement(t_default,

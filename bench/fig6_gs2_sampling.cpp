@@ -94,7 +94,9 @@ int main() {
   harmony::NelderMeadOptions nm_opts;
   nm_opts.max_restarts = 8;
   harmony::NelderMead nm(space, nm_opts, start);
-  harmony::Tuner tuner(space, harmony::TunerOptions{.max_iterations = 90});
+  harmony::TunerOptions hopts;
+  hopts.max_iterations = 90;
+  harmony::Tuner tuner(space, hopts);
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = tuner.run(nm, evaluate);
   const double search_wall_s =

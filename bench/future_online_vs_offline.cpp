@@ -74,11 +74,11 @@ int main() {
   oopts.max_runs = budget;
   oopts.restart_overhead_s = 30.0;  // batch-queue relaunch
   harmony::OfflineDriver driver(space, oopts);
-  harmony::NelderMeadOptions nm_opts;
-  nm_opts.max_restarts = 4;
-  nm_opts.max_stall = 2 * budget;
-  harmony::NelderMead nm(space, nm_opts, start);
-  const auto offline = driver.tune(nm, [&](const Config& c, int steps) {
+  // Same kernel as the on-line session, built through the one registry path.
+  const auto nm = harmony::StrategyRegistry::make(
+      "nelder-mead", space,
+      {{"max_restarts", "4"}, {"max_stall", std::to_string(2 * budget)}}, start);
+  const auto offline = driver.tune(*nm, [&](const Config& c, int steps) {
     harmony::ShortRunResult r;
     r.measured_s = steps * model.step_time(machine, 4, {180, 100},
                                            evaluate_multipliers(space, c))

@@ -48,11 +48,12 @@ int main() {
   opts.restart_overhead_s = 15.0; // job relaunch on the cluster is not free
   harmony::OfflineDriver driver(space, opts);
 
-  harmony::NelderMeadOptions nm_opts;
-  nm_opts.max_restarts = 3;
-  harmony::NelderMead nm(space, nm_opts, start);
+  // Strategies are built by name through the registry — the same path the
+  // tuning server's STRATEGY verb uses, with textual key=value options.
+  const auto nm = harmony::StrategyRegistry::make(
+      "nelder-mead", space, {{"max_restarts", "3"}}, start);
 
-  const auto result = driver.tune(nm, [&](const harmony::Config& c, int steps) {
+  const auto result = driver.tune(*nm, [&](const harmony::Config& c, int steps) {
     harmony::ShortRunResult r;
     r.measured_s = run_with(c, steps);
     r.warmup_s = 0.2 * r.measured_s;
@@ -85,6 +86,8 @@ int main() {
   popts.restart_overhead_s = opts.restart_overhead_s;
   popts.pool_size = 4;
   harmony::engine::ParallelOfflineDriver pdriver(space, popts);
+  harmony::NelderMeadOptions nm_opts;
+  nm_opts.max_restarts = 3;
   harmony::engine::SpeculativeNelderMead spec(space, nm_opts, start);
   const auto presult = pdriver.tune(spec, [&](const harmony::Config& c, int steps) {
     harmony::ShortRunResult r;

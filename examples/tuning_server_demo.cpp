@@ -4,7 +4,15 @@
 // process for a self-contained demo; in a real deployment the server is a
 // separate daemon shared by several applications.
 
+// Usage: tuning_server_demo [strategy [key=value ...]]
+// With no arguments the server's default Nelder-Mead search runs; naming a
+// registered strategy negotiates it over the STRATEGY protocol verb first
+// (e.g. `tuning_server_demo random samples=600 seed=7`).
+
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/client.hpp"
 #include "core/report.hpp"
@@ -14,7 +22,7 @@
 
 using namespace minipop;
 
-int main() {
+int main(int argc, char** argv) {
   harmony::ServerOptions sopts;
   sopts.search.max_restarts = 4;
   sopts.search.max_stall = 80;
@@ -40,6 +48,21 @@ int main() {
   bool ok = client.add_int("num_iotasks", 1, 32);
   for (const auto& spec : parameter_table()) {
     ok = ok && client.add_enum(spec.name, spec.choices);
+  }
+  if (ok && argc > 1) {
+    std::vector<std::pair<std::string, std::string>> options;
+    for (int i = 2; i < argc; ++i) {
+      const std::string tok = argv[i];
+      const auto eq = tok.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "bad option '%s' (expected key=value)\n",
+                     tok.c_str());
+        return 1;
+      }
+      options.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    ok = client.set_strategy(argv[1], options);
+    if (ok) std::printf("negotiated strategy %s over STRATEGY verb\n", argv[1]);
   }
   ok = ok && client.start(300);
   if (!ok) {

@@ -66,6 +66,27 @@ bool TuningClient::add_enum(const std::string& name,
   return true;
 }
 
+bool TuningClient::set_strategy(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& options) {
+  std::ostringstream os;
+  os << "STRATEGY " << name;
+  for (const auto& [key, value] : options) os << ' ' << key << '=' << value;
+  const auto reply = transact(os.str());
+  return reply.has_value() && expect_ok(*reply);
+}
+
+std::optional<std::vector<std::string>> TuningClient::strategies() {
+  const auto reply = transact("STRATEGY");
+  if (!reply) return std::nullopt;
+  const auto msg = proto::parse_line(*reply);
+  if (!msg || msg->verb != "OK") {
+    error_ = *reply;
+    return std::nullopt;
+  }
+  return msg->args;
+}
+
 bool TuningClient::start(int max_iterations) {
   std::ostringstream os;
   os << "START " << max_iterations;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/net.hpp"
@@ -32,6 +33,16 @@ class TuningClient {
   [[nodiscard]] bool add_real(const std::string& name, double lo, double hi);
   [[nodiscard]] bool add_enum(const std::string& name,
                               std::vector<std::string> choices);
+
+  /// Select the server-side search strategy by registry name, with optional
+  /// key=value options (before start()). The server validates against its
+  /// StrategyRegistry and replies ERR for unknown names or bad options.
+  [[nodiscard]] bool set_strategy(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& options = {});
+
+  /// Bare STRATEGY query: the strategy names the server's registry offers.
+  [[nodiscard]] std::optional<std::vector<std::string>> strategies();
 
   /// Begin the search with an iteration budget.
   [[nodiscard]] bool start(int max_iterations);

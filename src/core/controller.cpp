@@ -1,0 +1,248 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/status.hpp"
+#include "obs/trace.hpp"
+
+namespace harmony {
+
+SerialEvalBackend::SerialEvalBackend(const Evaluator& evaluate)
+    : evaluate_(&evaluate) {
+  if (!evaluate) throw std::invalid_argument("SerialEvalBackend: null evaluator");
+}
+
+std::vector<EvalOutcome> SerialEvalBackend::evaluate(const std::vector<Config>& batch,
+                                                     const Context& /*ctx*/) {
+  std::vector<EvalOutcome> out;
+  out.reserve(batch.size());
+  for (const auto& c : batch) {
+    EvalOutcome o;
+    o.result = (*evaluate_)(c);
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+ShortRunEvalBackend::ShortRunEvalBackend(const ShortRunFn& run, int steps,
+                                         double restart_overhead_s,
+                                         std::string runs_counter,
+                                         std::string run_histogram)
+    : run_(&run),
+      steps_(steps),
+      restart_overhead_s_(restart_overhead_s),
+      runs_counter_(std::move(runs_counter)),
+      run_histogram_(std::move(run_histogram)) {
+  if (!run) throw std::invalid_argument("ShortRunEvalBackend: null run function");
+}
+
+std::vector<EvalOutcome> ShortRunEvalBackend::evaluate(const std::vector<Config>& batch,
+                                                       const Context& /*ctx*/) {
+  std::vector<EvalOutcome> out;
+  out.reserve(batch.size());
+  for (const auto& c : batch) {
+    const ShortRunResult r = (*run_)(c, steps_);
+    EvalOutcome o;
+    o.cost_s = restart_overhead_s_ + r.warmup_s + r.measured_s;
+    o.result.valid = r.ok;
+    o.result.objective =
+        r.ok ? r.measured_s : std::numeric_limits<double>::infinity();
+    o.result.metrics["warmup_s"] = r.warmup_s;
+    if (!runs_counter_.empty()) obs::count(runs_counter_);
+    if (!run_histogram_.empty()) {
+      obs::observe(run_histogram_, r.warmup_s + r.measured_s);
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+SearchController::SearchController(const ParamSpace& space, ControllerLimits limits,
+                                   ControllerHooks hooks, obs::SearchTracer* tracer,
+                                   EvalCache* cache)
+    : space_(&space),
+      limits_(limits),
+      hooks_(std::move(hooks)),
+      tracer_(tracer),
+      cache_(cache),
+      history_(space),
+      best_value_(std::numeric_limits<double>::infinity()) {
+  if (limits.max_evaluations < 1) {
+    throw std::invalid_argument("SearchController: max_evaluations < 1");
+  }
+  if (limits.max_proposals < 1) {
+    throw std::invalid_argument("SearchController: max_proposals < 1");
+  }
+}
+
+void SearchController::note_result(const Config& c, const EvaluationResult& r,
+                                   bool cached) {
+  history_.record(c, r, cached);
+  if (r.valid && r.objective < best_value_) {
+    best_value_ = r.objective;
+    best_result_ = r;
+    best_ = c;
+  }
+}
+
+ControllerResult SearchController::run(SearchStrategy& strategy,
+                                       EvalBackend& backend) {
+  SequentialBatchAdapter adapter(strategy);
+  return run(adapter, backend);
+}
+
+ControllerResult SearchController::run(BatchSearchStrategy& strategy,
+                                       EvalBackend& backend) {
+  ControllerResult out;
+  const std::string strategy_name = strategy.name();
+  const std::size_t batch_cap = std::max<std::size_t>(1, backend.concurrency());
+
+  EvalBackend::Context ctx;
+  ctx.space = space_;
+  ctx.tracer = tracer_;
+  ctx.strategy_name = strategy_name;
+
+  // Live-status slot. The facade only hands us an id while observability is
+  // on, so the disabled path publishes nothing.
+  obs::StatusRegistry::SessionHandle status;
+  if (!hooks_.status_id.empty()) {
+    status = obs::StatusRegistry::global().publish_session(hooks_.status_id);
+    status.update([&](obs::SessionStatus& s) {
+      s.strategy = strategy_name;
+      s.phase = hooks_.status_phase;
+    });
+  }
+
+  while (evaluations_ < limits_.max_evaluations &&
+         proposals_ < limits_.max_proposals) {
+    // Budget guard: never ask for (and never dispatch) more candidates than
+    // the remaining distinct-evaluation budget, so the cap holds even with a
+    // whole batch in flight. Cached entries consume no budget; any slack
+    // this reservation leaves is available again next batch.
+    const std::size_t want =
+        std::min(batch_cap,
+                 static_cast<std::size_t>(limits_.max_evaluations - evaluations_));
+    auto batch = strategy.propose_batch(want);
+    if (batch.empty()) break;
+    if (batch.size() > want) batch.resize(want);  // defensive prefix cut
+    proposals_ += static_cast<int>(batch.size());
+    ++out.batches;
+    if (!hooks_.batches_counter.empty()) obs::count(hooks_.batches_counter);
+    if (!hooks_.proposals_counter.empty()) {
+      obs::count(hooks_.proposals_counter, batch.size());
+    }
+
+    // Resolve the batch against the controller cache; only misses reach the
+    // backend (element order within the miss sub-batch is preserved).
+    std::vector<EvalOutcome> outcomes(batch.size());
+    std::vector<double> t_start_us(batch.size(), 0.0);
+    std::vector<bool> hit(batch.size(), false);
+    std::vector<Config> misses;
+    std::vector<std::size_t> miss_at;
+    misses.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      t_start_us[i] = tracer_ != nullptr ? tracer_->now_us() : 0.0;
+      if (cache_ != nullptr) {
+        if (auto cached = cache_->lookup(batch[i])) {
+          outcomes[i].result = *cached;
+          outcomes[i].ran = false;
+          hit[i] = true;
+          ++cache_hits_;
+          if (!hooks_.cache_hits_counter.empty()) {
+            obs::count(hooks_.cache_hits_counter);
+          }
+          continue;
+        }
+      }
+      misses.push_back(batch[i]);
+      miss_at.push_back(i);
+    }
+    if (!misses.empty()) {
+      auto measured = backend.evaluate(misses, ctx);
+      if (measured.size() != misses.size()) {
+        throw std::logic_error("SearchController: backend batch size mismatch");
+      }
+      for (std::size_t m = 0; m < misses.size(); ++m) {
+        outcomes[miss_at[m]] = std::move(measured[m]);
+        if (cache_ != nullptr && outcomes[miss_at[m]].ran) {
+          cache_->store(misses[m], outcomes[miss_at[m]].result);
+        }
+      }
+    }
+
+    std::vector<EvaluationResult> results(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const EvalOutcome& o = outcomes[i];
+      if (tracer_ != nullptr && !backend.traces()) {
+        tracer_->record({strategy_name, space_->format(batch[i]),
+                         o.result.objective, o.result.valid,
+                         /*cache_hit=*/!o.ran, /*thread_lane=*/0, t_start_us[i],
+                         tracer_->now_us()});
+      }
+      if (o.ran) {
+        ++evaluations_;
+        out.total_cost_s += o.cost_s;
+      }
+      note_result(batch[i], o.result, /*cached=*/!o.ran);
+      results[i] = o.result;
+    }
+    strategy.report_batch(batch, results);
+
+    if (status.valid()) {
+      status.update([&](obs::SessionStatus& s) {
+        if (hooks_.status_batch_phase) {
+          std::string phase = "batch ";
+          phase += std::to_string(out.batches);
+          s.phase = std::move(phase);
+        }
+        s.iterations = static_cast<std::uint64_t>(evaluations_);
+        s.cache_hits =
+            static_cast<std::uint64_t>(cache_hits_ + backend.cache_hits());
+        if (best_) {
+          s.best_value = best_value_;
+          s.best_config = space_->format(*best_);
+        }
+      });
+    }
+  }
+
+  out.strategy_converged = strategy.converged();
+  out.best = best_;
+  out.best_result = best_result_;
+  out.best_objective = best_value_;
+  out.evaluations = evaluations_;
+  out.proposals = proposals_;
+  out.cache_hits = cache_hits_;
+  return out;
+}
+
+std::optional<Config> SearchController::ask(SearchStrategy& strategy) {
+  if (pending_) return pending_;  // idempotent re-ask of the outstanding point
+  if (proposals_ >= limits_.max_evaluations) return std::nullopt;
+  auto proposal = strategy.propose();
+  if (!proposal) return std::nullopt;
+  ++proposals_;
+  pending_ = std::move(*proposal);
+  return pending_;
+}
+
+void SearchController::tell(SearchStrategy& strategy, const EvaluationResult& r) {
+  if (!pending_) {
+    throw std::logic_error("SearchController::tell without a pending ask");
+  }
+  if (tracer_ != nullptr) {
+    const double now = tracer_->now_us();
+    tracer_->record({strategy.name(), space_->format(*pending_), r.objective,
+                     r.valid, /*cache_hit=*/false, /*thread_lane=*/0, now, now});
+  }
+  ++evaluations_;
+  note_result(*pending_, r, /*cached=*/false);
+  strategy.report(*pending_, r);
+  pending_.reset();
+}
+
+}  // namespace harmony

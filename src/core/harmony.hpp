@@ -12,6 +12,7 @@
 
 #include "core/client.hpp"
 #include "core/constraint.hpp"
+#include "core/controller.hpp"
 #include "core/coordinate_descent.hpp"
 #include "core/evaluation.hpp"
 #include "core/exhaustive.hpp"
@@ -28,6 +29,7 @@
 #include "core/session.hpp"
 #include "core/simulated_annealing.hpp"
 #include "core/strategy.hpp"
+#include "core/strategy_registry.hpp"
 #include "core/systematic_sampler.hpp"
 #include "core/tuner.hpp"
 #include "core/types.hpp"

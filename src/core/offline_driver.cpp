@@ -1,15 +1,14 @@
 #include "core/offline_driver.hpp"
 
-#include <limits>
-#include <stdexcept>
-
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
+#include "core/controller.hpp"
 #include "core/evaluation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/status.hpp"
-#include "obs/trace.hpp"
 
 namespace harmony {
 
@@ -26,88 +25,38 @@ OfflineDriver::OfflineDriver(const ParamSpace& space, OfflineOptions opts)
 
 OfflineResult OfflineDriver::tune(SearchStrategy& strategy, const ShortRunFn& run) {
   if (!run) throw std::invalid_argument("OfflineDriver::tune: null run function");
-  history_ = History(*space_);
+
+  // Fresh memoization per tune(): re-running a configuration within one
+  // tuning session costs nothing, across sessions it is measured again.
   EvalCache cache(*space_);
-  OfflineResult out;
-  out.best_measured_s = std::numeric_limits<double>::infinity();
 
-  // A generous proposal guard: the strategy may propose cached points freely.
-  const int max_proposals = opts_.max_runs * 64 + 256;
-  int proposals = 0;
-
-  obs::SearchTracer* const tracer = opts_.tracer;
-
+  ControllerHooks hooks;
+  hooks.proposals_counter = "offline.proposals";
+  hooks.cache_hits_counter = "offline.cache_hits";
+  hooks.status_phase = "short-runs";
   // Live-status slot (gated: nothing is published unless observability is
   // on, so the disabled path costs one relaxed load here).
-  obs::StatusRegistry::SessionHandle status;
-  std::uint64_t cache_hits = 0;
   if (obs::enabled()) {
     static std::atomic<std::uint64_t> next_id{0};
-    std::string id = "offline/";
-    id += std::to_string(next_id.fetch_add(1));
-    status = obs::StatusRegistry::global().publish_session(id);
-    status.update([&](obs::SessionStatus& s) {
-      s.strategy = strategy.name();
-      s.phase = "short-runs";
-    });
+    hooks.status_id = "offline/" + std::to_string(next_id.fetch_add(1));
   }
 
-  while (out.runs < opts_.max_runs && proposals < max_proposals) {
-    auto proposal = strategy.propose();
-    if (!proposal) break;
-    ++proposals;
-    obs::count("offline.proposals");
+  // A generous proposal guard: the strategy may propose cached points freely.
+  SearchController controller(*space_,
+                              {opts_.max_runs, opts_.max_runs * 64 + 256},
+                              std::move(hooks), opts_.tracer,
+                              opts_.use_cache ? &cache : nullptr);
+  ShortRunEvalBackend backend(run, opts_.short_run_steps, opts_.restart_overhead_s,
+                              "offline.runs", "offline.short_run_s");
+  const ControllerResult r = controller.run(strategy, backend);
+  history_ = controller.take_history();
 
-    const double t_start_us = tracer != nullptr ? tracer->now_us() : 0.0;
-    EvaluationResult result;
-    bool cached = false;
-    if (opts_.use_cache) {
-      if (auto hit = cache.lookup(*proposal)) {
-        result = *hit;
-        cached = true;
-        obs::count("offline.cache_hits");
-      }
-    }
-    if (!cached) {
-      // One tuning iteration == one representative short run (Section III):
-      // stop the application, apply the configuration, restart, warm up,
-      // measure. Every component of that cost is charged to the tuning bill.
-      const ShortRunResult r = run(*proposal, opts_.short_run_steps);
-      out.total_tuning_cost_s += opts_.restart_overhead_s + r.warmup_s + r.measured_s;
-      ++out.runs;
-      result.valid = r.ok;
-      result.objective =
-          r.ok ? r.measured_s : std::numeric_limits<double>::infinity();
-      result.metrics["warmup_s"] = r.warmup_s;
-      if (opts_.use_cache) cache.store(*proposal, result);
-      obs::count("offline.runs");
-      obs::observe("offline.short_run_s", r.warmup_s + r.measured_s);
-    }
-    if (tracer != nullptr) {
-      tracer->record({strategy.name(), space_->format(*proposal),
-                      result.objective, result.valid, cached, /*thread_lane=*/0,
-                      t_start_us, tracer->now_us()});
-    }
-    history_.record(*proposal, result, cached);
-    strategy.report(*proposal, result);
-
-    if (result.valid && result.objective < out.best_measured_s) {
-      out.best_measured_s = result.objective;
-      out.best = *proposal;
-    }
-    if (cached) ++cache_hits;
-    if (status.valid()) {
-      status.update([&](obs::SessionStatus& s) {
-        s.iterations = static_cast<std::uint64_t>(out.runs);
-        s.cache_hits = cache_hits;
-        if (out.best) {
-          s.best_value = out.best_measured_s;
-          s.best_config = space_->format(*out.best);
-        }
-      });
-    }
-  }
-  out.strategy_converged = strategy.converged();
+  OfflineResult out;
+  out.best = r.best;
+  out.best_measured_s = r.best_objective;
+  out.runs = r.evaluations;
+  out.total_tuning_cost_s = r.total_cost_s;
+  out.strategy_converged = r.strategy_converged;
   return out;
 }
 

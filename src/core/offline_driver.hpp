@@ -12,38 +12,23 @@
 #include <functional>
 #include <optional>
 
+#include "core/controller.hpp"
 #include "core/evaluation.hpp"
 #include "core/history.hpp"
 #include "core/strategy.hpp"
 #include "core/tuner.hpp"
 
-namespace harmony::obs {
-class SearchTracer;
-}  // namespace harmony::obs
-
 namespace harmony {
 
-/// One representative short run of the application under configuration `c`,
-/// executing `steps` time steps. Returns per-run measurements.
-struct ShortRunResult {
-  double measured_s = 0.0;  ///< time of the measured region (the objective)
-  double warmup_s = 0.0;    ///< time spent warming up before measurement
-  bool ok = true;           ///< false when the run failed under this config
-};
+// ShortRunResult / ShortRunFn live in controller.hpp (the short-run backend
+// is shared with the parallel engine) and are re-exported here.
 
-using ShortRunFn = std::function<ShortRunResult(const Config&, int steps)>;
-
-struct OfflineOptions {
+/// Inherits the shared loop knobs (`use_cache`, `tracer`) from
+/// ControllerOptions.
+struct OfflineOptions : ControllerOptions {
   int short_run_steps = 10;       ///< paper: "typical benchmarking run of 10 time steps"
   int max_runs = 40;              ///< tuning-iteration budget (distinct runs)
   double restart_overhead_s = 0;  ///< stop/reconfigure/restart cost per run
-  bool use_cache = true;          ///< skip re-running configurations already measured
-
-  /// Optional per-evaluation tracer (not owned; may be null). When set, the
-  /// driver records one TraceEvent per proposal — strategy, point, objective,
-  /// cache hit/miss, wall-clock span — independent of obs::enabled(), which
-  /// only gates the aggregate metrics.
-  obs::SearchTracer* tracer = nullptr;
 };
 
 struct OfflineResult {

@@ -10,6 +10,12 @@
 ///   PARAM INT <name> <lo> <hi> <step>
 ///   PARAM REAL <name> <lo> <hi>
 ///   PARAM ENUM <name> <choice1,choice2,...>
+///   STRATEGY                  -> "OK <name1> <name2> ..." (the registry's
+///                                strategy names; valid any time)
+///   STRATEGY <name> [k=v ...] -> choose the search strategy and its options
+///                                for this session (before START; default is
+///                                nelder-mead). Bad names/options get ERR
+///                                with the registry's message.
 ///   START <max_iterations>
 ///   FETCH
 ///   REPORT <objective>

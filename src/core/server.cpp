@@ -9,7 +9,9 @@
 #include <string>
 #include <utility>
 
+#include "core/controller.hpp"
 #include "core/protocol.hpp"
+#include "core/strategy_registry.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/status.hpp"
@@ -67,9 +69,11 @@ void TuningServer::accept_loop() {
 void TuningServer::serve_client(net::Socket client, int session_no) {
   net::LineReader reader(client, opts_.max_line_bytes);
   ParamSpace space;
-  std::unique_ptr<NelderMead> search;
-  std::optional<Config> pending;
-  int iterations_left = opts_.default_max_iterations;
+  std::unique_ptr<SearchStrategy> search;
+  std::optional<SearchController> controller;  // constructed at START
+  int budget = opts_.default_max_iterations;
+  std::string strategy_name;     // chosen via STRATEGY; empty = default
+  StrategyOptions strategy_opts;
   int roundtrips = 0;
 
   // Live-status slot for this session. Published unconditionally (the STATUS
@@ -79,9 +83,11 @@ void TuningServer::serve_client(net::Socket client, int session_no) {
   auto status = obs::StatusRegistry::global().publish_session(session_id);
   const auto publish = [&](const char* phase_override = nullptr) {
     status.update([&](obs::SessionStatus& s) {
+      const auto* nm = dynamic_cast<const NelderMead*>(search.get());
       s.phase = phase_override != nullptr
                     ? phase_override
-                    : (search ? search->phase_name() : "registering");
+                    : (search ? (nm != nullptr ? nm->phase_name() : "searching")
+                              : "registering");
       s.iterations = static_cast<std::uint64_t>(roundtrips);
       if (search) {
         s.strategy = search->name();
@@ -154,39 +160,81 @@ void TuningServer::serve_client(net::Socket client, int session_no) {
           if (!send("ERR bad iteration budget")) break;
           continue;
         }
-        iterations_left = v;
+        budget = v;
       }
-      search = std::make_unique<NelderMead>(space, opts_.search);
+      try {
+        // One construction path for every session: the registry. A bare
+        // START gets the server's default search (Nelder-Mead with
+        // opts_.search); a prior STRATEGY line picks anything registered.
+        search = strategy_name.empty()
+                     ? StrategyRegistry::make_default(space, opts_.search)
+                     : StrategyRegistry::make(strategy_name, space, strategy_opts);
+      } catch (const std::exception& e) {
+        if (!send(std::string("ERR ") + e.what())) break;
+        continue;
+      }
+      controller.emplace(space,
+                         ControllerLimits{budget, std::numeric_limits<int>::max()});
       publish();
       obs::log_info("server",
-                    "search started, budget " + std::to_string(iterations_left),
+                    "search started, budget " + std::to_string(budget),
                     session_id);
       if (!send("OK started")) break;
+    } else if (msg->verb == "STRATEGY") {
+      if (msg->args.empty()) {
+        // Bare STRATEGY lists the registry (valid any time, any session).
+        std::string line = "OK";
+        for (const auto& n : StrategyRegistry::names()) {
+          line += ' ';
+          line += n;
+        }
+        if (!send(line)) break;
+      } else if (search) {
+        if (!send("ERR session already started")) break;
+      } else if (!StrategyRegistry::known(msg->args[0])) {
+        obs::log_warn("server", "unknown strategy " + msg->args[0], session_id);
+        if (!send("ERR unknown strategy " + msg->args[0])) break;
+      } else {
+        StrategyOptions sopts;
+        std::string error;
+        for (std::size_t i = 1; i < msg->args.size(); ++i) {
+          const auto& tok = msg->args[i];
+          const auto eq = tok.find('=');
+          if (eq == std::string::npos || eq == 0) {
+            error = "bad option '" + tok + "' (expected key=value)";
+            break;
+          }
+          sopts.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+        }
+        if (error.empty()) (void)StrategyRegistry::validate(msg->args[0], sopts, &error);
+        if (!error.empty()) {
+          obs::log_warn("server", "bad STRATEGY options: " + error, session_id);
+          if (!send("ERR " + error)) break;
+        } else {
+          strategy_name = msg->args[0];
+          strategy_opts = std::move(sopts);
+          obs::log_info("server", "strategy " + strategy_name, session_id);
+          if (!send("OK " + strategy_name)) break;
+        }
+      }
     } else if (msg->verb == "FETCH") {
       if (!search) {
         if (!send("ERR not started")) break;
         continue;
       }
-      if (pending) {
-        // Idempotent re-fetch of the outstanding candidate.
-        if (!send("CONFIG " + proto::encode_config(space, *pending))) break;
-        continue;
-      }
-      if (iterations_left <= 0) {
-        if (!send("DONE")) break;
-        continue;
-      }
-      auto proposal = search->propose();
+      // ask() is idempotent while a candidate is outstanding (re-fetch
+      // resends it) and returns nullopt once the iteration budget is spent
+      // or the strategy stops proposing.
+      const bool re_fetch = controller->awaiting_tell();
+      auto proposal = controller->ask(*search);
       if (!proposal) {
         if (!send("DONE")) break;
         continue;
       }
-      pending = std::move(*proposal);
-      --iterations_left;
-      obs::count("server.fetches");
-      if (!send("CONFIG " + proto::encode_config(space, *pending))) break;
+      if (!re_fetch) obs::count("server.fetches");
+      if (!send("CONFIG " + proto::encode_config(space, *proposal))) break;
     } else if (msg->verb == "REPORT") {
-      if (!search || !pending) {
+      if (!search || !controller->awaiting_tell()) {
         if (!send("ERR nothing to report")) break;
         continue;
       }
@@ -204,8 +252,7 @@ void TuningServer::serve_client(net::Socket client, int session_no) {
       EvaluationResult r;
       r.objective = value;
       r.valid = std::isfinite(value);
-      search->report(*pending, r);
-      pending.reset();
+      controller->tell(*search, r);
       // One completed FETCH -> REPORT pair is one tuning round trip.
       ++roundtrips;
       obs::count("server.roundtrips");

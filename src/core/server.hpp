@@ -3,11 +3,14 @@
 /// \file server.hpp
 /// The Harmony tuning server (paper Fig. 1): applications connect over
 /// loopback TCP, register their tunable parameters, then drive FETCH/REPORT
-/// rounds while the server's Adaptation Controller (a per-client Nelder-Mead
-/// search) steers the configuration. Each connection owns an independent
-/// tuning session, so several applications can be tuned concurrently — the
-/// coordination role the paper contrasts against per-application adapters
-/// like AppLeS (Section VIII).
+/// rounds while a per-client SearchController (the same Adaptation
+/// Controller behind Tuner and the off-line drivers) steers the
+/// configuration through its ask/tell surface. The search algorithm is
+/// Nelder-Mead by default and selectable per session with the STRATEGY verb
+/// (any StrategyRegistry name plus key=value options). Each connection owns
+/// an independent tuning session, so several applications can be tuned
+/// concurrently — the coordination role the paper contrasts against
+/// per-application adapters like AppLeS (Section VIII).
 ///
 /// The server is also live-introspectable: every session publishes its
 /// state (app, phase, iteration, incumbent) to obs::StatusRegistry, and the
@@ -29,6 +32,9 @@ namespace harmony {
 
 struct ServerOptions {
   int port = 0;  ///< 0 = pick an ephemeral port
+
+  /// Base options for the default search (nelder-mead); a client's STRATEGY
+  /// line overrides the whole choice.
   NelderMeadOptions search;
   int default_max_iterations = 200;
 

@@ -1,7 +1,9 @@
 #include "core/session.hpp"
 
+#include <limits>
 #include <stdexcept>
 
+#include "core/strategy_registry.hpp"
 #include "obs/metrics.hpp"
 
 namespace harmony {
@@ -62,8 +64,14 @@ void Session::ensure_strategy() {
     strategy_ = factory_(space_);
     if (!strategy_) throw std::logic_error("Session: strategy factory returned null");
   } else {
-    strategy_ = std::make_unique<NelderMead>(space_, nm_opts_);
+    strategy_ = StrategyRegistry::make_default(space_, nm_opts_);
   }
+  // The application measures in its own main loop, so the session drives the
+  // controller's incremental ask/tell surface; the strategy decides when to
+  // stop, not an iteration budget.
+  constexpr int kUnbounded = std::numeric_limits<int>::max();
+  controller_ = std::make_unique<SearchController>(
+      space_, ControllerLimits{kUnbounded, kUnbounded});
 }
 
 void Session::write_bound(const Config& c) {
@@ -81,7 +89,7 @@ bool Session::fetch() {
   if (awaiting_report_) {
     throw std::logic_error("Session::fetch: report() the previous candidate first");
   }
-  auto proposal = strategy_->propose();
+  auto proposal = controller_->ask(*strategy_);
   if (!proposal) {
     // Converged: leave the best configuration in the bound variables.
     if (auto b = strategy_->best()) {
@@ -107,7 +115,12 @@ void Session::report(double performance) {
   EvaluationResult r;
   r.objective = performance;
   r.valid = true;
-  strategy_->report(*current_, r);
+  controller_->tell(*strategy_, r);
+}
+
+const History& Session::history() const {
+  if (!controller_) throw std::logic_error("Session: no history before first fetch");
+  return controller_->history();
 }
 
 const Config& Session::current() const {

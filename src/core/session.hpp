@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/controller.hpp"
 #include "core/evaluation.hpp"
 #include "core/nelder_mead.hpp"
 #include "core/param_space.hpp"
@@ -62,6 +63,10 @@ class Session {
   [[nodiscard]] int fetches() const noexcept { return fetches_; }
   [[nodiscard]] const std::string& app_name() const noexcept { return app_name_; }
 
+  /// Evaluation history recorded by the controller (one entry per completed
+  /// fetch/report round trip).
+  [[nodiscard]] const History& history() const;
+
   // Typed accessors for the current candidate (for apps that do not bind).
   [[nodiscard]] std::int64_t get_int(std::size_t handle) const;
   [[nodiscard]] double get_real(std::size_t handle) const;
@@ -83,6 +88,7 @@ class Session {
   StrategyFactory factory_;
   NelderMeadOptions nm_opts_;
   std::unique_ptr<SearchStrategy> strategy_;
+  std::unique_ptr<SearchController> controller_;
   std::optional<Config> current_;
   bool awaiting_report_ = false;
   int fetches_ = 0;

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "obs/trace.hpp"
+#include "core/controller.hpp"
 
 namespace harmony {
 
@@ -14,50 +14,24 @@ Tuner::Tuner(const ParamSpace& space, TunerOptions opts)
 
 TuneResult Tuner::run(SearchStrategy& strategy, const Evaluator& evaluate) {
   if (!evaluate) throw std::invalid_argument("Tuner::run: null evaluator");
-  history_ = History(*space_);
+
+  SearchController controller(*space_,
+                              {opts_.max_iterations, opts_.max_proposals},
+                              /*hooks=*/{}, opts_.tracer,
+                              opts_.use_cache ? &cache_ : nullptr);
+  SerialEvalBackend backend(evaluate);
+  const ControllerResult r = controller.run(strategy, backend);
+  history_ = controller.take_history();
+
   TuneResult out;
-  int distinct = 0;
-
-  obs::SearchTracer* const tracer = opts_.tracer;
-
-  while (distinct < opts_.max_iterations && out.proposals < opts_.max_proposals) {
-    auto proposal = strategy.propose();
-    if (!proposal) break;
-    ++out.proposals;
-
-    const double t_start_us = tracer != nullptr ? tracer->now_us() : 0.0;
-    EvaluationResult result;
-    bool cached = false;
-    if (opts_.use_cache) {
-      if (auto hit = cache_.lookup(*proposal)) {
-        result = *hit;
-        cached = true;
-      }
-    }
-    if (!cached) {
-      result = evaluate(*proposal);
-      if (opts_.use_cache) cache_.store(*proposal, result);
-      ++distinct;
-    }
-    if (tracer != nullptr) {
-      tracer->record({strategy.name(), space_->format(*proposal),
-                      result.objective, result.valid, cached, /*thread_lane=*/0,
-                      t_start_us, tracer->now_us()});
-    }
-    history_.record(*proposal, result, cached);
-    strategy.report(*proposal, result);
-  }
-
-  out.iterations = distinct;
+  out.best = r.best;
+  out.best_result = r.best_result;
+  out.iterations = r.evaluations;
+  out.proposals = r.proposals;
+  // Cumulative across run() calls: the memoization table persists, so a
+  // second strategy reusing earlier measurements shows up here.
   out.cache_hits = cache_.hits();
-  out.strategy_converged = strategy.converged();
-  out.best = history_.best_config();
-  if (out.best) {
-    // The best result is whatever the history recorded for the incumbent.
-    for (const auto& e : history_.entries()) {
-      if (e.improved) out.best_result = e.result;
-    }
-  }
+  out.strategy_converged = r.strategy_converged;
   return out;
 }
 

@@ -1,42 +1,31 @@
 #pragma once
 
 /// \file tuner.hpp
-/// The Adaptation Controller loop (paper Fig. 1): drives a SearchStrategy
-/// against an Evaluator, with memoization, iteration budgets and history
-/// recording. The Tuner is deployment-agnostic — the same loop serves
-/// in-process tuning, the off-line representative-short-run driver and the
-/// TCP tuning server.
+/// In-process tuning facade: a thin, API-compatible wrapper that runs a
+/// SearchStrategy against an Evaluator through the one SearchController
+/// (controller.hpp) with a persistent memoization table and history
+/// recording. The controller is deployment-agnostic — this same loop serves
+/// the off-line representative-short-run drivers and the TCP tuning server.
 
 #include <memory>
 #include <optional>
 
+#include "core/controller.hpp"
 #include "core/evaluation.hpp"
 #include "core/history.hpp"
 #include "core/strategy.hpp"
 
-namespace harmony::obs {
-class SearchTracer;
-}  // namespace harmony::obs
-
 namespace harmony {
 
-struct TunerOptions {
+/// Inherits the shared loop knobs (`use_cache`, `tracer`) from
+/// ControllerOptions.
+struct TunerOptions : ControllerOptions {
   /// Budget of *distinct* evaluations (cache misses). The paper reports
   /// tuning cost in these units ("27 iterations", "120 tuning steps").
   int max_iterations = 100;
 
   /// Hard cap on strategy proposals, cached or not, as a loop guard.
   int max_proposals = 100000;
-
-  /// Memoize evaluations per lattice point.
-  bool use_cache = true;
-
-  /// Optional per-evaluation tracer (not owned; may be null). When set, the
-  /// loop records one TraceEvent per proposal — strategy, point, objective,
-  /// cache hit/miss, wall-clock span — independent of obs::enabled(), which
-  /// only gates the aggregate metrics. Feed the JSONL export to
-  /// tools/report_gen for the HTML convergence report.
-  obs::SearchTracer* tracer = nullptr;
 };
 
 struct TuneResult {

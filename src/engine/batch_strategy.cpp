@@ -9,23 +9,6 @@
 
 namespace harmony::engine {
 
-std::vector<Config> SequentialBatchAdapter::propose_batch(std::size_t max_n) {
-  if (max_n == 0) return {};
-  auto c = inner_->propose();
-  if (!c) return {};
-  return {std::move(*c)};
-}
-
-void SequentialBatchAdapter::report_batch(const std::vector<Config>& configs,
-                                          const std::vector<EvaluationResult>& results) {
-  if (configs.size() != results.size()) {
-    throw std::invalid_argument("SequentialBatchAdapter: batch size mismatch");
-  }
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    inner_->report(configs[i], results[i]);
-  }
-}
-
 IndependentBatchStrategy::IndependentBatchStrategy(
     std::unique_ptr<SearchStrategy> inner)
     : inner_(std::move(inner)) {

@@ -1,16 +1,12 @@
 #pragma once
 
 /// \file batch_strategy.hpp
-/// Batched counterpart of the serial ask/tell SearchStrategy interface. The
-/// paper's off-line loop (Section III) evaluates one candidate per iteration;
-/// on deterministic simulation substrates those evaluations are independent,
-/// so a strategy that can name several candidates at once lets the
-/// ParallelOfflineDriver dispatch them across a thread pool.
-///
-/// Three ways onto the batch pathway:
-///  * SequentialBatchAdapter wraps ANY SearchStrategy with batch size 1 —
-///    zero behavior change, the wrapped strategy still sees a strict
-///    propose/report alternation in serial order.
+/// Native batch strategies for the parallel evaluation engine. The batch
+/// interface itself (BatchSearchStrategy) and the universal batch-size-1
+/// wrapper (SequentialBatchAdapter) live in core/strategy.hpp — they are the
+/// SearchController's native contract — and are aliased here for
+/// compatibility. This header adds the strategies that exploit real
+/// batching:
 ///  * BatchRandomSearch / BatchSystematicSampler / BatchExhaustive propose up
 ///    to max_n points per batch. Their serial counterparts never consult
 ///    report() state when proposing, so the batched trajectory (the sequence
@@ -35,46 +31,10 @@
 
 namespace harmony::engine {
 
-class BatchSearchStrategy {
- public:
-  virtual ~BatchSearchStrategy() = default;
-
-  /// Up to `max_n` configurations to evaluate concurrently, ordered so that a
-  /// prefix truncation still contains the configuration the strategy needs
-  /// first. Empty means converged / plan exhausted.
-  [[nodiscard]] virtual std::vector<Config> propose_batch(std::size_t max_n) = 0;
-
-  /// Report the whole batch, element-wise aligned with what propose_batch
-  /// returned (possibly truncated to a prefix by the driver's budget guard).
-  virtual void report_batch(const std::vector<Config>& configs,
-                            const std::vector<EvaluationResult>& results) = 0;
-
-  [[nodiscard]] virtual bool converged() const = 0;
-  [[nodiscard]] virtual std::optional<Config> best() const = 0;
-  [[nodiscard]] virtual double best_objective() const = 0;
-  [[nodiscard]] virtual std::string name() const = 0;
-};
-
-/// Batch size 1 wrapper around any serial strategy: the engine sees batches,
-/// the wrapped strategy sees exactly the serial propose/report alternation.
-class SequentialBatchAdapter final : public BatchSearchStrategy {
- public:
-  /// Non-owning; `inner` must outlive the adapter.
-  explicit SequentialBatchAdapter(SearchStrategy& inner) : inner_(&inner) {}
-
-  [[nodiscard]] std::vector<Config> propose_batch(std::size_t max_n) override;
-  void report_batch(const std::vector<Config>& configs,
-                    const std::vector<EvaluationResult>& results) override;
-  [[nodiscard]] bool converged() const override { return inner_->converged(); }
-  [[nodiscard]] std::optional<Config> best() const override { return inner_->best(); }
-  [[nodiscard]] double best_objective() const override {
-    return inner_->best_objective();
-  }
-  [[nodiscard]] std::string name() const override { return inner_->name(); }
-
- private:
-  SearchStrategy* inner_;
-};
+// The batch contract and the universal serial wrapper moved to
+// core/strategy.hpp; these aliases keep existing engine call sites valid.
+using BatchSearchStrategy = harmony::BatchSearchStrategy;
+using SequentialBatchAdapter = harmony::SequentialBatchAdapter;
 
 /// Batches a serial strategy whose proposals never depend on reports by
 /// pulling up to max_n proposals ahead, then reporting them in order. Base

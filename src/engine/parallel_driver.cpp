@@ -1,32 +1,16 @@
 #include "engine/parallel_driver.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <future>
-#include <limits>
 #include <stdexcept>
 #include <string>
-#include <vector>
 
-#include "engine/eval_cache.hpp"
-#include "engine/thread_pool.hpp"
+#include "core/controller.hpp"
+#include "engine/pool_backend.hpp"
 #include "obs/metrics.hpp"
 #include "obs/status.hpp"
-#include "obs/trace.hpp"
 
 namespace harmony::engine {
-
-namespace {
-
-/// Per-configuration outcome collected from a worker.
-struct TaskOutcome {
-  EvaluationResult result;
-  bool ran = false;    ///< a short run was actually launched for this config
-  double cost_s = 0.0; ///< restart + warmup + measured, when ran
-};
-
-}  // namespace
 
 ParallelOfflineDriver::ParallelOfflineDriver(const ParamSpace& space,
                                              ParallelOfflineOptions opts)
@@ -57,124 +41,44 @@ ParallelOfflineResult ParallelOfflineDriver::tune(SearchStrategy& strategy,
 ParallelOfflineResult ParallelOfflineDriver::tune(BatchSearchStrategy& strategy,
                                                   const ShortRunFn& run) {
   if (!run) throw std::invalid_argument("ParallelOfflineDriver::tune: null run function");
-  history_ = History(*space_);
-  ConcurrentEvalCache cache(*space_);
-  ThreadPool pool(static_cast<std::size_t>(opts_.pool_size));
-  const std::size_t batch_cap = static_cast<std::size_t>(
-      opts_.max_batch > 0 ? opts_.max_batch : opts_.pool_size);
 
-  ParallelOfflineResult out;
-  out.best_measured_s = std::numeric_limits<double>::infinity();
+  ControllerHooks hooks;
+  hooks.proposals_counter = "engine.driver.proposals";
+  hooks.batches_counter = "engine.driver.batches";
+  hooks.status_phase = "batching";
+  hooks.status_batch_phase = true;
+  // Live-status slot (gated: published only while observability is on).
+  if (obs::enabled()) {
+    static std::atomic<std::uint64_t> next_id{0};
+    hooks.status_id = "parallel/" + std::to_string(next_id.fetch_add(1));
+  }
+
+  // Memoization (and in-flight coalescing) lives in the pool backend's
+  // concurrent cache, so every batch element is dispatched to a worker; the
+  // controller therefore runs without its own cache.
+  PoolEvalBackend backend(*space_, run, opts_.short_run_steps,
+                          opts_.restart_overhead_s, opts_.pool_size,
+                          static_cast<std::size_t>(
+                              opts_.max_batch > 0 ? opts_.max_batch : opts_.pool_size),
+                          opts_.use_cache);
 
   // Same generous proposal guard as the serial driver: strategies may propose
   // cached points freely without burning the run budget.
-  const int max_proposals = opts_.max_runs * 64 + 256;
-  int proposals = 0;
+  SearchController controller(*space_,
+                              {opts_.max_runs, opts_.max_runs * 64 + 256},
+                              std::move(hooks), opts_.tracer, /*cache=*/nullptr);
+  const ControllerResult r = controller.run(strategy, backend);
+  history_ = controller.take_history();
 
-  obs::SearchTracer* const tracer = opts_.tracer;
-  const std::string strategy_name = strategy.name();
-
-  // Live-status slot (gated: published only while observability is on).
-  obs::StatusRegistry::SessionHandle status;
-  if (obs::enabled()) {
-    static std::atomic<std::uint64_t> next_id{0};
-    std::string id = "parallel/";
-    id += std::to_string(next_id.fetch_add(1));
-    status = obs::StatusRegistry::global().publish_session(id);
-    status.update([&](obs::SessionStatus& s) {
-      s.strategy = strategy_name;
-      s.phase = "batching";
-    });
-  }
-
-  while (out.runs < opts_.max_runs && proposals < max_proposals) {
-    // Budget guard: never ask for (and never submit) more candidates than
-    // the remaining run budget, so max_runs holds even with a batch in
-    // flight. Cached entries consume no budget; any slack this reservation
-    // leaves is available again next batch.
-    const std::size_t want = std::min(
-        batch_cap, static_cast<std::size_t>(opts_.max_runs - out.runs));
-    auto batch = strategy.propose_batch(want);
-    if (batch.empty()) break;
-    if (batch.size() > want) batch.resize(want);  // defensive prefix cut
-    proposals += static_cast<int>(batch.size());
-    ++out.batches;
-    obs::count("engine.driver.batches");
-    obs::count("engine.driver.proposals", batch.size());
-
-    std::vector<std::future<TaskOutcome>> futures;
-    futures.reserve(batch.size());
-    for (const auto& c : batch) {
-      futures.push_back(pool.submit([this, &cache, &run, &strategy_name, tracer, c]() {
-        // One tuning iteration == one representative short run (Section
-        // III): stop, reconfigure, restart, warm up, measure. Every
-        // component of that cost is charged to the tuning bill.
-        const double t_start_us = tracer != nullptr ? tracer->now_us() : 0.0;
-        double cost_s = 0.0;
-        const auto launch = [&]() {
-          const ShortRunResult r = run(c, opts_.short_run_steps);
-          cost_s = opts_.restart_overhead_s + r.warmup_s + r.measured_s;
-          obs::observe("engine.short_run_s", r.warmup_s + r.measured_s);
-          EvaluationResult res;
-          res.valid = r.ok;
-          res.objective =
-              r.ok ? r.measured_s : std::numeric_limits<double>::infinity();
-          res.metrics["warmup_s"] = r.warmup_s;
-          return res;
-        };
-        TaskOutcome t;
-        if (opts_.use_cache) {
-          const auto o = cache.evaluate(c, launch);
-          t.result = o.result;
-          t.ran = o.ran;
-        } else {
-          t.result = launch();
-          t.ran = true;
-        }
-        t.cost_s = t.ran ? cost_s : 0.0;
-        if (t.ran) obs::count("engine.driver.runs");
-        if (tracer != nullptr) {
-          tracer->record({strategy_name, space_->format(c), t.result.objective,
-                          t.result.valid, /*cache_hit=*/!t.ran,
-                          /*thread_lane=*/0, t_start_us, tracer->now_us()});
-        }
-        return t;
-      }));
-    }
-
-    std::vector<EvaluationResult> results(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const TaskOutcome t = futures[i].get();  // rethrows worker exceptions
-      if (t.ran) {
-        ++out.runs;
-        out.total_tuning_cost_s += t.cost_s;
-      }
-      history_.record(batch[i], t.result, /*cached=*/!t.ran);
-      if (t.result.valid && t.result.objective < out.best_measured_s) {
-        out.best_measured_s = t.result.objective;
-        out.best = batch[i];
-      }
-      results[i] = t.result;
-    }
-    strategy.report_batch(batch, results);
-    if (status.valid()) {
-      status.update([&](obs::SessionStatus& s) {
-        std::string phase = "batch ";
-        phase += std::to_string(out.batches);
-        s.phase = std::move(phase);
-        s.iterations = static_cast<std::uint64_t>(out.runs);
-        s.cache_hits = static_cast<std::uint64_t>(cache.hits());
-        if (out.best) {
-          s.best_value = out.best_measured_s;
-          s.best_config = space_->format(*out.best);
-        }
-      });
-    }
-  }
-
-  out.strategy_converged = strategy.converged();
-  out.cache_hits = cache.hits();
-  out.cache_coalesced = cache.coalesced();
+  ParallelOfflineResult out;
+  out.best = r.best;
+  out.best_measured_s = r.best_objective;
+  out.runs = r.evaluations;
+  out.total_tuning_cost_s = r.total_cost_s;
+  out.strategy_converged = r.strategy_converged;
+  out.cache_hits = backend.cache_hits();
+  out.cache_coalesced = backend.cache_coalesced();
+  out.batches = r.batches;
   return out;
 }
 

@@ -2,7 +2,8 @@
 
 /// \file parallel_driver.hpp
 /// Parallel counterpart of OfflineDriver (Section III's off-line short-run
-/// tuning loop). Mirrors its options/result/history surface, but evaluates
+/// tuning loop): a thin facade over SearchController + PoolEvalBackend.
+/// Mirrors OfflineDriver's options/result/history surface, but evaluates
 /// each batch of candidate configurations across a worker pool, with:
 ///
 ///  * a budget guard — batches are sized to the remaining run budget before
@@ -27,25 +28,19 @@
 #include "core/strategy.hpp"
 #include "engine/batch_strategy.hpp"
 
-namespace harmony::obs {
-class SearchTracer;
-}  // namespace harmony::obs
-
 namespace harmony::engine {
 
-struct ParallelOfflineOptions {
+/// Inherits the shared loop knobs (`use_cache`, `tracer`) from
+/// ControllerOptions. `use_cache` here memoizes *and* deduplicates in-flight
+/// evaluations (the backend's concurrent cache); tracer events are recorded
+/// from the worker threads, so an exported Chrome trace shows one lane per
+/// pool worker.
+struct ParallelOfflineOptions : ControllerOptions {
   int short_run_steps = 10;       ///< paper: "typical benchmarking run of 10 time steps"
   int max_runs = 40;              ///< tuning-iteration budget (distinct runs)
   double restart_overhead_s = 0;  ///< stop/reconfigure/restart cost per run
-  bool use_cache = true;          ///< memoize + deduplicate evaluations
   int pool_size = 4;              ///< worker threads evaluating short runs
   int max_batch = 0;              ///< per-batch candidate cap (0 = pool_size)
-
-  /// Optional per-evaluation tracer (not owned; may be null). Events are
-  /// recorded from the worker threads, so an exported Chrome trace shows one
-  /// lane per pool worker. Independent of obs::enabled(), which only gates
-  /// the aggregate metrics.
-  obs::SearchTracer* tracer = nullptr;
 };
 
 struct ParallelOfflineResult {

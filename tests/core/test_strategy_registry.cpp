@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/strategy_registry.hpp"
+#include "core/tuner.hpp"
+
+namespace {
+
+using harmony::Config;
+using harmony::ParamSpace;
+using harmony::Parameter;
+using harmony::StrategyOptions;
+using harmony::StrategyRegistry;
+
+ParamSpace small_space() {
+  ParamSpace space;
+  space.add(Parameter::Integer("x", 0, 16));
+  space.add(Parameter::Integer("y", 0, 16));
+  return space;
+}
+
+TEST(StrategyRegistry, ListsEveryStrategy) {
+  const auto& names = StrategyRegistry::names();
+  const std::vector<std::string> expected = {
+      "nelder-mead", "random",    "systematic",
+      "exhaustive",  "annealing", "coordinate-descent"};
+  EXPECT_EQ(names, expected);
+  for (const auto& n : names) EXPECT_TRUE(StrategyRegistry::known(n));
+  EXPECT_FALSE(StrategyRegistry::known("simplex"));
+  EXPECT_FALSE(StrategyRegistry::known(""));
+}
+
+TEST(StrategyRegistry, MakeConstructsEachByName) {
+  const auto space = small_space();
+  for (const auto& n : StrategyRegistry::names()) {
+    auto s = StrategyRegistry::make(n, space);
+    ASSERT_NE(s, nullptr) << n;
+    EXPECT_EQ(s->name(), n);
+  }
+}
+
+TEST(StrategyRegistry, UnknownNameThrowsWithMessage) {
+  const auto space = small_space();
+  try {
+    (void)StrategyRegistry::make("simplex", space);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("simplex"), std::string::npos);
+  }
+}
+
+TEST(StrategyRegistry, UnknownOptionKeyRejectedWithKnownKeysListed) {
+  const auto space = small_space();
+  try {
+    (void)StrategyRegistry::make("random", space, {{"smaples", "10"}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("smaples"), std::string::npos) << what;
+    EXPECT_NE(what.find("samples"), std::string::npos) << what;
+  }
+}
+
+TEST(StrategyRegistry, BadOptionValueRejectedWithValueInMessage) {
+  const auto space = small_space();
+  for (const auto& [name, key] :
+       {std::pair<std::string, std::string>{"random", "samples"},
+        {"annealing", "cooling"},
+        {"nelder-mead", "reflection"},
+        {"coordinate-descent", "max_sweeps"}}) {
+    try {
+      (void)StrategyRegistry::make(name, space, {{key, "banana"}});
+      FAIL() << name << "." << key << ": expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(key), std::string::npos) << what;
+      EXPECT_NE(what.find("banana"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(StrategyRegistry, ValidateMatchesMakeWithoutConstructing) {
+  std::string error;
+  EXPECT_TRUE(StrategyRegistry::validate("random", {{"samples", "32"}}, &error));
+  EXPECT_TRUE(error.empty());
+
+  EXPECT_FALSE(StrategyRegistry::validate("simplex", {}, &error));
+  EXPECT_NE(error.find("simplex"), std::string::npos);
+
+  EXPECT_FALSE(
+      StrategyRegistry::validate("random", {{"samples", "zero"}}, &error));
+  EXPECT_NE(error.find("samples"), std::string::npos);
+
+  EXPECT_FALSE(
+      StrategyRegistry::validate("annealing", {{"warmth", "1"}}, &error));
+  EXPECT_NE(error.find("warmth"), std::string::npos);
+}
+
+TEST(StrategyRegistry, OptionsReachTheStrategy) {
+  const auto space = small_space();
+  // A random search limited to 3 samples proposes exactly 3 configurations.
+  auto s = StrategyRegistry::make("random", space,
+                                  {{"samples", "3"}, {"seed", "7"}});
+  int proposals = 0;
+  while (auto c = s->propose()) {
+    ++proposals;
+    harmony::EvaluationResult r;
+    r.objective = 1.0;
+    s->report(*c, r);
+  }
+  EXPECT_EQ(proposals, 3);
+}
+
+TEST(StrategyRegistry, SeedChangesRandomTrajectory) {
+  const auto space = small_space();
+  const auto first_proposal = [&](StrategyOptions opts) {
+    auto s = StrategyRegistry::make("random", space, opts);
+    auto c = s->propose();
+    return space.format(*c);
+  };
+  EXPECT_EQ(first_proposal({{"seed", "11"}}), first_proposal({{"seed", "11"}}));
+  EXPECT_NE(first_proposal({{"seed", "11"}}), first_proposal({{"seed", "12"}}));
+}
+
+TEST(StrategyRegistry, InitialConfigSeedsStartPointStrategies) {
+  const auto space = small_space();
+  Config start = space.default_config();
+  space.set(start, "x", std::int64_t{13});
+  space.set(start, "y", std::int64_t{5});
+  auto s = StrategyRegistry::make("coordinate-descent", space, {}, start);
+  const auto first = s->propose();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(space.format(*first), space.format(start));
+}
+
+TEST(StrategyRegistry, MakeDefaultIsNelderMead) {
+  const auto space = small_space();
+  auto s = StrategyRegistry::make_default(space);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->name(), "nelder-mead");
+}
+
+TEST(StrategyRegistry, RegistryStrategyDrivesTunerEndToEnd) {
+  const auto space = small_space();
+  auto s = StrategyRegistry::make("systematic", space,
+                                  {{"samples_per_dim", "5"}});
+  harmony::TunerOptions topts;
+  topts.max_iterations = 25;
+  harmony::Tuner tuner(space, topts);
+  const auto out = tuner.run(*s, [&](const Config& c) {
+    harmony::EvaluationResult r;
+    const double x = static_cast<double>(space.get_int(c, "x")) - 9.0;
+    const double y = static_cast<double>(space.get_int(c, "y")) - 4.0;
+    r.objective = x * x + y * y;
+    return r;
+  });
+  ASSERT_TRUE(out.best.has_value());
+  EXPECT_LE(out.best_result.objective, 2.0 + 1.0);
+}
+
+}  // namespace

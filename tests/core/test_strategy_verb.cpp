@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/net.hpp"
+#include "core/server.hpp"
+#include "core/strategy_registry.hpp"
+
+namespace {
+
+using harmony::StrategyRegistry;
+using harmony::TuningClient;
+using harmony::TuningServer;
+
+class StrategyVerbFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(server_.start());
+    ASSERT_GT(server_.port(), 0);
+  }
+
+  void TearDown() override { server_.stop(); }
+
+  TuningServer server_;
+};
+
+// ---- raw-socket protocol negotiation ----------------------------------------
+
+TEST_F(StrategyVerbFixture, BareStrategyListsRegistry) {
+  auto sock = harmony::net::connect_loopback(server_.port());
+  ASSERT_TRUE(sock.valid());
+  harmony::net::LineReader reader(sock);
+  ASSERT_TRUE(sock.send_line("HELLO raw"));
+  ASSERT_TRUE(reader.read_line().has_value());
+  ASSERT_TRUE(sock.send_line("STRATEGY"));
+  const auto reply = reader.read_line();
+  ASSERT_TRUE(reply.has_value());
+  std::string expected = "OK";
+  for (const auto& n : StrategyRegistry::names()) expected += " " + n;
+  EXPECT_EQ(*reply, expected);
+}
+
+TEST_F(StrategyVerbFixture, UnknownStrategyRejected) {
+  auto sock = harmony::net::connect_loopback(server_.port());
+  ASSERT_TRUE(sock.valid());
+  harmony::net::LineReader reader(sock);
+  ASSERT_TRUE(sock.send_line("HELLO raw"));
+  ASSERT_TRUE(reader.read_line().has_value());
+  ASSERT_TRUE(sock.send_line("STRATEGY simplex"));
+  const auto reply = reader.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "ERR unknown strategy simplex");
+}
+
+TEST_F(StrategyVerbFixture, MalformedOptionRejected) {
+  auto sock = harmony::net::connect_loopback(server_.port());
+  ASSERT_TRUE(sock.valid());
+  harmony::net::LineReader reader(sock);
+  ASSERT_TRUE(sock.send_line("HELLO raw"));
+  ASSERT_TRUE(reader.read_line().has_value());
+  ASSERT_TRUE(sock.send_line("STRATEGY random samples"));
+  auto reply = reader.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("ERR bad option 'samples'", 0), 0u) << *reply;
+
+  ASSERT_TRUE(sock.send_line("STRATEGY random samples=many"));
+  reply = reader.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("ERR", 0), 0u) << *reply;
+  EXPECT_NE(reply->find("samples"), std::string::npos) << *reply;
+}
+
+TEST_F(StrategyVerbFixture, StrategyAfterStartRejected) {
+  auto sock = harmony::net::connect_loopback(server_.port());
+  ASSERT_TRUE(sock.valid());
+  harmony::net::LineReader reader(sock);
+  ASSERT_TRUE(sock.send_line("HELLO raw"));
+  ASSERT_TRUE(reader.read_line().has_value());
+  ASSERT_TRUE(sock.send_line("PARAM INT x 0 10 1"));
+  ASSERT_TRUE(reader.read_line().has_value());
+  ASSERT_TRUE(sock.send_line("START 5"));
+  ASSERT_TRUE(reader.read_line().has_value());
+  ASSERT_TRUE(sock.send_line("STRATEGY random"));
+  const auto reply = reader.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "ERR session already started");
+}
+
+TEST_F(StrategyVerbFixture, AcceptedStrategyEchoesName) {
+  auto sock = harmony::net::connect_loopback(server_.port());
+  ASSERT_TRUE(sock.valid());
+  harmony::net::LineReader reader(sock);
+  ASSERT_TRUE(sock.send_line("HELLO raw"));
+  ASSERT_TRUE(reader.read_line().has_value());
+  ASSERT_TRUE(sock.send_line("STRATEGY annealing cooling=0.9 seed=3"));
+  const auto reply = reader.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "OK annealing");
+}
+
+// ---- TuningClient round trip ------------------------------------------------
+
+TEST_F(StrategyVerbFixture, ClientListsStrategies) {
+  TuningClient client;
+  ASSERT_TRUE(client.connect(server_.port(), "lister"));
+  const auto names = client.strategies();
+  ASSERT_TRUE(names.has_value());
+  EXPECT_EQ(*names, StrategyRegistry::names());
+  client.bye();
+}
+
+TEST_F(StrategyVerbFixture, ClientSetStrategyUnknownFails) {
+  TuningClient client;
+  ASSERT_TRUE(client.connect(server_.port(), "app"));
+  EXPECT_FALSE(client.set_strategy("simplex"));
+  EXPECT_NE(client.last_error().find("unknown strategy"), std::string::npos);
+  // The session is still usable after the rejected line.
+  EXPECT_TRUE(client.set_strategy("random", {{"samples", "16"}, {"seed", "2"}}));
+  client.bye();
+}
+
+TEST_F(StrategyVerbFixture, ClientTunesWithSelectedStrategy) {
+  TuningClient client;
+  ASSERT_TRUE(client.connect(server_.port(), "rand-app"));
+  ASSERT_TRUE(client.add_int("x", 0, 200));
+  ASSERT_TRUE(client.set_strategy("random", {{"samples", "64"}, {"seed", "9"}}));
+  ASSERT_TRUE(client.start(30));
+  int fetches = 0;
+  while (auto config = client.fetch()) {
+    ++fetches;
+    const auto x = std::get<std::int64_t>(config->values[0]);
+    ASSERT_TRUE(client.report(static_cast<double>((x - 123) * (x - 123))));
+  }
+  EXPECT_EQ(fetches, 30);  // budget bounds the random search
+  const auto best = client.best();
+  ASSERT_TRUE(best.has_value());
+  client.bye();
+}
+
+TEST_F(StrategyVerbFixture, ClientTunesWithCoordinateDescent) {
+  TuningClient client;
+  ASSERT_TRUE(client.connect(server_.port(), "cd-app"));
+  ASSERT_TRUE(client.add_int("x", 0, 50));
+  ASSERT_TRUE(client.add_int("y", 0, 50));
+  ASSERT_TRUE(client.set_strategy("coordinate-descent", {{"max_sweeps", "8"}}));
+  ASSERT_TRUE(client.start(60));
+  while (auto config = client.fetch()) {
+    const auto x = std::get<std::int64_t>(config->values[0]);
+    const auto y = std::get<std::int64_t>(config->values[1]);
+    const double fx = static_cast<double>((x - 31) * (x - 31));
+    const double fy = static_cast<double>((y - 17) * (y - 17));
+    ASSERT_TRUE(client.report(fx + fy));
+  }
+  const auto best = client.best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(static_cast<double>(std::get<std::int64_t>(best->values[0])), 31.0,
+              5.0);
+  EXPECT_NEAR(static_cast<double>(std::get<std::int64_t>(best->values[1])), 17.0,
+              5.0);
+  client.bye();
+}
+
+}  // namespace

@@ -128,9 +128,11 @@ TEST(TuningGs2Integration, HarmonyWithinTopFractionOfSampledSpace) {
 
   // Systematic sample of the space.
   SystematicSampler sampler(space, std::vector<int>{5, 5, 16});
-  Tuner sample_tuner(space, TunerOptions{.max_iterations = 2000,
-                                         .max_proposals = 5000,
-                                         .use_cache = true});
+  TunerOptions sample_opts;
+  sample_opts.max_iterations = 2000;
+  sample_opts.max_proposals = 5000;
+  sample_opts.use_cache = true;
+  Tuner sample_tuner(space, sample_opts);
   (void)sample_tuner.run(sampler, evaluate);
   std::vector<double> sampled;
   for (const auto& e : sample_tuner.history().entries()) {
@@ -146,7 +148,9 @@ TEST(TuningGs2Integration, HarmonyWithinTopFractionOfSampledSpace) {
   NelderMeadOptions nm_opts;
   nm_opts.max_restarts = 3;
   NelderMead nm(space, nm_opts, start);
-  Tuner tuner(space, TunerOptions{.max_iterations = 60});
+  TunerOptions topts;
+  topts.max_iterations = 60;
+  Tuner tuner(space, topts);
   const auto result = tuner.run(nm, evaluate);
   ASSERT_TRUE(result.best.has_value());
 

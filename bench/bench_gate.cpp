@@ -2,8 +2,9 @@
 //
 // Runs two small, fully deterministic tuning workloads (a GS2 systematic
 // sweep through the parallel engine and a POP Nelder-Mead search through the
-// serial driver), writes one BENCH_<name>.json report per workload, and
-// compares the fresh results against checked-in baselines:
+// serial driver) plus a gate-sized tuning-server load test, writes one
+// BENCH_<name>.json report per workload, and compares the fresh results
+// against checked-in baselines:
 //
 //  * evaluations-to-best — how many distinct short runs the search needed
 //    before it first reached its final best objective. Deterministic: a
@@ -13,6 +14,10 @@
 //    ratios instead of raw seconds makes the baselines roughly
 //    machine-independent; each evaluation also performs a fixed amount of
 //    arithmetic so host-wide slowdowns cancel out of the ratio.
+//  * evals/sec ratio — for the server workload only: event-loop+pipelined
+//    throughput over legacy+blocking throughput (bench/server_load.hpp).
+//    Machine-portable for the same reason ratios are above; it must not
+//    drop below its baseline by more than --speedup-tol.
 //
 // Exits nonzero when either metric regresses past its tolerance (default
 // 20%, per --evals-tol / --wall-tol) or when the best objective itself gets
@@ -34,6 +39,7 @@
 #include "minigs2/minigs2.hpp"
 #include "minipop/minipop.hpp"
 #include "obs/bench_report.hpp"
+#include "server_load.hpp"
 #include "simcluster/simcluster.hpp"
 
 using harmony::Config;
@@ -48,6 +54,7 @@ struct GateOptions {
   bool update = false;
   double evals_tol = 0.20;
   double wall_tol = 0.20;
+  double speedup_tol = 0.50;  // allowed drop in the server evals/s ratio
   int reps = 3;  // wall time is the min over this many repetitions
 };
 
@@ -189,6 +196,38 @@ obs::BenchReport run_gate_pop_nm(int reps) {
   return report;
 }
 
+// ---- workload 3: tuning-server throughput ratio ---------------------------
+
+obs::BenchReport run_gate_server_throughput(int reps) {
+  harmony::bench::LoadOptions load;
+  load.clients = 16;
+  load.evals = 100;
+  load.window = 8;
+  load.reactors = 2;
+  const auto epoll = harmony::bench::best_of(reps, [&] {
+    return harmony::bench::run_load(harmony::ServerThreading::kEventLoop,
+                                    /*pipelined=*/true, load);
+  });
+  const auto legacy = harmony::bench::best_of(reps, [&] {
+    return harmony::bench::run_load(harmony::ServerThreading::kLegacy,
+                                    /*pipelined=*/false, load);
+  });
+
+  obs::BenchReport report;
+  report.name = "gate_server_throughput";
+  report.evaluations = static_cast<int>(epoll.evals + legacy.evals);
+  report.wall_s = epoll.wall_s + legacy.wall_s;
+  report.speedup = legacy.evals_per_s() > 0.0
+                       ? epoll.evals_per_s() / legacy.evals_per_s()
+                       : 0.0;
+  report.metrics["evals_per_s_ratio"] = report.speedup;
+  report.metrics["epoll_evals_per_s"] = epoll.evals_per_s();
+  report.metrics["legacy_evals_per_s"] = legacy.evals_per_s();
+  report.metrics["epoll_p99_ms"] = epoll.p99_ms;
+  report.metrics["legacy_p99_ms"] = legacy.p99_ms;
+  return report;
+}
+
 // ---- gate ------------------------------------------------------------------
 
 struct CheckRow {
@@ -209,6 +248,20 @@ bool check_report(const obs::BenchReport& fresh, const obs::BenchReport& base,
     rows.push_back({fresh.name + "." + label, baseline, current, limit, row_ok});
     ok = ok && row_ok;
   };
+  // Throughput workloads carry no search trajectory; the single tracked
+  // number is the evals/s ratio, checked as a floor (higher is better). The
+  // wall/evals rows would only measure scheduler noise there.
+  if (fresh.metrics.count("evals_per_s_ratio") != 0) {
+    const double base_ratio = base.metrics.count("evals_per_s_ratio")
+                                  ? base.metrics.at("evals_per_s_ratio")
+                                  : 0.0;
+    const double fresh_ratio = fresh.metrics.at("evals_per_s_ratio");
+    const double min_ratio = base_ratio * (1.0 - gate.speedup_tol);
+    const bool row_ok = fresh_ratio >= min_ratio;
+    rows.push_back({fresh.name + ".evals_ratio_min", base_ratio, fresh_ratio,
+                    min_ratio, row_ok});
+    return row_ok;
+  }
   add("evals_to_best", static_cast<double>(base.evals_to_best),
       static_cast<double>(fresh.evals_to_best),
       static_cast<double>(base.evals_to_best) * (1.0 + gate.evals_tol));
@@ -231,7 +284,7 @@ bool check_report(const obs::BenchReport& fresh, const obs::BenchReport& base,
 int usage(const char* argv0) {
   std::printf(
       "usage: %s [--baselines DIR] [--out DIR] [--update]\n"
-      "          [--evals-tol F] [--wall-tol F] [--runs N]\n\n"
+      "          [--evals-tol F] [--wall-tol F] [--speedup-tol F] [--runs N]\n\n"
       "Runs the gate workloads, writes BENCH_<name>.json into --out, and\n"
       "compares against the baselines in --baselines (exit 1 on regression).\n"
       "--update rewrites the baselines from the fresh run instead.\n",
@@ -266,6 +319,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       gate.wall_tol = std::atof(v);
+    } else if (arg == "--speedup-tol") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      gate.speedup_tol = std::atof(v);
     } else if (arg == "--runs") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -294,6 +351,7 @@ int main(int argc, char** argv) {
   std::vector<obs::BenchReport> reports;
   reports.push_back(run_gate_gs2_sweep(gate.reps));
   reports.push_back(run_gate_pop_nm(gate.reps));
+  reports.push_back(run_gate_server_throughput(gate.reps));
   for (auto& r : reports) {
     r.metrics["wall_ratio"] = r.wall_s / calib_s;
     r.metrics["calib_s"] = calib_s;

@@ -3,8 +3,12 @@
 // numerical kernels, the simulated-machine models, and the wire protocol.
 
 #include <benchmark/benchmark.h>
+#include <sys/socket.h>
+
+#include <string>
 
 #include "core/harmony.hpp"
+#include "core/net.hpp"
 #include "minigs2/minigs2.hpp"
 #include "minipetsc/minipetsc.hpp"
 #include "minipop/minipop.hpp"
@@ -148,6 +152,85 @@ void BM_ProtocolRoundtrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProtocolRoundtrip);
+
+// The zero-copy variant of the same round trip: append-into-buffer encode,
+// MessageView tokenize, string_view decode. Steady state allocates nothing.
+void BM_ProtocolRoundtripView(benchmark::State& state) {
+  harmony::ParamSpace space;
+  space.add(harmony::Parameter::Integer("n", 1, 64));
+  space.add(harmony::Parameter::Real("alpha", 0.0, 2.0));
+  space.add(harmony::Parameter::Enum("layout", {"lxyes", "yxles"}));
+  const auto config = space.default_config();
+  std::string line;
+  harmony::proto::MessageView msg;
+  for (auto _ : state) {
+    line.assign("CONFIG ");
+    harmony::proto::encode_config(space, config, line);
+    benchmark::DoNotOptimize(harmony::proto::parse_line(line, msg));
+    benchmark::DoNotOptimize(harmony::proto::decode_config(space, msg));
+  }
+}
+BENCHMARK(BM_ProtocolRoundtripView);
+
+void BM_ProtocolEncodeConfigAppend(benchmark::State& state) {
+  harmony::ParamSpace space;
+  space.add(harmony::Parameter::Integer("n", 1, 64));
+  space.add(harmony::Parameter::Real("alpha", 0.0, 2.0));
+  space.add(harmony::Parameter::Enum("layout", {"lxyes", "yxles"}));
+  const auto config = space.default_config();
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    harmony::proto::encode_config(space, config, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ProtocolEncodeConfigAppend);
+
+void BM_ProtocolParseLineView(benchmark::State& state) {
+  const std::string line = "REPORT+FETCH 3.14159 extra fields to tokenize";
+  harmony::proto::MessageView msg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harmony::proto::parse_line(line, msg));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProtocolParseLineView);
+
+// LineReader batch tokenization over a real (unix-domain) socket: one write
+// of `batch` lines, then read_line(out) pulls them back out of the buffer.
+// Items processed = lines, so the per-line cost is directly visible.
+void BM_LineReaderTokenize(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    state.SkipWithError("socketpair failed");
+    return;
+  }
+  harmony::net::Socket writer(fds[0]);
+  harmony::net::Socket reader_sock(fds[1]);
+  harmony::net::LineReader reader(reader_sock);
+  std::string payload;
+  for (int i = 0; i < batch; ++i) {
+    payload += "REPORT+FETCH 1.25 trailing-field\n";
+  }
+  std::string line;
+  for (auto _ : state) {
+    if (!writer.send_all(payload)) {
+      state.SkipWithError("send failed");
+      return;
+    }
+    for (int i = 0; i < batch; ++i) {
+      if (!reader.read_line(line)) {
+        state.SkipWithError("read_line failed");
+        return;
+      }
+      benchmark::DoNotOptimize(line.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LineReaderTokenize)->Arg(1)->Arg(16)->Arg(64);
 
 }  // namespace
 

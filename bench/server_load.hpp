@@ -1,0 +1,333 @@
+#pragma once
+
+/// \file server_load.hpp
+/// Shared load generator for the tuning server's network stack, used by
+/// bench/server_throughput (the full benchmark) and bench/bench_gate (a
+/// gate-sized run whose epoll/legacy evals-per-second ratio is tracked
+/// against a checked-in baseline).
+///
+/// Two client harnesses:
+///  * run_load(kEventLoop, pipelined=true)  — all K connections multiplexed
+///    over a few poll()-driven threads, each connection keeping a window of
+///    pipelined REPORT+FETCH lines in flight (the event-driven steady state).
+///  * run_load(kLegacy, pipelined=false)    — one blocking client thread per
+///    connection running the classic FETCH -> REPORT exchange against the
+///    thread-per-connection server (the pre-event-loop deployment).
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/net.hpp"
+#include "core/server.hpp"
+
+namespace harmony::bench {
+
+using LoadClock = std::chrono::steady_clock;
+
+inline double load_seconds_since(LoadClock::time_point start) {
+  return std::chrono::duration<double>(LoadClock::now() - start).count();
+}
+
+/// Monotonically improving synthetic objective: the search always has a new
+/// incumbent, so Nelder-Mead keeps proposing and never converges mid-run.
+inline double synthetic_objective(int eval_index) {
+  return 1000.0 - 1e-3 * eval_index;
+}
+
+struct LoadOptions {
+  int clients = 64;
+  int evals = 200;   // evaluations per client
+  int window = 8;    // pipelined REPORT+FETCH lines in flight per connection
+  int reactors = 2;  // server reactor threads / client mux threads
+};
+
+struct ClientStats {
+  std::uint64_t evals = 0;
+  bool completed = false;
+  std::vector<double> latency_ms;  // one sample per protocol request
+};
+
+/// One multiplexed pipelined connection: non-blocking socket, a window of
+/// REPORT+FETCH lines in flight, replies consumed in order. run_mux_driver
+/// runs many of these off a single poll() loop.
+struct MuxConn {
+  net::Socket sock;
+  ClientStats* stats = nullptr;
+  int evals = 0;
+  int window = 0;
+  std::string rbuf;
+  std::size_t rpos = 0;
+  std::string wbuf;
+  std::deque<LoadClock::time_point> inflight;
+  int setup_replies = 5;  // 4x OK + the first CONFIG
+  int sent = 0;
+  int completed = 0;
+  bool done = false;
+
+  void start(int port) {
+    sock = net::connect_loopback(port);
+    if (!sock.valid() || !sock.set_nonblocking()) {
+      done = true;
+      return;
+    }
+    wbuf = "HELLO bench\nPARAM REAL x 0 10\nPARAM REAL y 0 10\nSTART ";
+    wbuf += std::to_string(evals + 8);
+    wbuf += "\nFETCH\n";
+  }
+
+  /// Keep the request window full (no-op until setup replies are in).
+  void fill_window() {
+    if (setup_replies > 0 || done) return;
+    const auto now = LoadClock::now();
+    while (sent < evals && static_cast<int>(inflight.size()) < window) {
+      wbuf += "REPORT+FETCH ";
+      wbuf += std::to_string(synthetic_objective(sent));
+      wbuf += '\n';
+      ++sent;
+      inflight.push_back(now);
+    }
+  }
+
+  /// Non-blocking drain of wbuf; false on connection error.
+  bool flush() {
+    while (!wbuf.empty()) {
+      const auto n = ::send(sock.fd(), wbuf.data(), wbuf.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        wbuf.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      return false;
+    }
+    return true;
+  }
+
+  void handle_line(std::string_view line) {
+    if (line.rfind("ERR", 0) == 0) {
+      done = true;
+      return;
+    }
+    if (setup_replies > 0) {
+      --setup_replies;
+      return;
+    }
+    if (!inflight.empty()) {
+      stats->latency_ms.push_back(1e3 * load_seconds_since(inflight.front()));
+      inflight.pop_front();
+    }
+    ++completed;
+    stats->evals = static_cast<std::uint64_t>(completed);
+    if (line.rfind("CONFIG", 0) != 0) {  // DONE
+      done = true;
+      return;
+    }
+    if (completed >= evals) {
+      stats->completed = true;
+      wbuf += "BYE\n";
+      done = true;
+    }
+  }
+
+  /// Consume readable bytes and process complete lines; false on EOF/error.
+  bool drain_input() {
+    char chunk[16384];
+    for (;;) {
+      const auto n = ::recv(sock.fd(), chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        rbuf.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      return false;  // EOF or hard error
+    }
+    std::size_t nl;
+    while (!done && (nl = rbuf.find('\n', rpos)) != std::string::npos) {
+      handle_line(std::string_view(rbuf).substr(rpos, nl - rpos));
+      rpos = nl + 1;
+    }
+    if (rpos == rbuf.size()) {
+      rbuf.clear();
+      rpos = 0;
+    }
+    return true;
+  }
+};
+
+/// Drive a set of pipelined connections from one thread with poll().
+inline void run_mux_driver(int port, std::vector<MuxConn*> conns) {
+  for (auto* c : conns) c->start(port);
+  std::vector<pollfd> fds(conns.size());
+  for (;;) {
+    std::size_t live = 0;
+    for (auto* c : conns) {
+      if (c->done && c->wbuf.empty()) continue;
+      c->fill_window();
+      if (!c->flush()) {
+        c->done = true;
+        c->wbuf.clear();
+        continue;
+      }
+      if (c->done && c->wbuf.empty()) continue;
+      fds[live].fd = c->sock.fd();
+      fds[live].events =
+          static_cast<short>(POLLIN | (c->wbuf.empty() ? 0 : POLLOUT));
+      fds[live].revents = 0;
+      ++live;
+    }
+    if (live == 0) break;
+    if (::poll(fds.data(), live, 5000) <= 0) break;
+    std::size_t i = 0;
+    for (auto* c : conns) {
+      if (c->done && c->wbuf.empty()) continue;
+      const auto re = fds[i++].revents;
+      if ((re & (POLLERR | POLLHUP)) != 0 ||
+          ((re & POLLIN) != 0 && !c->drain_input())) {
+        c->done = true;
+        c->wbuf.clear();
+      }
+      if (i >= live) break;
+    }
+  }
+}
+
+/// Blocking client: the classic exchange — FETCH, read, REPORT, read — two
+/// round trips per evaluation, no pipelining.
+inline void run_blocking_client(int port, int evals, ClientStats* out) {
+  out->latency_ms.reserve(static_cast<std::size_t>(evals) + 8);
+  net::Socket s = net::connect_loopback(port);
+  if (!s.valid()) return;
+  net::LineReader reader(s);
+  std::string line;
+
+  const auto transact = [&](const std::string& req) -> bool {
+    const auto t0 = LoadClock::now();
+    if (!s.send_all(req)) return false;
+    if (!reader.read_line(line)) return false;
+    out->latency_ms.push_back(1e3 * load_seconds_since(t0));
+    return line.rfind("ERR", 0) != 0;
+  };
+
+  if (!transact("HELLO bench\n")) return;
+  if (!transact("PARAM REAL x 0 10\n")) return;
+  if (!transact("PARAM REAL y 0 10\n")) return;
+  if (!transact("START " + std::to_string(evals + 8) + "\n")) return;
+  if (!transact("FETCH\n")) return;
+  for (int i = 0; i < evals; ++i) {
+    if (!transact("REPORT " + std::to_string(synthetic_objective(i)) + "\n")) {
+      return;
+    }
+    if (!transact("FETCH\n")) return;
+    out->evals = static_cast<std::uint64_t>(i + 1);
+    if (line.rfind("CONFIG", 0) != 0) return;
+  }
+  (void)s.send_all(std::string_view("BYE\n"));
+  out->completed = true;
+}
+
+struct LoadResult {
+  double wall_s = 0.0;
+  std::uint64_t evals = 0;
+  int sessions_completed = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+
+  [[nodiscard]] double evals_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(evals) / wall_s : 0.0;
+  }
+  [[nodiscard]] double sessions_per_s() const {
+    return wall_s > 0.0 ? sessions_completed / wall_s : 0.0;
+  }
+};
+
+inline double latency_percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx =
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// One timed run: fresh server in `mode`, opt.clients sessions of opt.evals
+/// evaluations each, pipelined-multiplexed or blocking-thread-per-connection
+/// clients.
+inline LoadResult run_load(ServerThreading mode, bool pipelined,
+                           const LoadOptions& opt) {
+  ServerOptions sopts;
+  sopts.threading = mode;
+  sopts.reactor_threads = opt.reactors;
+  TuningServer server(sopts);
+  LoadResult result;
+  if (!server.start()) {
+    std::fprintf(stderr, "error: server failed to start\n");
+    return result;
+  }
+
+  std::vector<ClientStats> stats(static_cast<std::size_t>(opt.clients));
+  for (auto& st : stats) {
+    st.latency_ms.reserve(static_cast<std::size_t>(opt.evals) + 8);
+  }
+  std::vector<std::thread> threads;
+  std::vector<MuxConn> conns;
+  const auto t0 = LoadClock::now();
+  if (pipelined) {
+    // All connections multiplexed over a few poll() threads — the client
+    // counterpart of the server's reactor shards.
+    conns.resize(stats.size());
+    const int drivers = std::clamp(opt.reactors, 1, opt.clients);
+    std::vector<std::vector<MuxConn*>> assigned(
+        static_cast<std::size_t>(drivers));
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      conns[i].stats = &stats[i];
+      conns[i].evals = opt.evals;
+      conns[i].window = opt.window;
+      assigned[i % assigned.size()].push_back(&conns[i]);
+    }
+    threads.reserve(assigned.size());
+    for (auto& group : assigned) {
+      threads.emplace_back(run_mux_driver, server.port(), std::move(group));
+    }
+  } else {
+    threads.reserve(stats.size());
+    for (auto& st : stats) {
+      threads.emplace_back(run_blocking_client, server.port(), opt.evals, &st);
+    }
+  }
+  for (auto& t : threads) t.join();
+  result.wall_s = load_seconds_since(t0);
+  server.stop();
+
+  std::vector<double> all_lat;
+  for (const auto& st : stats) {
+    result.evals += st.evals;
+    result.sessions_completed += st.completed ? 1 : 0;
+    all_lat.insert(all_lat.end(), st.latency_ms.begin(), st.latency_ms.end());
+  }
+  std::sort(all_lat.begin(), all_lat.end());
+  result.p50_ms = latency_percentile(all_lat, 0.50);
+  result.p99_ms = latency_percentile(all_lat, 0.99);
+  return result;
+}
+
+/// Best (highest evals/s) of `reps` runs of `body` — scheduling noise on a
+/// loaded host only ever subtracts throughput, so the max is the estimate.
+template <typename Body>
+LoadResult best_of(int reps, const Body& body) {
+  LoadResult best;
+  for (int i = 0; i < reps; ++i) {
+    LoadResult r = body();
+    if (i == 0 || r.evals_per_s() > best.evals_per_s()) best = r;
+  }
+  return best;
+}
+
+}  // namespace harmony::bench

@@ -70,14 +70,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Steady state uses the combined REPORT+FETCH verb: one round trip per
+  // evaluation instead of the two a report() + fetch() pair costs.
   double first = -1.0;
   int runs = 0;
-  while (auto config = client.fetch()) {
+  auto config = client.fetch();
+  while (config) {
     const auto mult = evaluate_multipliers(space, *config);
     const double t = model.step_time(machine, 4, {180, 100}, mult).total_s;
     if (first < 0) first = t;
-    if (!client.report(t)) break;
     ++runs;
+    config = client.report_and_fetch(t);
   }
 
   const auto best = client.best();

@@ -94,22 +94,34 @@ bool TuningClient::start(int max_iterations) {
   return reply.has_value() && expect_ok(*reply);
 }
 
-std::optional<Config> TuningClient::fetch() {
-  const auto reply = transact("FETCH");
-  if (!reply) return std::nullopt;
-  const auto msg = proto::parse_line(*reply);
+std::optional<Config> TuningClient::decode_fetch_reply(const std::string& reply) {
+  const auto msg = proto::parse_line(reply);
   if (!msg) {
     error_ = "unparseable reply";
     return std::nullopt;
   }
   if (msg->verb == "DONE") return std::nullopt;
   if (msg->verb != "CONFIG") {
-    error_ = *reply;
+    error_ = reply;
     return std::nullopt;
   }
   auto config = proto::decode_config(space_, msg->args);
-  if (!config) error_ = "undecodable CONFIG: " + *reply;
+  if (!config) error_ = "undecodable CONFIG: " + reply;
   return config;
+}
+
+std::optional<Config> TuningClient::fetch() {
+  const auto reply = transact("FETCH");
+  if (!reply) return std::nullopt;
+  return decode_fetch_reply(*reply);
+}
+
+std::optional<Config> TuningClient::report_and_fetch(double objective) {
+  std::ostringstream os;
+  os << "REPORT+FETCH " << objective;
+  const auto reply = transact(os.str());
+  if (!reply) return std::nullopt;
+  return decode_fetch_reply(*reply);
 }
 
 bool TuningClient::report(double objective) {

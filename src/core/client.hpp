@@ -54,6 +54,12 @@ class TuningClient {
   /// Report the objective for the configuration from the last fetch().
   [[nodiscard]] bool report(double objective);
 
+  /// Combined REPORT+FETCH exchange: report the objective for the pending
+  /// candidate and receive the next one in a single round trip — half the
+  /// per-evaluation latency of report() followed by fetch(). nullopt when
+  /// the server says DONE (or on an error — check ok()/last_error()).
+  [[nodiscard]] std::optional<Config> report_and_fetch(double objective);
+
   /// Best configuration the server has seen so far.
   [[nodiscard]] std::optional<Config> best();
 
@@ -81,6 +87,7 @@ class TuningClient {
  private:
   [[nodiscard]] std::optional<std::string> transact(const std::string& line);
   [[nodiscard]] bool expect_ok(const std::string& line);
+  [[nodiscard]] std::optional<Config> decode_fetch_reply(const std::string& reply);
 
   net::Socket socket_;
   std::optional<net::LineReader> reader_;

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file event_loop.hpp
+/// A minimal epoll reactor for the tuning server's event-driven mode. One
+/// EventLoop owns one epoll instance and runs on one thread; the server
+/// starts N of them and spreads connections across the loops, so the whole
+/// serving stack runs on a fixed, small thread count regardless of how many
+/// clients are connected (contrast the legacy thread-per-connection mode).
+///
+/// Threading contract: add()/modify()/remove() and the registered callbacks
+/// are loop-thread-only. The thread-safe surface is stop(), wakeup() and
+/// defer(fn) — defer enqueues a closure that the loop thread runs on its
+/// next iteration (an eventfd wakes the loop if it is blocked in
+/// epoll_wait). That is how the acceptor hands fresh connections to another
+/// loop and how stop tears everything down from outside.
+///
+/// Observability: when AH_OBS is on, each iteration records the ready-queue
+/// depth into `net.loop.ready` and counts `net.loop.iterations`; connection
+/// byte counters are maintained by the server's connection handlers.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace harmony::net {
+
+class EventLoop {
+ public:
+  /// Callback for descriptor readiness; receives the epoll event mask.
+  using FdCallback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when epoll/eventfd could not be created.
+  [[nodiscard]] bool ok() const noexcept { return epoll_fd_ >= 0; }
+
+  // ---- loop-thread-only surface -------------------------------------------
+
+  /// Register `fd` for `events` (EPOLLIN | EPOLLOUT | ...). The callback is
+  /// invoked from run() whenever the descriptor is ready.
+  [[nodiscard]] bool add(int fd, std::uint32_t events, FdCallback cb);
+
+  /// Change the interest mask of a registered descriptor.
+  [[nodiscard]] bool modify(int fd, std::uint32_t events);
+
+  /// Deregister; safe to call from the descriptor's own callback.
+  void remove(int fd);
+
+  /// Block in epoll_wait dispatching callbacks until stop().
+  void run();
+
+  // ---- thread-safe surface ------------------------------------------------
+
+  /// Ask the loop to exit; wakes it if blocked. Idempotent.
+  void stop();
+
+  /// Run `fn` on the loop thread during its next iteration.
+  void defer(std::function<void()> fn);
+
+  /// Force an epoll_wait wakeup (defer/stop call this internally).
+  void wakeup();
+
+  /// Registered descriptor count (loop thread, for tests/diagnostics).
+  [[nodiscard]] std::size_t watched() const noexcept { return callbacks_.size(); }
+
+ private:
+  void drain_deferred();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd used by wakeup()
+  std::atomic<bool> stop_{false};
+  std::unordered_map<int, std::shared_ptr<FdCallback>> callbacks_;
+  std::mutex deferred_mutex_;
+  std::vector<std::function<void()>> deferred_;
+};
+
+}  // namespace harmony::net

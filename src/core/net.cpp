@@ -1,11 +1,14 @@
 #include "core/net.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -36,11 +39,11 @@ void Socket::shutdown() noexcept {
   if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
-bool Socket::send_all(const std::string& data) const {
+bool Socket::send_all(const char* data, std::size_t size) const {
   const int fd = this->fd();
   std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent,
 #ifdef MSG_NOSIGNAL
                              MSG_NOSIGNAL
 #else
@@ -60,36 +63,101 @@ bool Socket::send_line(const std::string& line) const {
   return send_all(line + '\n');
 }
 
+bool Socket::set_nonblocking() const noexcept {
+  const int fd = this->fd();
+  if (fd < 0) return false;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
 std::optional<std::string> LineReader::read_line() {
-  if (overflowed_) return std::nullopt;  // poisoned: stream no longer framed
+  std::string line;
+  if (!read_line(line)) return std::nullopt;
+  return line;
+}
+
+bool LineReader::read_line(std::string& out) {
+  out.clear();
+  if (overflowed_) return false;  // poisoned: stream no longer framed
   while (true) {
-    const auto pos = buffer_.find('\n');
+    const auto pos = buffer_.find('\n', head_);
     if (pos != std::string::npos) {
-      if (max_line_ != 0 && pos > max_line_) {
+      if (max_line_ != 0 && pos - head_ > max_line_) {
         overflowed_ = true;
         buffer_.clear();
-        return std::nullopt;
+        head_ = 0;
+        return false;
       }
-      std::string line = buffer_.substr(0, pos);
-      buffer_.erase(0, pos + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      return line;
+      std::size_t len = pos - head_;
+      if (len > 0 && buffer_[head_ + len - 1] == '\r') --len;
+      out.assign(buffer_, head_, len);
+      head_ = pos + 1;
+      // Compact lazily: drop the consumed prefix only once everything
+      // buffered has been handed out, so pipelined bursts stay O(bytes).
+      if (head_ == buffer_.size()) {
+        buffer_.clear();
+        head_ = 0;
+      }
+      return true;
+    }
+    if (head_ > 0) {
+      buffer_.erase(0, head_);
+      head_ = 0;
     }
     // No terminator buffered yet: refuse to accumulate past the limit.
     if (max_line_ != 0 && buffer_.size() > max_line_) {
       overflowed_ = true;
       buffer_.clear();
-      return std::nullopt;
+      return false;
     }
     char chunk[4096];
     const ssize_t n = ::recv(socket_->fd(), chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return std::nullopt;
+      return false;
     }
-    if (n == 0) return std::nullopt;  // peer closed
+    if (n == 0) return false;  // peer closed
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+void ByteRing::append(const char* data, std::size_t n) {
+  if (n == 0) return;
+  if (count_ + n > buf_.size()) {
+    // Grow: re-linearize into a fresh block (rare; capacity then persists).
+    std::vector<char> grown(std::max<std::size_t>(1024, (count_ + n) * 2));
+    iovec iov[2];
+    const int segs = drain_iov(iov);
+    std::size_t at = 0;
+    for (int i = 0; i < segs; ++i) {
+      std::memcpy(grown.data() + at, iov[i].iov_base, iov[i].iov_len);
+      at += iov[i].iov_len;
+    }
+    buf_ = std::move(grown);
+    head_ = 0;
+  }
+  const std::size_t tail = (head_ + count_) % buf_.size();
+  const std::size_t first = std::min(n, buf_.size() - tail);
+  std::memcpy(buf_.data() + tail, data, first);
+  if (first < n) std::memcpy(buf_.data(), data + first, n - first);
+  count_ += n;
+}
+
+int ByteRing::drain_iov(struct iovec* iov) const {
+  if (count_ == 0) return 0;
+  const std::size_t first = std::min(count_, buf_.size() - head_);
+  iov[0].iov_base = const_cast<char*>(buf_.data() + head_);
+  iov[0].iov_len = first;
+  if (first == count_) return 1;
+  iov[1].iov_base = const_cast<char*>(buf_.data());
+  iov[1].iov_len = count_ - first;
+  return 2;
+}
+
+void ByteRing::consume(std::size_t n) {
+  n = std::min(n, count_);
+  count_ -= n;
+  head_ = count_ == 0 ? 0 : (head_ + n) % buf_.size();
 }
 
 ListenResult listen_loopback(int port) {
@@ -105,7 +173,10 @@ ListenResult listen_loopback(int port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) return out;
-  if (::listen(fd, 16) != 0) return out;
+  // SOMAXCONN, not a small constant: a burst of simultaneous connects past
+  // the backlog gets its SYNs dropped, and the 1 s TCP retransmit timer then
+  // dwarfs any amount of server-side efficiency.
+  if (::listen(fd, SOMAXCONN) != 0) return out;
 
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return out;

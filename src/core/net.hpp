@@ -9,6 +9,10 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
+
+struct iovec;  // <sys/uio.h>
 
 namespace harmony::net {
 
@@ -40,10 +44,16 @@ class Socket {
   void shutdown() noexcept;
 
   /// Send an entire buffer; returns false on error/peer close.
-  [[nodiscard]] bool send_all(const std::string& data) const;
+  [[nodiscard]] bool send_all(const char* data, std::size_t size) const;
+  [[nodiscard]] bool send_all(std::string_view data) const {
+    return send_all(data.data(), data.size());
+  }
 
   /// Send one protocol line (appends '\n').
   [[nodiscard]] bool send_line(const std::string& line) const;
+
+  /// Switch the descriptor to O_NONBLOCK (event-loop connections).
+  [[nodiscard]] bool set_nonblocking() const noexcept;
 
  private:
   std::atomic<int> fd_{-1};
@@ -65,6 +75,11 @@ class LineReader {
   /// nullopt on EOF, error, or when the line limit is exceeded.
   [[nodiscard]] std::optional<std::string> read_line();
 
+  /// Allocation-free variant for hot paths: writes the line into `out`,
+  /// reusing its capacity. Returns false on EOF/error/overflow (out is left
+  /// empty). The server's steady-state read path uses this overload.
+  [[nodiscard]] bool read_line(std::string& out);
+
   /// True once a read failed because a line exceeded max_line_bytes. The
   /// reader is poisoned from then on: callers should drop the connection
   /// (buffered bytes past the overflow are not a trustworthy stream).
@@ -77,6 +92,34 @@ class LineReader {
   std::size_t max_line_;
   bool overflowed_ = false;
   std::string buffer_;
+  std::size_t head_ = 0;  ///< consumed prefix of buffer_ (compacted lazily)
+};
+
+/// Growable circular byte queue holding a connection's pending output.
+/// Capacity grows geometrically and is then reused, so a connection in
+/// steady state appends and drains without allocating. Readable data may
+/// wrap around the end of the storage; drain_iov() exposes the (at most two)
+/// contiguous segments for a vectored write.
+class ByteRing {
+ public:
+  void append(const char* data, std::size_t n);
+  void append(std::string_view s) { append(s.data(), s.size()); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// Fill iov[0..1] with the readable segments; returns the segment count
+  /// (0, 1, or 2 when the data wraps).
+  [[nodiscard]] int drain_iov(struct iovec* iov) const;
+
+  /// Discard the first n readable bytes (after a successful write).
+  void consume(std::size_t n);
+
+ private:
+  std::vector<char> buf_;
+  std::size_t head_ = 0;   ///< index of the first readable byte
+  std::size_t count_ = 0;  ///< readable bytes
 };
 
 /// Listen on 127.0.0.1:port (port 0 picks an ephemeral port). Returns the

@@ -1,91 +1,68 @@
 #include "core/protocol.hpp"
 
 #include <charconv>
-#include <sstream>
+#include <cstdio>
+#include <cstdlib>
 
 namespace harmony::proto {
 
 namespace {
 
-std::vector<std::string> split(const std::string& s, char sep) {
+constexpr std::string_view kSpaces = " \t";
+
+std::vector<std::string> split(std::string_view s, char sep) {
   std::vector<std::string> out;
-  std::string field;
-  std::istringstream is(s);
-  while (std::getline(is, field, sep)) {
-    if (!field.empty()) out.push_back(field);
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto pos = s.find(sep, start);
+    const auto end = pos == std::string_view::npos ? s.size() : pos;
+    if (end > start) out.emplace_back(s.substr(start, end - start));
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
   }
   return out;
 }
 
-std::optional<std::int64_t> parse_i64(const std::string& s) {
-  std::int64_t v{};
-  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
-  return v;
-}
-
-std::optional<double> parse_f64(const std::string& s) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
-    if (pos != s.size()) return std::nullopt;
-    return v;
-  } catch (const std::exception&) {
-    return std::nullopt;
+/// Append one Value with the same rendering as `os << value` (ints verbatim,
+/// doubles in %g with 6 significant digits) without heap allocation.
+void append_value(const Value& v, std::string& out) {
+  char buf[64];
+  if (std::holds_alternative<std::int64_t>(v)) {
+    const auto r = std::to_chars(buf, buf + sizeof(buf), std::get<std::int64_t>(v));
+    out.append(buf, static_cast<std::size_t>(r.ptr - buf));
+  } else if (std::holds_alternative<double>(v)) {
+    const int n = std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v));
+    if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+  } else {
+    out.append(std::get<std::string>(v));
   }
 }
 
-}  // namespace
-
-std::optional<Message> parse_line(const std::string& line) {
-  std::istringstream is(line);
-  Message m;
-  if (!(is >> m.verb)) return std::nullopt;
-  std::string field;
-  while (is >> field) m.args.push_back(std::move(field));
-  return m;
-}
-
-std::string format(const Message& m) {
-  std::ostringstream os;
-  os << m.verb;
-  for (const auto& a : m.args) os << ' ' << a;
-  return os.str();
-}
-
-std::string encode_config(const ParamSpace& space, const Config& c) {
-  (void)space;
-  std::ostringstream os;
-  for (std::size_t i = 0; i < c.values.size(); ++i) {
-    if (i != 0) os << ' ';
-    os << to_string(c.values[i]);
-  }
-  return os.str();
-}
-
-std::optional<Config> decode_config(const ParamSpace& space,
-                                    const std::vector<std::string>& args) {
+template <typename Args>
+std::optional<Config> decode_config_impl(const ParamSpace& space, const Args& args) {
   if (args.size() != space.dim()) return std::nullopt;
   Config c;
   c.values.reserve(args.size());
   for (std::size_t i = 0; i < args.size(); ++i) {
     const auto& p = space.param(i);
+    const std::string_view field = args[i];
     switch (p.type()) {
       case ParamType::Int: {
-        const auto v = parse_i64(args[i]);
+        const auto v = parse_i64(field);
         if (!v || !p.contains(Value{*v})) return std::nullopt;
         c.values.emplace_back(*v);
         break;
       }
       case ParamType::Real: {
-        const auto v = parse_f64(args[i]);
+        const auto v = parse_f64(field);
         if (!v || !p.contains(Value{*v})) return std::nullopt;
         c.values.emplace_back(*v);
         break;
       }
       case ParamType::Enum: {
-        if (!p.contains(Value{args[i]})) return std::nullopt;
-        c.values.emplace_back(args[i]);
+        std::string label(field);
+        if (!p.contains(Value{label})) return std::nullopt;
+        c.values.emplace_back(std::move(label));
         break;
       }
     }
@@ -93,34 +70,11 @@ std::optional<Config> decode_config(const ParamSpace& space,
   return c;
 }
 
-std::string encode_param(const Parameter& p) {
-  std::ostringstream os;
-  os << "PARAM ";
-  switch (p.type()) {
-    case ParamType::Int:
-      os << "INT " << p.name() << ' ' << p.int_lo() << ' ' << p.int_hi() << ' '
-         << p.int_step();
-      break;
-    case ParamType::Real:
-      os << "REAL " << p.name() << ' ' << p.real_lo() << ' ' << p.real_hi();
-      break;
-    case ParamType::Enum: {
-      os << "ENUM " << p.name() << ' ';
-      const auto& cs = p.choices();
-      for (std::size_t i = 0; i < cs.size(); ++i) {
-        if (i != 0) os << ',';
-        os << cs[i];
-      }
-      break;
-    }
-  }
-  return os.str();
-}
-
-std::optional<Parameter> decode_param(const std::vector<std::string>& args) {
+template <typename Args>
+std::optional<Parameter> decode_param_impl(const Args& args) {
   if (args.size() < 2) return std::nullopt;
-  const std::string& kind = args[0];
-  const std::string& name = args[1];
+  const std::string_view kind = args[0];
+  const std::string name(args[1]);
   try {
     if (kind == "INT") {
       if (args.size() != 5) return std::nullopt;
@@ -147,6 +101,138 @@ std::optional<Parameter> decode_param(const std::vector<std::string>& args) {
     return std::nullopt;
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> parse_i64(std::string_view s) {
+  std::int64_t v{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_f64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  // std::from_chars<double> is not universally available; strtod needs a
+  // terminated buffer. Protocol number fields are short, so a stack copy
+  // keeps this allocation-free.
+  char buf[64];
+  if (s.size() >= sizeof(buf)) return std::nullopt;
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + s.size()) return std::nullopt;
+  return v;
+}
+
+Message MessageView::to_message() const {
+  Message m;
+  m.verb = std::string(verb);
+  m.args.reserve(args.size());
+  for (const auto a : args) m.args.emplace_back(a);
+  return m;
+}
+
+bool parse_line(std::string_view line, MessageView& out) {
+  out.verb = {};
+  out.args.clear();
+  std::size_t pos = line.find_first_not_of(kSpaces);
+  while (pos != std::string_view::npos) {
+    auto end = line.find_first_of(kSpaces, pos);
+    if (end == std::string_view::npos) end = line.size();
+    const auto field = line.substr(pos, end - pos);
+    if (out.verb.empty() && out.args.empty()) {
+      out.verb = field;
+    } else {
+      out.args.push_back(field);
+    }
+    pos = line.find_first_not_of(kSpaces, end);
+  }
+  return !out.verb.empty();
+}
+
+std::optional<Message> parse_line(const std::string& line) {
+  MessageView view;
+  if (!parse_line(std::string_view(line), view)) return std::nullopt;
+  return view.to_message();
+}
+
+std::string format(const Message& m) {
+  std::string out = m.verb;
+  for (const auto& a : m.args) {
+    out += ' ';
+    out += a;
+  }
+  return out;
+}
+
+std::string encode_config(const ParamSpace& space, const Config& c) {
+  std::string out;
+  encode_config(space, c, out);
+  return out;
+}
+
+void encode_config(const ParamSpace& space, const Config& c, std::string& out) {
+  (void)space;
+  for (std::size_t i = 0; i < c.values.size(); ++i) {
+    if (i != 0) out += ' ';
+    append_value(c.values[i], out);
+  }
+}
+
+std::optional<Config> decode_config(const ParamSpace& space,
+                                    const std::vector<std::string>& args) {
+  return decode_config_impl(space, args);
+}
+
+std::optional<Config> decode_config(const ParamSpace& space, const MessageView& m) {
+  return decode_config_impl(space, m.args);
+}
+
+std::string encode_param(const Parameter& p) {
+  std::string out = "PARAM ";
+  switch (p.type()) {
+    case ParamType::Int:
+      out += "INT ";
+      out += p.name();
+      out += ' ';
+      append_value(Value{p.int_lo()}, out);
+      out += ' ';
+      append_value(Value{p.int_hi()}, out);
+      out += ' ';
+      append_value(Value{p.int_step()}, out);
+      break;
+    case ParamType::Real:
+      out += "REAL ";
+      out += p.name();
+      out += ' ';
+      append_value(Value{p.real_lo()}, out);
+      out += ' ';
+      append_value(Value{p.real_hi()}, out);
+      break;
+    case ParamType::Enum: {
+      out += "ENUM ";
+      out += p.name();
+      out += ' ';
+      const auto& cs = p.choices();
+      for (std::size_t i = 0; i < cs.size(); ++i) {
+        if (i != 0) out += ',';
+        out += cs[i];
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::optional<Parameter> decode_param(const std::vector<std::string>& args) {
+  return decode_param_impl(args);
+}
+
+std::optional<Parameter> decode_param(const MessageView& m) {
+  return decode_param_impl(m.args);
 }
 
 }  // namespace harmony::proto

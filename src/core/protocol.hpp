@@ -19,8 +19,18 @@
 ///   START <max_iterations>
 ///   FETCH
 ///   REPORT <objective>
+///   REPORT+FETCH <objective>  -> REPORT the pending candidate and FETCH the
+///                                next one in a single exchange; the reply is
+///                                the FETCH reply (CONFIG/DONE). Halves the
+///                                per-evaluation round-trip cost.
 ///   BEST
 ///   BYE
+///
+/// Clients may pipeline: any number of verbs can be written before reading
+/// the replies, and the server answers strictly in request order (one reply
+/// block per verb). The steady-state tuning loop therefore costs one round
+/// trip per evaluation (REPORT+FETCH), and setup (HELLO..START) can ride in
+/// a single write.
 ///
 /// Introspection verbs (valid on any connection, any time — an admin client
 /// such as examples/harmony_top polls them against a live server):
@@ -41,6 +51,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/param_space.hpp"
@@ -54,19 +65,47 @@ struct Message {
   std::vector<std::string> args;
 };
 
+/// Zero-copy view of one parsed line: verb and argument fields are
+/// string_views into the caller's buffer, and the args vector is reused
+/// across lines, so steady-state tokenization performs no heap allocations.
+/// The views are only valid while the tokenized line's storage is.
+struct MessageView {
+  std::string_view verb;
+  std::vector<std::string_view> args;
+
+  [[nodiscard]] Message to_message() const;
+};
+
+/// Tokenize `line` into `out`, reusing out.args' capacity. Returns false for
+/// empty/whitespace-only lines (out is cleared either way).
+[[nodiscard]] bool parse_line(std::string_view line, MessageView& out);
+
 /// Split a line into verb + fields. Empty/whitespace-only lines yield nullopt.
 [[nodiscard]] std::optional<Message> parse_line(const std::string& line);
 
 /// Render a message back to one line (no trailing newline).
 [[nodiscard]] std::string format(const Message& m);
 
+/// Strict integer / floating-point field parsers: the whole field must be
+/// consumed. Used by the protocol itself and by server verb handlers.
+[[nodiscard]] std::optional<std::int64_t> parse_i64(std::string_view s);
+[[nodiscard]] std::optional<double> parse_f64(std::string_view s);
+
 /// Encode a configuration as the argument list of a CONFIG message.
 [[nodiscard]] std::string encode_config(const ParamSpace& space, const Config& c);
+
+/// Append-into-buffer variant for hot paths: appends the encoded fields to
+/// `out` without intermediate strings (reuse `out`'s capacity across calls).
+void encode_config(const ParamSpace& space, const Config& c, std::string& out);
 
 /// Decode CONFIG arguments against a parameter space. Returns nullopt when
 /// the field count or any field fails to parse/validate.
 [[nodiscard]] std::optional<Config> decode_config(const ParamSpace& space,
                                                   const std::vector<std::string>& args);
+
+/// Zero-copy variant: decode the args of a tokenized MessageView.
+[[nodiscard]] std::optional<Config> decode_config(const ParamSpace& space,
+                                                  const MessageView& m);
 
 /// Build a PARAM registration line for a parameter.
 [[nodiscard]] std::string encode_param(const Parameter& p);
@@ -74,5 +113,8 @@ struct Message {
 /// Parse a PARAM line's arguments (everything after the verb) into a
 /// Parameter. Returns nullopt on malformed input.
 [[nodiscard]] std::optional<Parameter> decode_param(const std::vector<std::string>& args);
+
+/// Zero-copy variant: decode the args of a tokenized MessageView.
+[[nodiscard]] std::optional<Parameter> decode_param(const MessageView& m);
 
 }  // namespace harmony::proto

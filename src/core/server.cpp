@@ -1,22 +1,207 @@
 #include "core/server.hpp"
 
-#include <charconv>
-#include <cmath>
-#include <cstdint>
-#include <limits>
-#include <optional>
-#include <sstream>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
-#include "core/controller.hpp"
-#include "core/protocol.hpp"
-#include "core/strategy_registry.hpp"
+#include "core/event_loop.hpp"
+#include "core/server_session.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
-#include "obs/status.hpp"
 
 namespace harmony {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 16 * 1024;
+/// Per-readiness-cycle ingest cap: a firehosing pipelined client yields the
+/// reactor back to its peers every 256 KiB (level-triggered epoll re-arms).
+constexpr std::size_t kMaxReadPerCycle = 256 * 1024;
+
+obs::Counter& bytes_in_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("net.bytes_in");
+  return c;
+}
+
+obs::Counter& bytes_out_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("net.bytes_out");
+  return c;
+}
+
+}  // namespace
+
+/// One reactor shard: an event loop plus the connections assigned to it.
+/// Everything here except `loop`'s thread-safe surface is touched only from
+/// the shard's own thread (connections are handed over via loop.defer), so
+/// connection state needs no locks.
+struct TuningServer::LoopShard {
+  explicit LoopShard(TuningServer* srv) : server(srv) {}
+
+  struct Conn {
+    Conn(const ServerOptions& opts, int session_no, net::Socket s)
+        : sock(std::move(s)), session(opts, session_no) {}
+
+    net::Socket sock;
+    std::string rbuf;       ///< inbound bytes; lines are parsed in place
+    std::size_t rpos = 0;   ///< consumed prefix of rbuf
+    net::ByteRing wbuf;     ///< outbound bytes awaiting the socket
+    std::string reply;      ///< per-burst reply scratch (capacity reused)
+    ServerConnection session;
+    bool closing = false;   ///< flush wbuf, then close (BYE or poisoned)
+    bool want_write = false;  ///< EPOLLOUT currently armed
+  };
+
+  TuningServer* server;
+  net::EventLoop loop;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+
+  void adopt(net::Socket client, int session_no);
+  void handle_io(int fd, std::uint32_t events);
+  /// False when the connection died and was erased.
+  [[nodiscard]] bool read_input(Conn& c);
+  void process_lines(Conn& c);
+  /// False on write error (connection should close).
+  [[nodiscard]] bool flush(Conn& c);
+  void close_conn(int fd);
+};
+
+void TuningServer::LoopShard::adopt(net::Socket client, int session_no) {
+  if (!client.set_nonblocking()) return;  // dtor closes the socket
+  const int fd = client.fd();
+  auto conn = std::make_unique<Conn>(server->opts_, session_no, std::move(client));
+  conns[fd] = std::move(conn);
+  if (!loop.add(fd, EPOLLIN,
+                [this, fd](std::uint32_t events) { handle_io(fd, events); })) {
+    conns.erase(fd);
+    server->active_connections_.fetch_sub(1);
+  }
+}
+
+void TuningServer::LoopShard::handle_io(int fd, std::uint32_t events) {
+  const auto it = conns.find(fd);
+  if (it == conns.end()) return;  // stale event for a closed connection
+  Conn& c = *it->second;
+
+  if ((events & EPOLLIN) != 0) {
+    if (!read_input(c)) {
+      close_conn(fd);
+      return;
+    }
+  } else if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    close_conn(fd);
+    return;
+  }
+
+  if (!flush(c) || (c.closing && c.wbuf.empty())) {
+    close_conn(fd);
+    return;
+  }
+
+  // Keep EPOLLOUT armed exactly while output is pending.
+  const bool want_write = !c.wbuf.empty();
+  if (want_write != c.want_write) {
+    c.want_write = want_write;
+    (void)loop.modify(fd, EPOLLIN | (want_write ? EPOLLOUT : 0u));
+  }
+}
+
+bool TuningServer::LoopShard::read_input(Conn& c) {
+  char chunk[kReadChunk];
+  std::size_t ingested = 0;
+  while (!c.closing && ingested < kMaxReadPerCycle) {
+    const ssize_t n = ::recv(c.sock.fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      if (obs::enabled()) bytes_in_counter().add(static_cast<std::uint64_t>(n));
+      c.rbuf.append(chunk, static_cast<std::size_t>(n));
+      ingested += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;
+  }
+  process_lines(c);
+  return true;
+}
+
+void TuningServer::LoopShard::process_lines(Conn& c) {
+  const std::size_t max_line = server->opts_.max_line_bytes;
+  c.reply.clear();
+  while (!c.closing) {
+    const auto pos = c.rbuf.find('\n', c.rpos);
+    const bool unterminated = pos == std::string::npos;
+    const std::size_t len = unterminated ? c.rbuf.size() - c.rpos : pos - c.rpos;
+    if (max_line != 0 && len > max_line) {
+      // Same poisoned-overflow semantics as net::LineReader on the legacy
+      // path: answer once, then drop the connection — bytes past the
+      // overflow are not a trustworthy stream.
+      obs::log_warn("server", "line limit exceeded, disconnecting",
+                    c.session.session_id());
+      c.reply.append("ERR line too long\n");
+      c.closing = true;
+      break;
+    }
+    if (unterminated) break;
+    std::size_t line_len = len;
+    if (line_len > 0 && c.rbuf[c.rpos + line_len - 1] == '\r') --line_len;
+    const std::string_view line(c.rbuf.data() + c.rpos, line_len);
+    c.rpos = pos + 1;
+    if (!c.session.handle_line(line, c.reply)) c.closing = true;
+  }
+  if (!c.reply.empty()) {
+    c.wbuf.append(c.reply);
+    c.reply.clear();
+  }
+  // Compact: drop the consumed prefix once fully drained (cheap, keeps the
+  // buffer's capacity) or when the dead prefix outgrows the live tail.
+  if (c.rpos == c.rbuf.size()) {
+    c.rbuf.clear();
+    c.rpos = 0;
+  } else if (c.rpos > 64 * 1024 && c.rpos > c.rbuf.size() / 2) {
+    c.rbuf.erase(0, c.rpos);
+    c.rpos = 0;
+  }
+}
+
+bool TuningServer::LoopShard::flush(Conn& c) {
+  while (!c.wbuf.empty()) {
+    iovec iov[2];
+    const int segs = c.wbuf.drain_iov(iov);
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<decltype(mh.msg_iovlen)>(segs);
+    const ssize_t n = ::sendmsg(c.sock.fd(), &mh,
+#ifdef MSG_NOSIGNAL
+                                MSG_NOSIGNAL
+#else
+                                0
+#endif
+    );
+    if (n > 0) {
+      if (obs::enabled()) bytes_out_counter().add(static_cast<std::uint64_t>(n));
+      c.wbuf.consume(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // EPOLLOUT re-arms
+    return false;
+  }
+  return true;
+}
+
+void TuningServer::LoopShard::close_conn(int fd) {
+  loop.remove(fd);
+  conns.erase(fd);  // Conn dtor closes the socket and unpublishes status
+  server->active_connections_.fetch_sub(1);
+}
 
 TuningServer::TuningServer(ServerOptions opts) : opts_(opts) {}
 
@@ -27,10 +212,76 @@ bool TuningServer::start() {
   if (!lr.socket.valid()) return false;
   listener_ = std::move(lr.socket);
   port_ = lr.port;
-  running_.store(true);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (opts_.threading == ServerThreading::kEventLoop) {
+    if (!start_event_mode()) {
+      listener_.close();
+      return false;
+    }
+  } else {
+    running_.store(true);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
   obs::log_info("server", "listening on port " + std::to_string(port_));
   return true;
+}
+
+bool TuningServer::start_event_mode() {
+  const int n = std::max(1, opts_.reactor_threads);
+  shards_.clear();
+  for (int i = 0; i < n; ++i) {
+    auto shard = std::make_unique<LoopShard>(this);
+    if (!shard->loop.ok()) {
+      shards_.clear();
+      return false;
+    }
+    shards_.push_back(std::move(shard));
+  }
+  if (!listener_.set_nonblocking()) {
+    shards_.clear();
+    return false;
+  }
+  // The listener lives on shard 0; fresh connections are spread round-robin
+  // across all shards via defer().
+  if (!shards_[0]->loop.add(listener_.fd(), EPOLLIN,
+                            [this](std::uint32_t) { on_accept_ready(); })) {
+    shards_.clear();
+    return false;
+  }
+  running_.store(true);
+  reactor_threads_.reserve(static_cast<std::size_t>(n));
+  for (auto& shard : shards_) {
+    reactor_threads_.emplace_back([s = shard.get()] { s->loop.run(); });
+  }
+  return true;
+}
+
+void TuningServer::on_accept_ready() {
+  while (running_.load()) {
+    net::Socket client = net::accept_connection(listener_);
+    if (!client.valid()) break;  // drained (EAGAIN) or listener closed
+    if (opts_.max_connections > 0 &&
+        active_connections_.load() >= opts_.max_connections) {
+      obs::count("server.rejected_busy");
+      obs::log_warn("server", "connection limit reached, rejecting");
+      (void)client.send_line("ERR server busy");
+      continue;  // Socket dtor disconnects
+    }
+    const int session_no = ++sessions_;
+    obs::count("server.sessions");
+    active_connections_.fetch_add(1);
+    const std::size_t idx =
+        next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+    LoopShard* shard = shards_[idx].get();
+    if (idx == 0) {
+      shard->adopt(std::move(client), session_no);  // already on shard 0's thread
+    } else {
+      // shared_ptr keeps the closure copyable for std::function.
+      auto handoff = std::make_shared<net::Socket>(std::move(client));
+      shard->loop.defer([shard, handoff, session_no] {
+        shard->adopt(std::move(*handoff), session_no);
+      });
+    }
+  }
 }
 
 void TuningServer::stop() {
@@ -38,279 +289,107 @@ void TuningServer::stop() {
     if (accept_thread_.joinable()) accept_thread_.join();
     return;
   }
-  // shutdown() (not close()) is what reliably unblocks a pending accept().
+  if (!shards_.empty()) {
+    for (auto& shard : shards_) shard->loop.stop();
+    for (auto& t : reactor_threads_) {
+      if (t.joinable()) t.join();
+    }
+    // Loop threads are joined: connection state is safe to tear down from
+    // here. Conn destructors close sockets and unpublish live status.
+    for (auto& shard : shards_) shard->conns.clear();
+    shards_.clear();
+    reactor_threads_.clear();
+    active_connections_.store(0);
+    listener_.close();
+    obs::log_info("server", "stopped");
+    return;
+  }
+  // Legacy mode: shutdown() (not close()) is what reliably unblocks a
+  // pending accept().
   listener_.shutdown();
   listener_.close();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
+  std::list<Worker> workers;
   {
     const std::lock_guard<std::mutex> lock(workers_mutex_);
     workers.swap(workers_);
   }
+  // Wake workers blocked in recv() on connections whose clients are idle:
+  // without this, stop() would wait for every client to hang up first.
   for (auto& w : workers) {
-    if (w.joinable()) w.join();
+    if (w.socket) w.socket->shutdown();
+  }
+  for (auto& w : workers) {
+    if (w.thread.joinable()) w.thread.join();
   }
   obs::log_info("server", "stopped");
+}
+
+void TuningServer::reap_finished_workers() {
+  // Caller holds workers_mutex_. Joining a finished thread is immediate, so
+  // the accept path stays O(live connections).
+  for (auto it = workers_.begin(); it != workers_.end();) {
+    if (it->done->load() && it->thread.joinable()) {
+      it->thread.join();
+      it = workers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void TuningServer::accept_loop() {
   while (running_.load()) {
     net::Socket client = net::accept_connection(listener_);
     if (!client.valid()) break;  // listener closed by stop()
+    if (opts_.max_connections > 0 &&
+        active_connections_.load() >= opts_.max_connections) {
+      obs::count("server.rejected_busy");
+      obs::log_warn("server", "connection limit reached, rejecting");
+      (void)client.send_line("ERR server busy");
+      continue;
+    }
     const int session_no = ++sessions_;
     obs::count("server.sessions");
+    active_connections_.fetch_add(1);
     const std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers_.emplace_back([this, c = std::move(client), session_no]() mutable {
-      serve_client(std::move(c), session_no);
+    reap_finished_workers();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    auto sock = std::make_shared<net::Socket>(std::move(client));
+    Worker worker;
+    worker.done = done;
+    worker.socket = sock;
+    worker.thread = std::thread([this, sock, session_no, done] {
+      serve_client(*sock, session_no);
+      // Close here, not at Worker teardown: the peer should see EOF as soon
+      // as its session ends, not when the worker entry is reaped.
+      sock->close();
+      active_connections_.fetch_sub(1);
+      done->store(true);
     });
+    workers_.push_back(std::move(worker));
   }
 }
 
-void TuningServer::serve_client(net::Socket client, int session_no) {
+void TuningServer::serve_client(net::Socket& client, int session_no) {
   net::LineReader reader(client, opts_.max_line_bytes);
-  ParamSpace space;
-  std::unique_ptr<SearchStrategy> search;
-  std::optional<SearchController> controller;  // constructed at START
-  int budget = opts_.default_max_iterations;
-  std::string strategy_name;     // chosen via STRATEGY; empty = default
-  StrategyOptions strategy_opts;
-  int roundtrips = 0;
-
-  // Live-status slot for this session. Published unconditionally (the STATUS
-  // verb is part of the protocol surface, not passive instrumentation); the
-  // handle unpublishes when the connection ends.
-  const std::string session_id = "server/" + std::to_string(session_no);
-  auto status = obs::StatusRegistry::global().publish_session(session_id);
-  const auto publish = [&](const char* phase_override = nullptr) {
-    status.update([&](obs::SessionStatus& s) {
-      const auto* nm = dynamic_cast<const NelderMead*>(search.get());
-      s.phase = phase_override != nullptr
-                    ? phase_override
-                    : (search ? (nm != nullptr ? nm->phase_name() : "searching")
-                              : "registering");
-      s.iterations = static_cast<std::uint64_t>(roundtrips);
-      if (search) {
-        s.strategy = search->name();
-        if (const auto b = search->best()) {
-          s.best_value = search->best_objective();
-          s.best_config = space.format(*b);
-        }
-      }
-    });
-  };
-  publish();
-  obs::log_info("server", "session opened", session_id);
-
-  const auto send = [&client](const std::string& line) {
-    return client.send_line(line);
-  };
-
+  ServerConnection session(opts_, session_no);
+  std::string line;
+  std::string out;
   while (running_.load()) {
-    const auto line = reader.read_line();
-    if (!line) {
+    if (!reader.read_line(line)) {
       if (reader.overflowed()) {
         obs::log_warn("server", "line limit exceeded, disconnecting",
-                      session_id);
-        (void)send("ERR line too long");
+                      session.session_id());
+        (void)client.send_line("ERR line too long");
       }
       break;  // peer closed (or misbehaved)
     }
-    const auto msg = proto::parse_line(*line);
-    if (!msg) continue;
-    obs::count("server.messages");
-    const auto handle_timer = obs::time_scope("server.handle_s");
-
-    if (msg->verb == "HELLO") {
-      const std::string app = msg->args.empty() ? "" : msg->args[0];
-      status.update([&](obs::SessionStatus& s) { s.app = app; });
-      obs::log_info("server", "HELLO " + app, session_id);
-      if (!send("OK harmony-server/1.0")) break;
-    } else if (msg->verb == "PARAM") {
-      if (search) {
-        if (!send("ERR session already started")) break;
-        continue;
-      }
-      auto p = proto::decode_param(msg->args);
-      if (!p) {
-        obs::log_warn("server", "malformed PARAM", session_id);
-        if (!send("ERR malformed PARAM")) break;
-        continue;
-      }
-      try {
-        space.add(std::move(*p));
-      } catch (const std::exception& e) {
-        if (!send(std::string("ERR ") + e.what())) break;
-        continue;
-      }
-      if (!send("OK")) break;
-    } else if (msg->verb == "START") {
-      if (space.empty()) {
-        if (!send("ERR no parameters registered")) break;
-        continue;
-      }
-      if (search) {
-        if (!send("ERR session already started")) break;
-        continue;
-      }
-      if (!msg->args.empty()) {
-        int v{};
-        const auto* s = msg->args[0].c_str();
-        const auto [ptr, ec] = std::from_chars(s, s + msg->args[0].size(), v);
-        if (ec != std::errc{} || ptr != s + msg->args[0].size() || v < 1) {
-          if (!send("ERR bad iteration budget")) break;
-          continue;
-        }
-        budget = v;
-      }
-      try {
-        // One construction path for every session: the registry. A bare
-        // START gets the server's default search (Nelder-Mead with
-        // opts_.search); a prior STRATEGY line picks anything registered.
-        search = strategy_name.empty()
-                     ? StrategyRegistry::make_default(space, opts_.search)
-                     : StrategyRegistry::make(strategy_name, space, strategy_opts);
-      } catch (const std::exception& e) {
-        if (!send(std::string("ERR ") + e.what())) break;
-        continue;
-      }
-      controller.emplace(space,
-                         ControllerLimits{budget, std::numeric_limits<int>::max()});
-      publish();
-      obs::log_info("server",
-                    "search started, budget " + std::to_string(budget),
-                    session_id);
-      if (!send("OK started")) break;
-    } else if (msg->verb == "STRATEGY") {
-      if (msg->args.empty()) {
-        // Bare STRATEGY lists the registry (valid any time, any session).
-        std::string line = "OK";
-        for (const auto& n : StrategyRegistry::names()) {
-          line += ' ';
-          line += n;
-        }
-        if (!send(line)) break;
-      } else if (search) {
-        if (!send("ERR session already started")) break;
-      } else if (!StrategyRegistry::known(msg->args[0])) {
-        obs::log_warn("server", "unknown strategy " + msg->args[0], session_id);
-        if (!send("ERR unknown strategy " + msg->args[0])) break;
-      } else {
-        StrategyOptions sopts;
-        std::string error;
-        for (std::size_t i = 1; i < msg->args.size(); ++i) {
-          const auto& tok = msg->args[i];
-          const auto eq = tok.find('=');
-          if (eq == std::string::npos || eq == 0) {
-            error = "bad option '" + tok + "' (expected key=value)";
-            break;
-          }
-          sopts.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
-        }
-        if (error.empty()) (void)StrategyRegistry::validate(msg->args[0], sopts, &error);
-        if (!error.empty()) {
-          obs::log_warn("server", "bad STRATEGY options: " + error, session_id);
-          if (!send("ERR " + error)) break;
-        } else {
-          strategy_name = msg->args[0];
-          strategy_opts = std::move(sopts);
-          obs::log_info("server", "strategy " + strategy_name, session_id);
-          if (!send("OK " + strategy_name)) break;
-        }
-      }
-    } else if (msg->verb == "FETCH") {
-      if (!search) {
-        if (!send("ERR not started")) break;
-        continue;
-      }
-      // ask() is idempotent while a candidate is outstanding (re-fetch
-      // resends it) and returns nullopt once the iteration budget is spent
-      // or the strategy stops proposing.
-      const bool re_fetch = controller->awaiting_tell();
-      auto proposal = controller->ask(*search);
-      if (!proposal) {
-        if (!send("DONE")) break;
-        continue;
-      }
-      if (!re_fetch) obs::count("server.fetches");
-      if (!send("CONFIG " + proto::encode_config(space, *proposal))) break;
-    } else if (msg->verb == "REPORT") {
-      if (!search || !controller->awaiting_tell()) {
-        if (!send("ERR nothing to report")) break;
-        continue;
-      }
-      if (msg->args.size() != 1) {
-        if (!send("ERR REPORT takes one value")) break;
-        continue;
-      }
-      double value{};
-      try {
-        value = std::stod(msg->args[0]);
-      } catch (const std::exception&) {
-        if (!send("ERR bad objective value")) break;
-        continue;
-      }
-      EvaluationResult r;
-      r.objective = value;
-      r.valid = std::isfinite(value);
-      controller->tell(*search, r);
-      // One completed FETCH -> REPORT pair is one tuning round trip.
-      ++roundtrips;
-      obs::count("server.roundtrips");
-      obs::observe("server.report_value", value);
-      publish();
-      if (!send("OK")) break;
-    } else if (msg->verb == "BEST") {
-      if (!search || !search->best()) {
-        if (!send("ERR no measurements yet")) break;
-        continue;
-      }
-      if (!send("CONFIG " + proto::encode_config(space, *search->best()))) break;
-    } else if (msg->verb == "STATUS") {
-      // One line of JSON: the whole live-status board. Any connection may
-      // ask — harmony_top uses a dedicated admin connection.
-      obs::count("server.status_polls");
-      if (!send(obs::StatusRegistry::global().to_json())) break;
-    } else if (msg->verb == "METRICS") {
-      // Prometheus text exposition, terminated by a "# EOF" comment line
-      // ("#" lines are valid exposition, so raw `echo METRICS | nc` output
-      // is scrape-ready as-is).
-      obs::count("server.status_polls");
-      std::string text = obs::MetricsRegistry::global().to_prometheus();
-      text += "# EOF\n";
-      if (!client.send_all(text)) break;
-    } else if (msg->verb == "LOG") {
-      // LOG [tail] [N] -> "LOG <n>" header then n JSONL event records.
-      std::size_t want = opts_.log_tail_default;
-      std::size_t arg_idx = 0;
-      if (arg_idx < msg->args.size() && msg->args[arg_idx] == "tail") ++arg_idx;
-      if (arg_idx < msg->args.size()) {
-        unsigned long long v{};
-        const auto* s = msg->args[arg_idx].c_str();
-        const auto [ptr, ec] =
-            std::from_chars(s, s + msg->args[arg_idx].size(), v);
-        if (ec != std::errc{} || ptr != s + msg->args[arg_idx].size()) {
-          if (!send("ERR bad LOG count")) break;
-          continue;
-        }
-        want = static_cast<std::size_t>(v);
-      }
-      const auto events = obs::EventLog::global().tail(want);
-      std::ostringstream os;
-      os << "LOG " << events.size() << "\n";
-      for (const auto& e : events) {
-        obs::EventLog::write_event_json(os, e);
-        os << "\n";
-      }
-      if (!client.send_all(os.str())) break;
-    } else if (msg->verb == "BYE") {
-      (void)send("OK bye");
-      break;
-    } else {
-      obs::log_warn("server", "unknown verb " + msg->verb, session_id);
-      if (!send("ERR unknown verb " + msg->verb)) break;
-    }
+    out.clear();
+    const bool keep_open = session.handle_line(line, out);
+    if (!out.empty() && !client.send_all(out)) break;
+    if (!keep_open) break;
   }
-  obs::log_info("server", "session closed", session_id);
 }
 
 }  // namespace harmony

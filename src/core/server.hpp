@@ -3,23 +3,34 @@
 /// \file server.hpp
 /// The Harmony tuning server (paper Fig. 1): applications connect over
 /// loopback TCP, register their tunable parameters, then drive FETCH/REPORT
-/// rounds while a per-client SearchController (the same Adaptation
-/// Controller behind Tuner and the off-line drivers) steers the
-/// configuration through its ask/tell surface. The search algorithm is
-/// Nelder-Mead by default and selectable per session with the STRATEGY verb
-/// (any StrategyRegistry name plus key=value options). Each connection owns
-/// an independent tuning session, so several applications can be tuned
-/// concurrently — the coordination role the paper contrasts against
-/// per-application adapters like AppLeS (Section VIII).
+/// (or pipelined REPORT+FETCH) rounds while a per-client SearchController
+/// (the same Adaptation Controller behind Tuner and the off-line drivers)
+/// steers the configuration through its ask/tell surface. The search
+/// algorithm is Nelder-Mead by default and selectable per session with the
+/// STRATEGY verb (any StrategyRegistry name plus key=value options). Each
+/// connection owns an independent tuning session, so several applications
+/// can be tuned concurrently — the coordination role the paper contrasts
+/// against per-application adapters like AppLeS (Section VIII).
 ///
-/// The server is also live-introspectable: every session publishes its
-/// state (app, phase, iteration, incumbent) to obs::StatusRegistry, and the
-/// STATUS / METRICS / LOG verbs serve that board, the Prometheus metrics
-/// exposition and the structured event log to any connection — see
-/// protocol.hpp and examples/harmony_top.cpp.
+/// Two threading modes (ServerOptions::threading):
+///
+///  * kEventLoop (default) — N net::EventLoop reactor threads multiplex all
+///    connections over epoll: non-blocking sockets, per-connection read
+///    buffers and ByteRing write queues flushed with vectored writes. Verbs
+///    arriving back-to-back (pipelined clients) are answered in order from
+///    one readable burst, so the steady-state cost per evaluation is one
+///    round trip and a couple of syscalls regardless of client count.
+///  * kLegacy — the original blocking accept loop with one thread per
+///    connection, kept for comparison benchmarks and as a fallback.
+///
+/// Both modes share the same per-connection protocol state machine
+/// (ServerConnection in server_session.hpp) and are live-introspectable via
+/// the STATUS / METRICS / LOG verbs — see protocol.hpp and
+/// examples/harmony_top.cpp.
 
 #include <atomic>
 #include <cstddef>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -29,6 +40,12 @@
 #include "core/net.hpp"
 
 namespace harmony {
+
+/// How the server schedules connections onto threads.
+enum class ServerThreading {
+  kEventLoop,  ///< epoll reactors, non-blocking sockets (default)
+  kLegacy,     ///< one blocking thread per connection
+};
 
 struct ServerOptions {
   int port = 0;  ///< 0 = pick an ephemeral port
@@ -45,6 +62,17 @@ struct ServerOptions {
 
   /// Default number of events a bare `LOG` / `LOG tail` serves.
   std::size_t log_tail_default = 20;
+
+  /// Threading mode; kEventLoop serves all connections from
+  /// `reactor_threads` epoll loops, kLegacy spawns a thread per connection.
+  ServerThreading threading = ServerThreading::kEventLoop;
+
+  /// Reactor thread count in kEventLoop mode (clamped to >= 1).
+  int reactor_threads = 2;
+
+  /// Cap on concurrently served connections in either mode; connects over
+  /// the limit are answered `ERR server busy` and disconnected. 0 = no cap.
+  int max_connections = 0;
 };
 
 class TuningServer {
@@ -55,11 +83,11 @@ class TuningServer {
   TuningServer(const TuningServer&) = delete;
   TuningServer& operator=(const TuningServer&) = delete;
 
-  /// Bind and start the accept loop. Returns false when the port could not
-  /// be bound.
+  /// Bind and start serving. Returns false when the port could not be bound
+  /// (or, in event mode, when the reactor could not be set up).
   [[nodiscard]] bool start();
 
-  /// Stop accepting and join all session threads.
+  /// Stop accepting, drop all connections and join every serving thread.
   void stop();
 
   [[nodiscard]] int port() const noexcept { return port_; }
@@ -68,18 +96,48 @@ class TuningServer {
   /// Number of sessions served since start (for tests).
   [[nodiscard]] int sessions_served() const noexcept { return sessions_.load(); }
 
+  /// Currently open connections (for tests and load shedding).
+  [[nodiscard]] int active_connections() const noexcept {
+    return active_connections_.load();
+  }
+
  private:
+  struct LoopShard;  // event-mode reactor state (server.cpp)
+
+  // ---- legacy thread-per-connection mode ----
   void accept_loop();
-  void serve_client(net::Socket client, int session_no);
+  void serve_client(net::Socket& client, int session_no);
+  void reap_finished_workers();
+
+  // ---- event-loop mode ----
+  [[nodiscard]] bool start_event_mode();
+  void on_accept_ready();
 
   ServerOptions opts_;
   net::Socket listener_;
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<int> sessions_{0};
+  std::atomic<int> active_connections_{0};
+
+  // Legacy mode: accept thread plus one worker per connection. Finished
+  // workers are reaped on the accept path so the list stays bounded by the
+  // number of *live* connections instead of growing per session served.
   std::thread accept_thread_;
   std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
+  struct Worker {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+    // Shared with the worker thread so stop() can shutdown() a connection
+    // whose thread is blocked in recv() on an idle client.
+    std::shared_ptr<net::Socket> socket;
+  };
+  std::list<Worker> workers_;
+
+  // Event mode: reactor shards, one thread each.
+  std::vector<std::unique_ptr<LoopShard>> shards_;
+  std::vector<std::thread> reactor_threads_;
+  std::atomic<std::size_t> next_shard_{0};
 };
 
 }  // namespace harmony

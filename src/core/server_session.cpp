@@ -1,0 +1,286 @@
+#include "core/server_session.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "core/nelder_mead.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+
+namespace harmony {
+
+namespace {
+
+void reply(std::string& out, std::string_view line) {
+  out.append(line);
+  out.push_back('\n');
+}
+
+}  // namespace
+
+ServerConnection::ServerConnection(const ServerOptions& opts, int session_no)
+    : opts_(&opts),
+      session_id_("server/" + std::to_string(session_no)),
+      budget_(opts.default_max_iterations),
+      status_(obs::StatusRegistry::global().publish_session(session_id_)) {
+  // Live-status slot for this session. Published unconditionally (the STATUS
+  // verb is part of the protocol surface, not passive instrumentation); the
+  // handle unpublishes when the connection ends.
+  publish();
+  obs::log_info("server", "session opened", session_id_);
+}
+
+ServerConnection::~ServerConnection() {
+  obs::log_info("server", "session closed", session_id_);
+}
+
+void ServerConnection::publish(const char* phase_override) {
+  // Reformat the incumbent only when it improved: the steady-state REPORT
+  // path then updates two integers under the slot lock instead of
+  // re-rendering strings every round trip.
+  const bool best_moved =
+      search_ && search_->best() && search_->best_objective() != published_best_;
+  status_.update([&](obs::SessionStatus& s) {
+    const auto* nm = dynamic_cast<const NelderMead*>(search_.get());
+    s.phase = phase_override != nullptr
+                  ? phase_override
+                  : (search_ ? (nm != nullptr ? nm->phase_name() : "searching")
+                             : "registering");
+    s.iterations = static_cast<std::uint64_t>(roundtrips_);
+    if (search_) {
+      s.strategy = search_->name();
+      if (best_moved) {
+        s.best_value = search_->best_objective();
+        s.best_config = space_.format(*search_->best());
+      }
+    }
+  });
+  if (best_moved) published_best_ = search_->best_objective();
+}
+
+void ServerConnection::append_fetch_reply(std::string& out, bool count_fresh) {
+  // ask() is idempotent while a candidate is outstanding (re-fetch resends
+  // it) and returns nullopt once the iteration budget is spent or the
+  // strategy stops proposing.
+  const bool re_fetch = controller_->awaiting_tell();
+  auto proposal = controller_->ask(*search_);
+  if (!proposal) {
+    reply(out, "DONE");
+    return;
+  }
+  if (count_fresh && !re_fetch) obs::count("server.fetches");
+  out.append("CONFIG ");
+  proto::encode_config(space_, *proposal, out);
+  out.push_back('\n');
+}
+
+bool ServerConnection::handle_report_value(std::string_view field,
+                                           std::string& out,
+                                           std::string_view verb) {
+  const auto value = proto::parse_f64(field);
+  if (!value) {
+    reply(out, "ERR bad objective value");
+    return false;
+  }
+  (void)verb;
+  EvaluationResult r;
+  r.objective = *value;
+  r.valid = std::isfinite(*value);
+  controller_->tell(*search_, r);
+  // One completed FETCH -> REPORT pair is one tuning round trip.
+  ++roundtrips_;
+  obs::count("server.roundtrips");
+  obs::observe("server.report_value", *value);
+  publish();
+  return true;
+}
+
+bool ServerConnection::handle_line(std::string_view line, std::string& out) {
+  if (!proto::parse_line(line, msg_)) return true;  // blank line: ignore
+  obs::count("server.messages");
+  const auto handle_timer = obs::time_scope("server.handle_s");
+  const std::string_view verb = msg_.verb;
+
+  if (verb == "FETCH") {
+    if (!search_) {
+      reply(out, "ERR not started");
+      return true;
+    }
+    append_fetch_reply(out, /*count_fresh=*/true);
+  } else if (verb == "REPORT") {
+    if (!search_ || !controller_->awaiting_tell()) {
+      reply(out, "ERR nothing to report");
+      return true;
+    }
+    if (msg_.args.size() != 1) {
+      reply(out, "ERR REPORT takes one value");
+      return true;
+    }
+    if (handle_report_value(msg_.args[0], out, verb)) reply(out, "OK");
+  } else if (verb == "REPORT+FETCH") {
+    // The pipelined steady state: report the pending candidate and fetch
+    // the next one in a single exchange — one round trip per evaluation.
+    if (!search_ || !controller_->awaiting_tell()) {
+      reply(out, "ERR nothing to report");
+      return true;
+    }
+    if (msg_.args.size() != 1) {
+      reply(out, "ERR REPORT+FETCH takes one value");
+      return true;
+    }
+    if (handle_report_value(msg_.args[0], out, verb)) {
+      obs::count("server.report_fetches");
+      append_fetch_reply(out, /*count_fresh=*/true);
+    }
+  } else if (verb == "HELLO") {
+    const std::string app = msg_.args.empty() ? "" : std::string(msg_.args[0]);
+    status_.update([&](obs::SessionStatus& s) { s.app = app; });
+    obs::log_info("server", "HELLO " + app, session_id_);
+    reply(out, "OK harmony-server/1.0");
+  } else if (verb == "PARAM") {
+    if (search_) {
+      reply(out, "ERR session already started");
+      return true;
+    }
+    auto p = proto::decode_param(msg_);
+    if (!p) {
+      obs::log_warn("server", "malformed PARAM", session_id_);
+      reply(out, "ERR malformed PARAM");
+      return true;
+    }
+    try {
+      space_.add(std::move(*p));
+    } catch (const std::exception& e) {
+      reply(out, std::string("ERR ") + e.what());
+      return true;
+    }
+    reply(out, "OK");
+  } else if (verb == "START") {
+    if (space_.empty()) {
+      reply(out, "ERR no parameters registered");
+      return true;
+    }
+    if (search_) {
+      reply(out, "ERR session already started");
+      return true;
+    }
+    if (!msg_.args.empty()) {
+      const auto v = proto::parse_i64(msg_.args[0]);
+      if (!v || *v < 1 || *v > std::numeric_limits<int>::max()) {
+        reply(out, "ERR bad iteration budget");
+        return true;
+      }
+      budget_ = static_cast<int>(*v);
+    }
+    try {
+      // One construction path for every session: the registry. A bare START
+      // gets the server's default search (Nelder-Mead with opts_->search); a
+      // prior STRATEGY line picks anything registered.
+      search_ = strategy_name_.empty()
+                    ? StrategyRegistry::make_default(space_, opts_->search)
+                    : StrategyRegistry::make(strategy_name_, space_, strategy_opts_);
+    } catch (const std::exception& e) {
+      reply(out, std::string("ERR ") + e.what());
+      return true;
+    }
+    controller_.emplace(space_,
+                        ControllerLimits{budget_, std::numeric_limits<int>::max()});
+    publish();
+    obs::log_info("server", "search started, budget " + std::to_string(budget_),
+                  session_id_);
+    reply(out, "OK started");
+  } else if (verb == "STRATEGY") {
+    if (msg_.args.empty()) {
+      // Bare STRATEGY lists the registry (valid any time, any session).
+      std::string listing = "OK";
+      for (const auto& n : StrategyRegistry::names()) {
+        listing += ' ';
+        listing += n;
+      }
+      reply(out, listing);
+    } else if (search_) {
+      reply(out, "ERR session already started");
+    } else if (!StrategyRegistry::known(std::string(msg_.args[0]))) {
+      const std::string name(msg_.args[0]);
+      obs::log_warn("server", "unknown strategy " + name, session_id_);
+      reply(out, "ERR unknown strategy " + name);
+    } else {
+      StrategyOptions sopts;
+      std::string error;
+      for (std::size_t i = 1; i < msg_.args.size(); ++i) {
+        const std::string_view tok = msg_.args[i];
+        const auto eq = tok.find('=');
+        if (eq == std::string_view::npos || eq == 0) {
+          error = "bad option '" + std::string(tok) + "' (expected key=value)";
+          break;
+        }
+        sopts.emplace_back(std::string(tok.substr(0, eq)),
+                           std::string(tok.substr(eq + 1)));
+      }
+      const std::string name(msg_.args[0]);
+      if (error.empty()) (void)StrategyRegistry::validate(name, sopts, &error);
+      if (!error.empty()) {
+        obs::log_warn("server", "bad STRATEGY options: " + error, session_id_);
+        reply(out, "ERR " + error);
+      } else {
+        strategy_name_ = name;
+        strategy_opts_ = std::move(sopts);
+        obs::log_info("server", "strategy " + strategy_name_, session_id_);
+        reply(out, "OK " + strategy_name_);
+      }
+    }
+  } else if (verb == "BEST") {
+    if (!search_ || !search_->best()) {
+      reply(out, "ERR no measurements yet");
+      return true;
+    }
+    out.append("CONFIG ");
+    proto::encode_config(space_, *search_->best(), out);
+    out.push_back('\n');
+  } else if (verb == "STATUS") {
+    // One line of JSON: the whole live-status board. Any connection may ask
+    // — harmony_top uses a dedicated admin connection.
+    obs::count("server.status_polls");
+    reply(out, obs::StatusRegistry::global().to_json());
+  } else if (verb == "METRICS") {
+    // Prometheus text exposition, terminated by a "# EOF" comment line ("#"
+    // lines are valid exposition, so raw `echo METRICS | nc` output is
+    // scrape-ready as-is).
+    obs::count("server.status_polls");
+    out.append(obs::MetricsRegistry::global().to_prometheus());
+    out.append("# EOF\n");
+  } else if (verb == "LOG") {
+    // LOG [tail] [N] -> "LOG <n>" header then n JSONL event records.
+    std::size_t want = opts_->log_tail_default;
+    std::size_t arg_idx = 0;
+    if (arg_idx < msg_.args.size() && msg_.args[arg_idx] == "tail") ++arg_idx;
+    if (arg_idx < msg_.args.size()) {
+      const auto v = proto::parse_i64(msg_.args[arg_idx]);
+      if (!v || *v < 0) {
+        reply(out, "ERR bad LOG count");
+        return true;
+      }
+      want = static_cast<std::size_t>(*v);
+    }
+    const auto events = obs::EventLog::global().tail(want);
+    std::ostringstream os;
+    os << "LOG " << events.size() << "\n";
+    for (const auto& e : events) {
+      obs::EventLog::write_event_json(os, e);
+      os << "\n";
+    }
+    out.append(os.str());
+  } else if (verb == "BYE") {
+    reply(out, "OK bye");
+    return false;
+  } else {
+    const std::string name(verb);
+    obs::log_warn("server", "unknown verb " + name, session_id_);
+    reply(out, "ERR unknown verb " + name);
+  }
+  return true;
+}
+
+}  // namespace harmony

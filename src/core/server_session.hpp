@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file server_session.hpp
+/// Transport-independent protocol state machine for one tuning-server
+/// connection. Both server threading modes drive the same ServerConnection:
+/// the legacy blocking path feeds it one line at a time off a LineReader,
+/// the event-loop path feeds it every complete line found in a readable
+/// burst (which is how pipelined clients get their verbs answered in order,
+/// in one write). Replies are appended to a caller-owned output buffer —
+/// the handler never touches a socket.
+///
+/// Hot-path discipline: FETCH / REPORT / REPORT+FETCH parse through the
+/// zero-copy proto::MessageView tokenizer (scratch reused per connection)
+/// and encode through the append-into-buffer proto::encode_config, so the
+/// steady-state request path performs no heap allocations except when the
+/// incumbent improves (the live-status board then reformats its config).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/controller.hpp"
+#include "core/param_space.hpp"
+#include "core/protocol.hpp"
+#include "core/server.hpp"
+#include "core/strategy.hpp"
+#include "core/strategy_registry.hpp"
+#include "obs/status.hpp"
+
+namespace harmony {
+
+class ServerConnection {
+ public:
+  /// `opts` must outlive the connection (it belongs to the TuningServer).
+  ServerConnection(const ServerOptions& opts, int session_no);
+  ~ServerConnection();
+
+  ServerConnection(const ServerConnection&) = delete;
+  ServerConnection& operator=(const ServerConnection&) = delete;
+
+  /// Handle one protocol line (no terminator), appending the reply — which
+  /// may span several lines for STATUS/METRICS/LOG — to `out`. Returns
+  /// false when the connection should be closed once `out` is flushed
+  /// (BYE). Unknown or malformed verbs answer ERR and keep the connection
+  /// open, so one bad verb in a pipelined burst poisons nothing else.
+  [[nodiscard]] bool handle_line(std::string_view line, std::string& out);
+
+  /// Completed fetch/report round trips (one per evaluation).
+  [[nodiscard]] int roundtrips() const noexcept { return roundtrips_; }
+
+  [[nodiscard]] const std::string& session_id() const noexcept {
+    return session_id_;
+  }
+
+ private:
+  void publish(const char* phase_override = nullptr);
+  void append_fetch_reply(std::string& out, bool count_fresh);
+  bool handle_report_value(std::string_view field, std::string& out,
+                           std::string_view verb);
+
+  const ServerOptions* opts_;
+  std::string session_id_;
+  ParamSpace space_;
+  std::unique_ptr<SearchStrategy> search_;
+  std::optional<SearchController> controller_;  // constructed at START
+  int budget_;
+  std::string strategy_name_;  // chosen via STRATEGY; empty = default
+  StrategyOptions strategy_opts_;
+  int roundtrips_ = 0;
+  double published_best_ = std::numeric_limits<double>::infinity();
+  obs::StatusRegistry::SessionHandle status_;
+  proto::MessageView msg_;  // reusable tokenizer scratch
+};
+
+}  // namespace harmony

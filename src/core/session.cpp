@@ -118,6 +118,11 @@ void Session::report(double performance) {
   controller_->tell(*strategy_, r);
 }
 
+bool Session::report_and_fetch(double performance) {
+  report(performance);
+  return fetch();
+}
+
 const History& Session::history() const {
   if (!controller_) throw std::logic_error("Session: no history before first fetch");
   return controller_->history();

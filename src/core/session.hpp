@@ -55,6 +55,12 @@ class Session {
   /// delivered by the last fetch().
   void report(double performance);
 
+  /// report() + fetch() in one call — the in-process mirror of the wire
+  /// protocol's combined REPORT+FETCH verb, so a main loop body is just
+  /// `while (s.report_and_fetch(t)) { t = run_step(); }` after the first
+  /// fetch(). Returns false when tuning has converged.
+  bool report_and_fetch(double performance);
+
   [[nodiscard]] const ParamSpace& space() const noexcept { return space_; }
   [[nodiscard]] const Config& current() const;
   [[nodiscard]] std::optional<Config> best() const;

@@ -1,7 +1,10 @@
 #include "core/net.hpp"
 
 #include <gtest/gtest.h>
+#include <sys/uio.h>
 
+#include <string>
+#include <string_view>
 #include <thread>
 
 namespace {
@@ -176,6 +179,96 @@ TEST(Net, LineReaderZeroLimitMeansUnlimited) {
   EXPECT_EQ(line->size(), big.size());
   EXPECT_FALSE(reader.overflowed());
   client.join();
+}
+
+TEST(Net, LineReaderOutParamReusesBufferAcrossLines) {
+  auto lr = listen_loopback(0);
+  std::thread client([port = lr.port] {
+    Socket s = connect_loopback(port);
+    ASSERT_TRUE(s.send_all("a-fairly-long-first-line to size the buffer\n"));
+    ASSERT_TRUE(s.send_all("short\nthird line\n"));
+  });
+  Socket conn = accept_connection(lr.socket);
+  LineReader reader(conn);
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line, "a-fairly-long-first-line to size the buffer");
+  const auto cap = line.capacity();
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line, "short");
+  // The whole point of the overload: no reallocation once sized.
+  EXPECT_EQ(line.capacity(), cap);
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line, "third line");
+  ASSERT_FALSE(reader.read_line(line));  // EOF
+  EXPECT_TRUE(line.empty());
+  client.join();
+}
+
+TEST(Net, LineReaderOutParamOverflowLeavesOutEmpty) {
+  auto lr = listen_loopback(0);
+  std::thread client([port = lr.port] {
+    Socket s = connect_loopback(port);
+    ASSERT_TRUE(s.send_line(std::string(512, 'q')));
+  });
+  Socket conn = accept_connection(lr.socket);
+  LineReader reader(conn, /*max_line_bytes=*/64);
+  std::string line = "stale contents";
+  EXPECT_FALSE(reader.read_line(line));
+  EXPECT_TRUE(line.empty());
+  EXPECT_TRUE(reader.overflowed());
+  client.join();
+}
+
+TEST(Net, ByteRingAppendDrainConsumeWraps) {
+  ByteRing ring;
+  EXPECT_TRUE(ring.empty());
+  struct iovec iov[2];
+  EXPECT_EQ(ring.drain_iov(iov), 0);
+
+  ring.append("hello ");
+  ring.append(std::string_view("world"));
+  EXPECT_EQ(ring.size(), 11u);
+  int segs = ring.drain_iov(iov);
+  ASSERT_GE(segs, 1);
+  std::string gathered;
+  for (int i = 0; i < segs; ++i) {
+    gathered.append(static_cast<const char*>(iov[i].iov_base), iov[i].iov_len);
+  }
+  EXPECT_EQ(gathered, "hello world");
+
+  // Consume a prefix, then append enough to wrap the readable region around
+  // the end of the storage: drain must expose both segments in order.
+  ring.consume(6);
+  const std::string tail(ring.capacity() - ring.size() - 2, 'A');
+  ring.append(tail);
+  segs = ring.drain_iov(iov);
+  gathered.clear();
+  for (int i = 0; i < segs; ++i) {
+    gathered.append(static_cast<const char*>(iov[i].iov_base), iov[i].iov_len);
+  }
+  EXPECT_EQ(gathered, "world" + tail);
+
+  ring.consume(ring.size());
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.drain_iov(iov), 0);
+}
+
+TEST(Net, ByteRingSteadyStateDoesNotGrow) {
+  ByteRing ring;
+  ring.append(std::string(100, 'x'));
+  ring.consume(100);
+  const auto cap = ring.capacity();
+  // A steady stream of append/consume at sizes below capacity must reuse the
+  // existing storage — the event loop relies on this for allocation-free
+  // flushes.
+  struct iovec iov[2];
+  for (int i = 0; i < 1000; ++i) {
+    ring.append("REPORT+FETCH 1.25\nCONFIG 1 2 3\n");
+    ASSERT_GE(ring.drain_iov(iov), 1);
+    ring.consume(ring.size());
+  }
+  EXPECT_EQ(ring.capacity(), cap);
 }
 
 TEST(Net, LargePayloadRoundtrip) {

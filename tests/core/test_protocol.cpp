@@ -122,8 +122,8 @@ TEST(Protocol, DecodeParamRoundtripReal) {
 }
 
 TEST(Protocol, DecodeParamMalformedFails) {
-  EXPECT_FALSE(proto::decode_param({}).has_value());
-  EXPECT_FALSE(proto::decode_param({"INT"}).has_value());
+  EXPECT_FALSE(proto::decode_param(std::vector<std::string>{}).has_value());
+  EXPECT_FALSE(proto::decode_param(std::vector<std::string>{"INT"}).has_value());
   EXPECT_FALSE(proto::decode_param({"INT", "x", "a", "b", "c"}).has_value());
   EXPECT_FALSE(proto::decode_param({"INT", "x", "5", "1", "1"}).has_value());  // lo>hi
   EXPECT_FALSE(proto::decode_param({"REAL", "x", "1"}).has_value());

@@ -31,11 +31,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/harmony.hpp"
+#include "core/server.hpp"
 #include "engine/engine.hpp"
+#include "fleet/dispatcher.hpp"
+#include "fleet/substrates.hpp"
+#include "fleet/worker_backend.hpp"
+#include "fleet/worker_client.hpp"
 #include "minigs2/minigs2.hpp"
 #include "minipop/minipop.hpp"
 #include "obs/bench_report.hpp"
@@ -228,6 +235,92 @@ obs::BenchReport run_gate_server_throughput(int reps) {
   return report;
 }
 
+// ---- workload 4: evaluation-fleet scaling ratio ---------------------------
+
+/// One fleet run: server + dispatcher + `nworkers` in-process WorkerClient
+/// threads, a gate-sized random search over the synthetic substrate (cache
+/// off, so every evaluation crosses the wire). Returns evals/s.
+double run_fleet_point(int nworkers, int evals) {
+  // 2 ms of simulated run cost per evaluation (a sleep on the worker): the
+  // 4-worker/1-worker ratio then measures dispatch overlap, portably across
+  // host core counts.
+  const auto sub = harmony::fleet::make_substrate("synthetic", /*spin_us=*/2000);
+  // Every remote run performs the gate's fixed per-evaluation work (and the
+  // injected slowdown), same as the serial workloads.
+  const harmony::ShortRunFn run = [&sub](const Config& c, int steps) {
+    const auto r = sub->run(c, steps);
+    per_eval_work();
+    return r;
+  };
+
+  harmony::fleet::Dispatcher dispatcher(sub->space);
+  harmony::ServerOptions sopts;
+  sopts.fleet = &dispatcher;
+  harmony::TuningServer server(sopts);
+  if (!server.start()) return 0.0;
+
+  std::vector<std::unique_ptr<harmony::fleet::WorkerClient>> clients;
+  std::vector<std::thread> threads;
+  const int port = server.port();
+  for (int w = 0; w < nworkers; ++w) {
+    harmony::fleet::WorkerClientOptions wopts;
+    wopts.capacity = 2;
+    clients.push_back(std::make_unique<harmony::fleet::WorkerClient>(wopts));
+    harmony::fleet::WorkerClient* wc = clients.back().get();
+    threads.emplace_back(
+        [wc, &sub, &run, port] { (void)wc->run(port, sub->space, run, 1); });
+  }
+
+  double evals_per_s = 0.0;
+  if (dispatcher.wait_for_workers(static_cast<std::size_t>(nworkers),
+                                  std::chrono::milliseconds(5000))) {
+    harmony::fleet::WorkerBackendOptions bopts;
+    bopts.use_cache = false;
+    harmony::fleet::WorkerEvalBackend backend(dispatcher, sub->space, bopts);
+    harmony::ControllerLimits limits;
+    limits.max_evaluations = evals;
+    limits.max_proposals = evals * 8;
+    harmony::SearchController controller(sub->space, limits);
+    harmony::engine::BatchRandomSearch strategy(sub->space, evals * 8,
+                                                /*seed=*/7);
+    const auto t0 = Clock::now();
+    const auto result = controller.run(strategy, backend);
+    const double wall = seconds_since(t0);
+    if (wall > 0.0) evals_per_s = result.evaluations / wall;
+  }
+
+  dispatcher.shutdown();
+  server.stop();
+  for (auto& t : threads) t.join();
+  return evals_per_s;
+}
+
+obs::BenchReport run_gate_server_fleet(int reps) {
+  constexpr int kEvals = 128;
+  constexpr int kWorkers = 4;
+  double one = 0.0;
+  double four = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Both sides of the ratio measured back to back within a rep, so a host
+    // slowdown hits both or drops the rep.
+    const double o = run_fleet_point(1, kEvals);
+    const double f = run_fleet_point(kWorkers, kEvals);
+    if (o > one) {
+      one = o;
+      four = f;
+    }
+  }
+
+  obs::BenchReport report;
+  report.name = "gate_server_fleet";
+  report.evaluations = 2 * kEvals * reps;
+  report.speedup = one > 0.0 ? four / one : 0.0;
+  report.metrics["evals_per_s_ratio"] = report.speedup;
+  report.metrics["fleet_1w_evals_per_s"] = one;
+  report.metrics["fleet_4w_evals_per_s"] = four;
+  return report;
+}
+
 // ---- gate ------------------------------------------------------------------
 
 struct CheckRow {
@@ -352,6 +445,7 @@ int main(int argc, char** argv) {
   reports.push_back(run_gate_gs2_sweep(gate.reps));
   reports.push_back(run_gate_pop_nm(gate.reps));
   reports.push_back(run_gate_server_throughput(gate.reps));
+  reports.push_back(run_gate_server_fleet(gate.reps));
   for (auto& r : reports) {
     r.metrics["wall_ratio"] = r.wall_s / calib_s;
     r.metrics["calib_s"] = calib_s;

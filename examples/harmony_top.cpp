@@ -1,7 +1,8 @@
 // harmony_top: a `top`-style admin client for a live Harmony tuning server.
 // It opens an ordinary protocol connection and polls the introspection verbs
-// (STATUS / METRICS / LOG), pretty-printing the live session board, a few
-// headline metrics and the recent event log on every refresh.
+// (STATUS / METRICS / LOG), pretty-printing the live session board, the fleet
+// worker lanes (busy/idle, in-flight candidate, evals served, heartbeat age),
+// a few headline metrics and the recent event log on every refresh.
 //
 //   harmony_top <port> [refreshes] [interval_ms]   attach to a running server
 //   harmony_top                                    self-contained demo: starts
@@ -58,16 +59,25 @@ void print_status(const std::string& json) {
   }
   if (const auto* workers = doc->find("workers");
       workers != nullptr && workers->is_array() && !workers->as_array().empty()) {
-    std::printf("  %zu pool worker lane(s):", workers->as_array().size());
+    std::printf("  %-24s %4s %-5s %6s %8s  %s\n", "WORKER", "LANE", "STATE",
+                "EVALS", "BEAT", "IN-FLIGHT");
     for (const auto& w : workers->as_array()) {
-      std::printf(" %s/%.0f%s", w.string_or("pool", "?").c_str(),
-                  w.number_or("lane", 0),
-                  w.find("busy") != nullptr && w.find("busy")->is_bool() &&
-                          w.find("busy")->as_bool()
-                      ? "*"
-                      : "");
+      const auto* busy = w.find("busy");
+      const bool is_busy = busy != nullptr && busy->is_bool() && busy->as_bool();
+      const auto* beat = w.find("beat_age_s");
+      const std::string beat_str =
+          beat != nullptr && beat->is_number()
+              ? [&] {
+                  char buf[32];
+                  std::snprintf(buf, sizeof(buf), "%.1fs", beat->as_number());
+                  return std::string(buf);
+                }()
+              : std::string("-");  // null: no heartbeat received yet
+      std::printf("  %-24s %4.0f %-5s %6.0f %8s  %s\n",
+                  w.string_or("pool", "?").c_str(), w.number_or("lane", 0),
+                  is_busy ? "busy" : "idle", w.number_or("tasks", 0),
+                  beat_str.c_str(), w.string_or("detail", "").c_str());
     }
-    std::printf("\n");
   }
 }
 

@@ -7,7 +7,12 @@
 namespace harmony {
 
 bool TuningClient::connect(int port, const std::string& app_name) {
-  socket_ = net::connect_loopback(port);
+  return connect(port, app_name, net::ConnectOptions{});
+}
+
+bool TuningClient::connect(int port, const std::string& app_name,
+                           const net::ConnectOptions& retry) {
+  socket_ = net::connect_loopback(port, retry);
   if (!socket_.valid()) {
     error_ = "connect failed";
     return false;

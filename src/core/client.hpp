@@ -27,6 +27,13 @@ class TuningClient {
   /// Connect to a server on loopback and perform the HELLO exchange.
   [[nodiscard]] bool connect(int port, const std::string& app_name);
 
+  /// Connect with retry: bounded exponential backoff between attempts plus a
+  /// per-attempt connect timeout (net::ConnectOptions). Lets a client or
+  /// fleet worker start before the server finishes binding its port instead
+  /// of dying on the first refused connect.
+  [[nodiscard]] bool connect(int port, const std::string& app_name,
+                             const net::ConnectOptions& retry);
+
   /// Register parameters (before start()). Returns false on protocol error.
   [[nodiscard]] bool add_int(const std::string& name, std::int64_t lo,
                              std::int64_t hi, std::int64_t step = 1);

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
@@ -198,7 +199,11 @@ Socket accept_connection(const Socket& listener) {
   }
 }
 
-Socket connect_loopback(int port) {
+namespace {
+
+/// One connect attempt. timeout_ms > 0 runs a non-blocking connect bounded
+/// by poll() and restores blocking mode on success.
+Socket connect_once(int port, int timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Socket{};
   Socket s(fd);
@@ -206,12 +211,53 @@ Socket connect_loopback(int port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+
+  if (timeout_ms > 0) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+      return Socket{};
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS) return Socket{};
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int r;
+      do {
+        r = ::poll(&pfd, 1, timeout_ms);
+      } while (r < 0 && errno == EINTR);
+      if (r <= 0) return Socket{};  // timeout or poll error
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+        return Socket{};
+      }
+    }
+    if (::fcntl(fd, F_SETFL, flags) != 0) return Socket{};
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return Socket{};
   }
   const int yes = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof(yes));
   return s;
+}
+
+}  // namespace
+
+Socket connect_loopback(int port) { return connect_once(port, 0); }
+
+Socket connect_loopback(int port, const ConnectOptions& opts) {
+  int backoff = std::max(0, opts.backoff_ms);
+  const int attempts = std::max(1, opts.attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && backoff > 0) {
+      ::poll(nullptr, 0, backoff);  // interruption-tolerant sleep
+      backoff = std::min(backoff * 2, std::max(backoff, opts.max_backoff_ms));
+    }
+    Socket s = connect_once(port, opts.timeout_ms);
+    if (s.valid()) return s;
+  }
+  return Socket{};
 }
 
 }  // namespace harmony::net

@@ -136,4 +136,20 @@ struct ListenResult {
 /// Connect to 127.0.0.1:port.
 [[nodiscard]] Socket connect_loopback(int port);
 
+/// Retry/timeout policy for connect_loopback. The defaults reproduce the
+/// plain overload (one blocking attempt); fleet workers use several attempts
+/// with bounded exponential backoff so they survive a server that starts a
+/// beat later than they do.
+struct ConnectOptions {
+  int attempts = 1;           ///< total connect attempts (>= 1)
+  int backoff_ms = 50;        ///< sleep before the 2nd attempt; doubles after
+  int max_backoff_ms = 1000;  ///< ceiling on the doubled backoff
+  int timeout_ms = 0;         ///< per-attempt connect timeout; 0 = OS default
+};
+
+/// Connect with retry: attempts are spaced by an exponentially growing,
+/// bounded backoff, and each attempt may carry its own timeout (implemented
+/// with a non-blocking connect; the returned socket is blocking again).
+[[nodiscard]] Socket connect_loopback(int port, const ConnectOptions& opts);
+
 }  // namespace harmony::net

@@ -191,6 +191,25 @@ std::optional<Config> decode_config(const ParamSpace& space, const MessageView& 
   return decode_config_impl(space, m.args);
 }
 
+std::optional<Config> decode_config(const ParamSpace& space, const MessageView& m,
+                                    std::size_t skip) {
+  if (m.args.size() < skip) return std::nullopt;
+  const std::vector<std::string_view> rest(m.args.begin() + static_cast<long>(skip),
+                                           m.args.end());
+  return decode_config_impl(space, rest);
+}
+
+void encode_work(const ParamSpace& space, std::uint64_t work_id, const Config& c,
+                 std::string& out) {
+  char buf[32];
+  out.append("WORK ");
+  const auto r = std::to_chars(buf, buf + sizeof(buf), work_id);
+  out.append(buf, static_cast<std::size_t>(r.ptr - buf));
+  out.push_back(' ');
+  encode_config(space, c, out);
+  out.push_back('\n');
+}
+
 std::string encode_param(const Parameter& p) {
   std::string out = "PARAM ";
   switch (p.type()) {

@@ -32,6 +32,24 @@
 /// trip per evaluation (REPORT+FETCH), and setup (HELLO..START) can ride in
 /// a single write.
 ///
+/// Worker (fleet) verbs — a connection that sends ATTACH becomes an
+/// evaluation worker channel instead of a tuning session (requires the
+/// server to be wired to a WorkSink dispatcher; see work_sink.hpp):
+///   ATTACH <name> [capacity]  -> "OK worker <id>". The connection switches
+///                                to message passing: the server may push a
+///                                WORK line at any time (up to `capacity` in
+///                                flight, default 1), and RESULT lines are
+///                                not acknowledged.
+///   RESULT <id> <objective> [cost_s]
+///                             -> measurement for WORK item <id>; no reply.
+///   RESULT <id> FAIL          -> the configuration failed to run; no reply.
+///   PING                      -> "PONG"; refreshes the worker's heartbeat.
+///   DETACH                    -> "OK detached"; in-flight work re-dispatches.
+///
+/// Server -> worker:
+///   WORK <id> <v1> <v2> ...   (positional fields, like CONFIG, against the
+///                              worker's compiled-in substrate space)
+///
 /// Introspection verbs (valid on any connection, any time — an admin client
 /// such as examples/harmony_top polls them against a live server):
 ///   STATUS                    -> one line of JSON: the StatusRegistry
@@ -106,6 +124,17 @@ void encode_config(const ParamSpace& space, const Config& c, std::string& out);
 /// Zero-copy variant: decode the args of a tokenized MessageView.
 [[nodiscard]] std::optional<Config> decode_config(const ParamSpace& space,
                                                   const MessageView& m);
+
+/// Like the MessageView overload but ignoring the first `skip` args — the
+/// worker side of a WORK line decodes the fields after the work id.
+[[nodiscard]] std::optional<Config> decode_config(const ParamSpace& space,
+                                                  const MessageView& m,
+                                                  std::size_t skip);
+
+/// Append one complete "WORK <id> <fields>\n" line to `out` (hot-path,
+/// allocation-free once `out` has capacity).
+void encode_work(const ParamSpace& space, std::uint64_t work_id, const Config& c,
+                 std::string& out);
 
 /// Build a PARAM registration line for a parameter.
 [[nodiscard]] std::string encode_param(const Parameter& p);

@@ -46,9 +46,10 @@ struct TuningServer::LoopShard {
 
   struct Conn {
     Conn(const ServerOptions& opts, int session_no, net::Socket s)
-        : sock(std::move(s)), session(opts, session_no) {}
+        : sock(std::move(s)), gen(session_no), session(opts, session_no) {}
 
     net::Socket sock;
+    const int gen;          ///< session number; guards pushes against fd reuse
     std::string rbuf;       ///< inbound bytes; lines are parsed in place
     std::size_t rpos = 0;   ///< consumed prefix of rbuf
     net::ByteRing wbuf;     ///< outbound bytes awaiting the socket
@@ -64,6 +65,12 @@ struct TuningServer::LoopShard {
 
   void adopt(net::Socket client, int session_no);
   void handle_io(int fd, std::uint32_t events);
+  /// Queue a server-initiated payload (fleet WORK push) onto a connection.
+  /// Thread-safe: hops onto the shard thread via defer(). Payloads for a
+  /// connection that already closed are dropped — the dispatcher re-queues
+  /// through detach() when a worker dies.
+  void deliver(int fd, int gen, std::string payload);
+  void push_payload(int fd, int gen, const std::string& payload);
   /// False when the connection died and was erased.
   [[nodiscard]] bool read_input(Conn& c);
   void process_lines(Conn& c);
@@ -76,6 +83,11 @@ void TuningServer::LoopShard::adopt(net::Socket client, int session_no) {
   if (!client.set_nonblocking()) return;  // dtor closes the socket
   const int fd = client.fd();
   auto conn = std::make_unique<Conn>(server->opts_, session_no, std::move(client));
+  conn->session.set_sender(
+      [this, fd, session_no](std::string_view payload) {
+        deliver(fd, session_no, std::string(payload));
+        return true;  // delivery is asynchronous; failures surface as detach
+      });
   conns[fd] = std::move(conn);
   if (!loop.add(fd, EPOLLIN,
                 [this, fd](std::uint32_t events) { handle_io(fd, events); })) {
@@ -105,6 +117,31 @@ void TuningServer::LoopShard::handle_io(int fd, std::uint32_t events) {
   }
 
   // Keep EPOLLOUT armed exactly while output is pending.
+  const bool want_write = !c.wbuf.empty();
+  if (want_write != c.want_write) {
+    c.want_write = want_write;
+    (void)loop.modify(fd, EPOLLIN | (want_write ? EPOLLOUT : 0u));
+  }
+}
+
+void TuningServer::LoopShard::deliver(int fd, int gen, std::string payload) {
+  // shared_ptr keeps the closure copyable for std::function.
+  auto blob = std::make_shared<std::string>(std::move(payload));
+  loop.defer([this, fd, gen, blob] { push_payload(fd, gen, *blob); });
+}
+
+void TuningServer::LoopShard::push_payload(int fd, int gen,
+                                           const std::string& payload) {
+  const auto it = conns.find(fd);
+  // Stale pushes are dropped: the connection closed (and its worker
+  // detached) since the push was queued, possibly with the fd reused.
+  if (it == conns.end() || it->second->gen != gen) return;
+  Conn& c = *it->second;
+  c.wbuf.append(payload);
+  if (!flush(c) || (c.closing && c.wbuf.empty())) {
+    close_conn(fd);
+    return;
+  }
   const bool want_write = !c.wbuf.empty();
   if (want_write != c.want_write) {
     c.want_write = want_write;
@@ -360,7 +397,7 @@ void TuningServer::accept_loop() {
     worker.done = done;
     worker.socket = sock;
     worker.thread = std::thread([this, sock, session_no, done] {
-      serve_client(*sock, session_no);
+      serve_client(sock, session_no);
       // Close here, not at Worker teardown: the peer should see EOF as soon
       // as its session ends, not when the worker entry is reaped.
       sock->close();
@@ -371,9 +408,18 @@ void TuningServer::accept_loop() {
   }
 }
 
-void TuningServer::serve_client(net::Socket& client, int session_no) {
-  net::LineReader reader(client, opts_.max_line_bytes);
+void TuningServer::serve_client(const std::shared_ptr<net::Socket>& client,
+                                int session_no) {
+  net::LineReader reader(*client, opts_.max_line_bytes);
   ServerConnection session(opts_, session_no);
+  // Writes are serialized between this thread's replies and dispatcher WORK
+  // pushes arriving from arbitrary threads; the mutex is shared with the
+  // sender closure so it outlives this frame if a stale push races teardown.
+  auto write_mutex = std::make_shared<std::mutex>();
+  session.set_sender([client, write_mutex](std::string_view payload) {
+    const std::lock_guard<std::mutex> lock(*write_mutex);
+    return client->send_all(payload);
+  });
   std::string line;
   std::string out;
   while (running_.load()) {
@@ -381,13 +427,16 @@ void TuningServer::serve_client(net::Socket& client, int session_no) {
       if (reader.overflowed()) {
         obs::log_warn("server", "line limit exceeded, disconnecting",
                       session.session_id());
-        (void)client.send_line("ERR line too long");
+        (void)client->send_line("ERR line too long");
       }
       break;  // peer closed (or misbehaved)
     }
     out.clear();
     const bool keep_open = session.handle_line(line, out);
-    if (!out.empty() && !client.send_all(out)) break;
+    if (!out.empty()) {
+      const std::lock_guard<std::mutex> lock(*write_mutex);
+      if (!client->send_all(out)) break;
+    }
     if (!keep_open) break;
   }
 }

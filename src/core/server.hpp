@@ -41,6 +41,8 @@
 
 namespace harmony {
 
+class WorkSink;  // work_sink.hpp — fleet dispatcher seam
+
 /// How the server schedules connections onto threads.
 enum class ServerThreading {
   kEventLoop,  ///< epoll reactors, non-blocking sockets (default)
@@ -73,6 +75,12 @@ struct ServerOptions {
   /// Cap on concurrently served connections in either mode; connects over
   /// the limit are answered `ERR server busy` and disconnected. 0 = no cap.
   int max_connections = 0;
+
+  /// Fleet dispatcher (not owned, may be null). When set, connections may
+  /// ATTACH as evaluation workers and the dispatcher pushes WORK lines back
+  /// through them; null servers answer ATTACH with ERR. The sink must
+  /// outlive the server (declare the Dispatcher before the TuningServer).
+  WorkSink* fleet = nullptr;
 };
 
 class TuningServer {
@@ -106,7 +114,7 @@ class TuningServer {
 
   // ---- legacy thread-per-connection mode ----
   void accept_loop();
-  void serve_client(net::Socket& client, int session_no);
+  void serve_client(const std::shared_ptr<net::Socket>& client, int session_no);
   void reap_finished_workers();
 
   // ---- event-loop mode ----

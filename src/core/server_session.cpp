@@ -33,6 +33,12 @@ ServerConnection::ServerConnection(const ServerOptions& opts, int session_no)
 }
 
 ServerConnection::~ServerConnection() {
+  if (worker_id_ != 0 && opts_->fleet != nullptr) {
+    // Worker death: the dispatcher re-queues whatever this worker still had
+    // in flight, so a killed worker never strands a candidate.
+    opts_->fleet->detach(worker_id_);
+    obs::log_warn("server", "worker detached (connection closed)", session_id_);
+  }
   obs::log_info("server", "session closed", session_id_);
 }
 
@@ -95,6 +101,96 @@ bool ServerConnection::handle_report_value(std::string_view field,
   obs::observe("server.report_value", *value);
   publish();
   return true;
+}
+
+void ServerConnection::handle_attach(std::string& out) {
+  if (opts_->fleet == nullptr) {
+    reply(out, "ERR no fleet dispatcher");
+    return;
+  }
+  if (!sender_) {
+    reply(out, "ERR transport cannot push");
+    return;
+  }
+  if (worker_id_ != 0) {
+    reply(out, "ERR already attached");
+    return;
+  }
+  if (search_) {
+    reply(out, "ERR session already started");
+    return;
+  }
+  if (msg_.args.empty() || msg_.args.size() > 2) {
+    reply(out, "ERR ATTACH takes <name> [capacity]");
+    return;
+  }
+  const std::string name(msg_.args[0]);
+  int capacity = 1;
+  if (msg_.args.size() == 2) {
+    const auto v = proto::parse_i64(msg_.args[1]);
+    if (!v || *v < 1 || *v > 1024) {
+      reply(out, "ERR bad capacity");
+      return;
+    }
+    capacity = static_cast<int>(*v);
+  }
+  worker_id_ = opts_->fleet->attach(name, capacity, sender_);
+  status_.update([&](obs::SessionStatus& s) {
+    s.app = name;
+    s.phase = "worker";
+  });
+  obs::count("server.workers_attached");
+  obs::log_info("server",
+                "worker " + name + " attached, capacity " +
+                    std::to_string(capacity),
+                session_id_);
+  reply(out, "OK worker " + std::to_string(worker_id_));
+}
+
+void ServerConnection::handle_result(std::string& out) {
+  // Message-passing mode: a well-formed RESULT is not acknowledged (replies
+  // would interleave with pushed WORK lines for no benefit); malformed or
+  // never-issued results still answer ERR so a confused worker can tell.
+  if (worker_id_ == 0 || opts_->fleet == nullptr) {
+    reply(out, "ERR not attached");
+    return;
+  }
+  if (msg_.args.size() < 2 || msg_.args.size() > 3) {
+    reply(out, "ERR RESULT takes <id> <objective>|FAIL [cost_s]");
+    return;
+  }
+  const auto id = proto::parse_i64(msg_.args[0]);
+  if (!id || *id <= 0) {
+    reply(out, "ERR bad work id");
+    return;
+  }
+  bool run_ok = true;
+  double objective = std::numeric_limits<double>::infinity();
+  if (msg_.args[1] == "FAIL") {
+    run_ok = false;
+  } else {
+    const auto v = proto::parse_f64(msg_.args[1]);
+    if (!v) {
+      reply(out, "ERR bad objective value");
+      return;
+    }
+    objective = *v;
+  }
+  double cost_s = 0.0;
+  if (msg_.args.size() == 3) {
+    const auto v = proto::parse_f64(msg_.args[2]);
+    if (!v || *v < 0.0) {
+      reply(out, "ERR bad cost");
+      return;
+    }
+    cost_s = *v;
+  }
+  ++roundtrips_;
+  obs::count("server.worker_results");
+  if (!opts_->fleet->on_result(worker_id_, static_cast<std::uint64_t>(*id),
+                               run_ok, objective, cost_s)) {
+    reply(out, "ERR unknown work id");
+  }
 }
 
 bool ServerConnection::handle_line(std::string_view line, std::string& out) {
@@ -272,6 +368,25 @@ bool ServerConnection::handle_line(std::string_view line, std::string& out) {
       os << "\n";
     }
     out.append(os.str());
+  } else if (verb == "ATTACH") {
+    handle_attach(out);
+  } else if (verb == "RESULT") {
+    handle_result(out);
+  } else if (verb == "PING") {
+    if (worker_id_ != 0 && opts_->fleet != nullptr) {
+      opts_->fleet->heartbeat(worker_id_);
+    }
+    reply(out, "PONG");
+  } else if (verb == "DETACH") {
+    if (worker_id_ == 0 || opts_->fleet == nullptr) {
+      reply(out, "ERR not attached");
+      return true;
+    }
+    opts_->fleet->detach(worker_id_);
+    worker_id_ = 0;
+    status_.update([&](obs::SessionStatus& s) { s.phase = "detached"; });
+    obs::log_info("server", "worker detached", session_id_);
+    reply(out, "OK detached");
   } else if (verb == "BYE") {
     reply(out, "OK bye");
     return false;

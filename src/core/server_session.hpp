@@ -27,6 +27,7 @@
 #include "core/server.hpp"
 #include "core/strategy.hpp"
 #include "core/strategy_registry.hpp"
+#include "core/work_sink.hpp"
 #include "obs/status.hpp"
 
 namespace harmony {
@@ -54,11 +55,22 @@ class ServerConnection {
     return session_id_;
   }
 
+  /// Transport-provided sender for server-initiated lines (WORK pushes).
+  /// Must deliver the payload to this connection's peer from any thread;
+  /// transports that cannot push (none today) leave it unset and ATTACH is
+  /// refused. Set once, right after construction, before any handle_line.
+  void set_sender(WorkSink::PushFn sender) { sender_ = std::move(sender); }
+
+  /// Nonzero once this connection ATTACHed as a fleet worker.
+  [[nodiscard]] std::uint64_t worker_id() const noexcept { return worker_id_; }
+
  private:
   void publish(const char* phase_override = nullptr);
   void append_fetch_reply(std::string& out, bool count_fresh);
   bool handle_report_value(std::string_view field, std::string& out,
                            std::string_view verb);
+  void handle_attach(std::string& out);
+  void handle_result(std::string& out);
 
   const ServerOptions* opts_;
   std::string session_id_;
@@ -72,6 +84,12 @@ class ServerConnection {
   double published_best_ = std::numeric_limits<double>::infinity();
   obs::StatusRegistry::SessionHandle status_;
   proto::MessageView msg_;  // reusable tokenizer scratch
+
+  // Fleet-worker state: the transport's push sender and, once ATTACHed, the
+  // dispatcher-issued worker id (0 = plain tuning session). The destructor
+  // detaches, so a dying worker's in-flight WORK re-dispatches elsewhere.
+  WorkSink::PushFn sender_;
+  std::uint64_t worker_id_ = 0;
 };
 
 }  // namespace harmony

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file work_sink.hpp
+/// The seam between the tuning server's transport layer and a fleet
+/// dispatcher (src/fleet/dispatcher.hpp). A connection that sends ATTACH
+/// flips from the request/reply tuning protocol into a worker channel: the
+/// server registers it here with a push function, the dispatcher then sends
+/// WORK lines through that function at any time, and RESULT lines flow back
+/// through on_result(). Keeping the interface in core (rather than having
+/// the server depend on src/fleet/) breaks the dependency cycle: ah_core
+/// only sees this ABC, ah_fleet implements it, and hosts wire the two
+/// together through ServerOptions::fleet.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace harmony {
+
+class WorkSink {
+ public:
+  virtual ~WorkSink() = default;
+
+  /// Transport-provided sender for one worker connection. The payload is a
+  /// complete wire blob (one or more '\n'-terminated lines). Must be safe to
+  /// call from any thread; returns false when the connection is known dead
+  /// (best effort — a dead worker is also reported via detach()).
+  using PushFn = std::function<bool(std::string_view payload)>;
+
+  /// A worker connection announced itself (ATTACH <name> [capacity]).
+  /// `capacity` is how many WORK items it can hold in flight at once.
+  /// Returns the nonzero worker id echoed back to the worker.
+  [[nodiscard]] virtual std::uint64_t attach(const std::string& name,
+                                             int capacity, PushFn push) = 0;
+
+  /// The worker connection ended (DETACH verb or connection teardown). Any
+  /// WORK the worker still held in flight must be re-dispatched elsewhere.
+  virtual void detach(std::uint64_t worker_id) = 0;
+
+  /// A RESULT line arrived: `ok` false means the worker reported FAIL for
+  /// this configuration. Returns false when `work_id` was never issued
+  /// (protocol error); duplicate results for completed work return true.
+  virtual bool on_result(std::uint64_t worker_id, std::uint64_t work_id,
+                         bool ok, double objective, double cost_s) = 0;
+
+  /// Liveness signal (PING verb); also implied by every RESULT.
+  virtual void heartbeat(std::uint64_t worker_id) = 0;
+};
+
+}  // namespace harmony

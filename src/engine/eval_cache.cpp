@@ -68,6 +68,15 @@ ConcurrentEvalCache::Outcome ConcurrentEvalCache::evaluate(
   }
 }
 
+void ConcurrentEvalCache::insert(const Config& c, const EvaluationResult& r) {
+  const std::string key = space_->key(c);
+  Shard& shard = shard_for(key);
+  std::promise<EvaluationResult> ready;
+  ready.set_value(r);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.table[key] = ready.get_future().share();
+}
+
 std::optional<EvaluationResult> ConcurrentEvalCache::lookup(const Config& c) const {
   const std::string key = space_->key(c);
   Shard& shard = shard_for(key);

@@ -55,6 +55,11 @@ class ConcurrentEvalCache {
   /// Non-blocking lookup of a completed entry (counts as hit or miss).
   [[nodiscard]] std::optional<EvaluationResult> lookup(const Config& c) const;
 
+  /// Insert a result computed elsewhere (a remote fleet worker) as a ready
+  /// entry; overwrites any existing entry for the key (latest wins). Does
+  /// not touch the hit/miss counters.
+  void insert(const Config& c, const EvaluationResult& r);
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t hits() const noexcept { return hits_.load(); }
   [[nodiscard]] std::size_t misses() const noexcept { return misses_.load(); }

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file substrates.hpp
+/// The evaluation substrates a harmony_worker process can serve: each one
+/// pairs a parameter space with a ShortRunFn over one of the repo's
+/// application models (paper Sections IV-VI), plus a fully synthetic
+/// integer-exact function used by identity tests and scaling benches. The
+/// worker picks one by name (--substrate) and must agree with the server's
+/// space — WORK fields are positional.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/param_space.hpp"
+
+namespace harmony::fleet {
+
+struct Substrate {
+  std::string name;
+  ParamSpace space;
+  ShortRunFn run;
+  int steps = 10;  ///< default short-run step count
+};
+
+/// Names accepted by make_substrate, in display order.
+[[nodiscard]] const std::vector<std::string>& substrate_names();
+
+/// Build a substrate by name ("synthetic", "pop", "gs2", "petsc"); nullopt
+/// for unknown names. `spin_us` adds a simulated per-run wall-clock cost
+/// (a sleep — the worker would be blocked on the application's short run)
+/// so scaling benches can model real evaluations.
+[[nodiscard]] std::optional<Substrate> make_substrate(const std::string& name,
+                                                      int spin_us = 0);
+
+}  // namespace harmony::fleet

@@ -1,0 +1,76 @@
+#include "fleet/worker_backend.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace harmony::fleet {
+
+WorkerEvalBackend::WorkerEvalBackend(Dispatcher& dispatcher,
+                                     const ParamSpace& space,
+                                     WorkerBackendOptions opts)
+    : dispatcher_(&dispatcher), space_(&space), opts_(opts), cache_(space) {}
+
+std::size_t WorkerEvalBackend::concurrency() const {
+  if (opts_.max_batch > 0) return opts_.max_batch;
+  const std::size_t cap = dispatcher_->total_capacity();
+  return cap > 0 ? cap : 1;
+}
+
+std::size_t WorkerEvalBackend::cache_hits() const { return cache_.hits(); }
+
+std::size_t WorkerEvalBackend::cache_coalesced() const {
+  return coalesced_.load(std::memory_order_relaxed);
+}
+
+std::vector<EvalOutcome> WorkerEvalBackend::evaluate(
+    const std::vector<Config>& batch, const Context& ctx) {
+  (void)ctx;
+  std::vector<EvalOutcome> out(batch.size());
+
+  // Resolve the batch against the cache and collapse in-batch duplicates:
+  // one wire dispatch per distinct lattice key, every other slot is filled
+  // from the first one's result.
+  std::vector<Config> misses;
+  std::vector<std::size_t> miss_slot;       // batch index of each miss
+  std::unordered_map<std::string, std::size_t> first_miss;  // key -> miss idx
+  std::vector<std::pair<std::size_t, std::size_t>> dup_of;  // slot, miss idx
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::string key = space_->key(batch[i]);
+    if (opts_.use_cache) {
+      if (const auto hit = cache_.lookup(batch[i])) {
+        out[i].result = *hit;
+        out[i].ran = false;
+        continue;
+      }
+    }
+    const auto it = first_miss.find(key);
+    if (it != first_miss.end()) {
+      dup_of.emplace_back(i, it->second);
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    first_miss.emplace(key, misses.size());
+    miss_slot.push_back(i);
+    misses.push_back(batch[i]);
+  }
+
+  if (!misses.empty()) {
+    obs::count("fleet.batches");
+    const auto results = dispatcher_->run_batch(misses);
+    for (std::size_t m = 0; m < results.size(); ++m) {
+      out[miss_slot[m]] = results[m];
+      if (opts_.use_cache && results[m].ran) {
+        cache_.insert(misses[m], results[m].result);
+      }
+    }
+  }
+  for (const auto& [slot, m] : dup_of) {
+    out[slot].result = out[miss_slot[m]].result;
+    out[slot].ran = false;  // shared the duplicate's single remote run
+  }
+  return out;
+}
+
+}  // namespace harmony::fleet

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file worker_client.hpp
+/// The worker side of the fleet protocol: connect (with retry, so workers
+/// survive a server that starts later), ATTACH with a substrate name and a
+/// pipeline capacity, then serve pushed WORK lines — decode the candidate,
+/// run the ShortRunFn, answer RESULT — until the server hangs up, stop() is
+/// called from another thread, or an optional evaluation quota is met. Sends
+/// PING heartbeats while idle. Used by the tools/harmony_worker binary (one
+/// worker per process) and, in-process, by tests and benches (one worker per
+/// thread — same code path, TSan-visible).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/controller.hpp"
+#include "core/net.hpp"
+#include "core/param_space.hpp"
+
+namespace harmony::fleet {
+
+struct WorkerClientOptions {
+  std::string name = "synthetic";  ///< substrate advertised in ATTACH
+  int capacity = 2;                ///< WORK items the server may pipeline
+
+  /// Connect retry: defaults tolerate the server starting ~2s late.
+  net::ConnectOptions connect{/*attempts=*/20, /*backoff_ms=*/50,
+                              /*max_backoff_ms=*/500, /*timeout_ms=*/1000};
+
+  /// Idle heartbeat interval (PING); zero disables.
+  std::chrono::milliseconds heartbeat{500};
+
+  /// Detach voluntarily after this many evaluations; 0 = serve forever.
+  std::uint64_t max_evals = 0;
+};
+
+class WorkerClient {
+ public:
+  explicit WorkerClient(WorkerClientOptions opts = {});
+
+  /// Connect + ATTACH + serve until disconnect/stop()/quota. Returns false
+  /// when the connect or ATTACH handshake failed (see last_error()).
+  [[nodiscard]] bool run(int port, const ParamSpace& space, const ShortRunFn& fn,
+                         int steps);
+
+  /// Ask a running worker to exit; safe from any thread. The in-flight
+  /// evaluation (if any) completes and its RESULT may be lost — the
+  /// dispatcher re-queues it when the connection drops.
+  void stop();
+
+  [[nodiscard]] std::uint64_t evals() const noexcept {
+    return evals_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t worker_id() const noexcept { return worker_id_; }
+  [[nodiscard]] const std::string& last_error() const noexcept { return error_; }
+
+ private:
+  /// Handle one server line; false ends the serve loop.
+  [[nodiscard]] bool handle_line(std::string_view line, const ParamSpace& space,
+                                 const ShortRunFn& fn, int steps);
+
+  WorkerClientOptions opts_;
+  net::Socket socket_;
+  std::atomic<std::uint64_t> evals_{0};
+  std::atomic<bool> stop_{false};
+  std::uint64_t worker_id_ = 0;
+  std::string error_;
+};
+
+}  // namespace harmony::fleet

@@ -1,5 +1,6 @@
 #include "obs/status.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <ostream>
 #include <sstream>
@@ -22,6 +23,12 @@ std::string json_number(double v) {
 }
 
 }  // namespace
+
+double steady_seconds() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - origin)
+      .count();
+}
 
 StatusRegistry& StatusRegistry::global() {
   static StatusRegistry registry;
@@ -89,6 +96,21 @@ void StatusRegistry::WorkerHandle::set(bool busy, std::uint64_t tasks) {
     const std::lock_guard<std::mutex> lock(slot_->mutex);
     slot_->status.busy = busy;
     slot_->status.tasks = tasks;
+  }
+  slot_->slot_epoch.fetch_add(1, std::memory_order_relaxed);
+  registry_->bump();
+}
+
+void StatusRegistry::WorkerHandle::update(
+    const std::function<void(WorkerStatus&)>& fn) {
+  if (slot_ == nullptr || !fn) return;
+  {
+    const std::lock_guard<std::mutex> lock(slot_->mutex);
+    std::string pool = slot_->status.pool;  // fixed at publish time
+    const std::uint32_t lane = slot_->status.lane;
+    fn(slot_->status);
+    slot_->status.pool = std::move(pool);
+    slot_->status.lane = lane;
   }
   slot_->slot_epoch.fetch_add(1, std::memory_order_relaxed);
   registry_->bump();
@@ -216,12 +238,16 @@ void StatusRegistry::write_json(std::ostream& os) const {
        << ",\"cache_hits\":" << s.cache_hits << "}";
   }
   os << "],\"workers\":[";
+  const double now_s = steady_seconds();
   for (std::size_t i = 0; i < work.size(); ++i) {
     const auto& w = work[i];
     if (i != 0) os << ",";
     os << "{\"pool\":\"" << json_escape(w.pool) << "\""
        << ",\"lane\":" << w.lane << ",\"busy\":" << (w.busy ? "true" : "false")
-       << ",\"tasks\":" << w.tasks << "}";
+       << ",\"tasks\":" << w.tasks << ",\"detail\":\"" << json_escape(w.detail)
+       << "\",\"beat_age_s\":"
+       << (w.last_beat_s >= 0.0 ? json_number(now_s - w.last_beat_s) : "null")
+       << "}";
   }
   os << "]}";
 }

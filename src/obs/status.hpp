@@ -51,13 +51,21 @@ struct SessionStatus {
   std::uint64_t cache_hits = 0;  ///< evaluations served from a cache
 };
 
-/// Live state of one pool worker lane.
+/// Live state of one worker lane (a thread-pool lane or a remote fleet
+/// worker). Fleet publishers additionally fill `detail` (the in-flight
+/// candidate) and `last_beat_s` (heartbeat time, from steady_seconds()).
 struct WorkerStatus {
-  std::string pool;       ///< pool identifier, e.g. "pool/2"
+  std::string pool;       ///< pool identifier, e.g. "pool/2" or "fleet/pop"
   std::uint32_t lane = 0; ///< worker index within the pool
   bool busy = false;      ///< currently executing a task
   std::uint64_t tasks = 0;  ///< tasks completed so far
+  std::string detail;     ///< in-flight candidate description ("" when idle)
+  double last_beat_s = -1.0;  ///< steady_seconds() of the last heartbeat; <0 none
 };
+
+/// Monotonic seconds since an arbitrary process-wide origin; timestamps the
+/// worker heartbeats so STATUS snapshots can serialize an age.
+[[nodiscard]] double steady_seconds();
 
 class StatusRegistry {
   struct SessionSlot;
@@ -111,6 +119,10 @@ class StatusRegistry {
 
     /// Publish the lane's current activity.
     void set(bool busy, std::uint64_t tasks);
+
+    /// Mutate the published state under the slot lock (fleet publishers set
+    /// detail/heartbeat too). `pool` and `lane` are fixed at publish time.
+    void update(const std::function<void(WorkerStatus&)>& fn);
 
     void reset();  ///< unpublish early
 

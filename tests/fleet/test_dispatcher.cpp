@@ -1,0 +1,299 @@
+// Dispatcher unit tests against scripted fake workers: capacity limits,
+// least-loaded dispatch, detach re-queue, straggler duplication with
+// first-result-wins dedup, elastic attach, substrate filtering and shutdown.
+// The push side is a plain lambda recording WORK lines, so every test drives
+// the protocol edge directly without sockets.
+
+#include "fleet/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/param_space.hpp"
+
+namespace fleet = harmony::fleet;
+using harmony::Config;
+using harmony::ParamSpace;
+using harmony::Parameter;
+
+namespace {
+
+ParamSpace make_space() {
+  ParamSpace space;
+  space.add(Parameter::Integer("x", 0, 100));
+  return space;
+}
+
+/// Extract the work id from a "WORK <id> ...\n" payload.
+std::uint64_t work_id_of(std::string_view payload) {
+  EXPECT_EQ(payload.substr(0, 5), "WORK ");
+  return std::strtoull(std::string(payload.substr(5)).c_str(), nullptr, 10);
+}
+
+/// Scripted worker: records pushed WORK ids; the test answers manually.
+struct FakeWorker {
+  std::mutex mutex;
+  std::vector<std::uint64_t> received;
+  std::uint64_t id = 0;  // assigned by attach()
+
+  harmony::WorkSink::PushFn push() {
+    return [this](std::string_view payload) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      received.push_back(work_id_of(payload));
+      return true;
+    };
+  }
+
+  std::vector<std::uint64_t> snapshot() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return received;
+  }
+};
+
+/// Run a batch of n distinct configs on a background thread.
+struct BatchRun {
+  std::thread thread;
+  std::vector<harmony::EvalOutcome> out;
+
+  BatchRun(fleet::Dispatcher& d, const ParamSpace& space, int n) {
+    std::vector<Config> batch;
+    for (int i = 0; i < n; ++i) {
+      Config c = space.default_config();
+      space.set(c, "x", static_cast<std::int64_t>(i));
+      batch.push_back(c);
+    }
+    thread = std::thread([this, &d, batch] { out = d.run_batch(batch); });
+  }
+  ~BatchRun() {
+    if (thread.joinable()) thread.join();
+  }
+  void join() { thread.join(); }
+};
+
+/// Poll until `fn` is true or ~2s elapse.
+template <typename Fn>
+bool eventually(Fn fn) {
+  for (int i = 0; i < 400; ++i) {
+    if (fn()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return fn();
+}
+
+TEST(Dispatcher, RespectsCapacityAndPipelinesRefills) {
+  const auto space = make_space();
+  fleet::Dispatcher d(space);
+  FakeWorker w;
+  w.id = d.attach("synthetic", 2, w.push());
+
+  BatchRun run(d, space, 5);
+  ASSERT_TRUE(eventually([&] { return w.snapshot().size() == 2; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(w.snapshot().size(), 2u);  // capacity 2: no third push yet
+
+  // Each RESULT frees one slot and pulls exactly one queued item.
+  auto ids = w.snapshot();
+  EXPECT_TRUE(d.on_result(w.id, ids[0], true, 10.0, 0.001));
+  ASSERT_TRUE(eventually([&] { return w.snapshot().size() == 3; }));
+  for (std::size_t i = 1; i < 5; ++i) {
+    ids = w.snapshot();
+    EXPECT_TRUE(d.on_result(w.id, ids[i], true, 10.0 + i, 0.001));
+  }
+  run.join();
+
+  ASSERT_EQ(run.out.size(), 5u);
+  for (const auto& o : run.out) {
+    EXPECT_TRUE(o.result.valid);
+    EXPECT_TRUE(o.ran);
+  }
+  // Results land in the slot their work id was created for (batch order).
+  EXPECT_DOUBLE_EQ(run.out[0].result.objective, 10.0);
+  EXPECT_DOUBLE_EQ(run.out[4].result.objective, 14.0);
+  const auto stats = d.stats();
+  EXPECT_EQ(stats.dispatched, 5u);
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(stats.requeued, 0u);
+}
+
+TEST(Dispatcher, SpreadsAcrossLeastLoadedWorkers) {
+  const auto space = make_space();
+  fleet::Dispatcher d(space);
+  FakeWorker a;
+  FakeWorker b;
+  a.id = d.attach("synthetic", 4, a.push());
+  b.id = d.attach("synthetic", 4, b.push());
+  EXPECT_EQ(d.worker_count(), 2u);
+  EXPECT_EQ(d.total_capacity(), 8u);
+
+  BatchRun run(d, space, 4);
+  ASSERT_TRUE(eventually(
+      [&] { return a.snapshot().size() + b.snapshot().size() == 4; }));
+  // Least-loaded assignment alternates: two each, not four on the first.
+  EXPECT_EQ(a.snapshot().size(), 2u);
+  EXPECT_EQ(b.snapshot().size(), 2u);
+
+  for (const auto id : a.snapshot()) d.on_result(a.id, id, true, 1.0, 0.0);
+  for (const auto id : b.snapshot()) d.on_result(b.id, id, true, 2.0, 0.0);
+  run.join();
+  for (const auto& o : run.out) EXPECT_TRUE(o.result.valid);
+}
+
+TEST(Dispatcher, DetachRequeuesInFlightWork) {
+  const auto space = make_space();
+  fleet::Dispatcher d(space);
+  FakeWorker a;
+  a.id = d.attach("synthetic", 2, a.push());
+
+  BatchRun run(d, space, 2);
+  ASSERT_TRUE(eventually([&] { return a.snapshot().size() == 2; }));
+
+  // The worker dies holding both items; a healthy worker joins and the
+  // re-queued items re-dispatch onto it.
+  d.detach(a.id);
+  EXPECT_EQ(d.worker_count(), 0u);
+  FakeWorker b;
+  b.id = d.attach("synthetic", 2, b.push());
+  ASSERT_TRUE(eventually([&] { return b.snapshot().size() == 2; }));
+  for (const auto id : b.snapshot()) d.on_result(b.id, id, true, 3.0, 0.0);
+  run.join();
+
+  for (const auto& o : run.out) {
+    EXPECT_TRUE(o.result.valid);
+    EXPECT_DOUBLE_EQ(o.result.objective, 3.0);
+  }
+  const auto stats = d.stats();
+  EXPECT_EQ(stats.requeued, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.dispatched, 4u);  // 2 original + 2 re-dispatched
+}
+
+TEST(Dispatcher, StragglerDuplicatesAndFirstResultWins) {
+  const auto space = make_space();
+  fleet::DispatcherOptions opts;
+  opts.straggler_timeout = std::chrono::milliseconds(30);
+  fleet::Dispatcher d(space, opts);
+  FakeWorker slow;
+  FakeWorker fast;
+  slow.id = d.attach("synthetic", 1, slow.push());
+
+  BatchRun run(d, space, 1);
+  ASSERT_TRUE(eventually([&] { return slow.snapshot().size() == 1; }));
+  const std::uint64_t id = slow.snapshot()[0];
+
+  // A free worker appears; after the timeout the item is duplicated onto it.
+  fast.id = d.attach("synthetic", 1, fast.push());
+  ASSERT_TRUE(eventually([&] { return !fast.snapshot().empty(); }));
+  EXPECT_EQ(fast.snapshot()[0], id);
+  EXPECT_GE(d.stats().redispatched, 1u);
+
+  // Fast answers first and wins; the slow duplicate is dropped on arrival.
+  EXPECT_TRUE(d.on_result(fast.id, id, true, 7.0, 0.0));
+  run.join();
+  ASSERT_EQ(run.out.size(), 1u);
+  EXPECT_DOUBLE_EQ(run.out[0].result.objective, 7.0);
+
+  EXPECT_TRUE(d.on_result(slow.id, id, true, 99.0, 0.0));  // late duplicate
+  const auto stats = d.stats();
+  EXPECT_EQ(stats.deduped, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_DOUBLE_EQ(run.out[0].result.objective, 7.0);  // winner unchanged
+}
+
+TEST(Dispatcher, ElasticAttachPullsQueuedWork) {
+  const auto space = make_space();
+  fleet::Dispatcher d(space);
+  FakeWorker a;
+  a.id = d.attach("synthetic", 1, a.push());
+
+  BatchRun run(d, space, 3);  // 1 in flight on a, 2 queued
+  ASSERT_TRUE(eventually([&] { return a.snapshot().size() == 1; }));
+
+  // Mid-batch join: the new worker immediately drains the queue.
+  FakeWorker b;
+  b.id = d.attach("synthetic", 2, b.push());
+  ASSERT_TRUE(eventually([&] { return b.snapshot().size() == 2; }));
+
+  d.on_result(a.id, a.snapshot()[0], true, 1.0, 0.0);
+  for (const auto id : b.snapshot()) d.on_result(b.id, id, true, 2.0, 0.0);
+  run.join();
+  for (const auto& o : run.out) EXPECT_TRUE(o.result.valid);
+}
+
+TEST(Dispatcher, SubstrateFilterGatesDispatchAndCounts) {
+  const auto space = make_space();
+  fleet::DispatcherOptions opts;
+  opts.substrate = "gs2";
+  fleet::Dispatcher d(space, opts);
+  FakeWorker wrong;
+  wrong.id = d.attach("pop", 4, wrong.push());
+
+  EXPECT_FALSE(d.wait_for_workers(1, std::chrono::milliseconds(50)));
+  EXPECT_EQ(d.total_capacity(), 0u);
+
+  FakeWorker right;
+  right.id = d.attach("gs2", 1, right.push());
+  EXPECT_TRUE(d.wait_for_workers(1, std::chrono::milliseconds(1000)));
+
+  BatchRun run(d, space, 1);
+  ASSERT_TRUE(eventually([&] { return right.snapshot().size() == 1; }));
+  EXPECT_TRUE(wrong.snapshot().empty());  // filtered worker never sees work
+  d.on_result(right.id, right.snapshot()[0], true, 5.0, 0.0);
+  run.join();
+  EXPECT_DOUBLE_EQ(run.out[0].result.objective, 5.0);
+}
+
+TEST(Dispatcher, FailResultsAreChargedButInvalid) {
+  const auto space = make_space();
+  fleet::Dispatcher d(space);
+  FakeWorker w;
+  w.id = d.attach("synthetic", 1, w.push());
+
+  BatchRun run(d, space, 1);
+  ASSERT_TRUE(eventually([&] { return w.snapshot().size() == 1; }));
+  EXPECT_TRUE(d.on_result(w.id, w.snapshot()[0], /*ok=*/false, 0.0, 0.002));
+  run.join();
+
+  EXPECT_FALSE(run.out[0].result.valid);
+  EXPECT_TRUE(run.out[0].ran);  // a failed run still charges the budget
+  EXPECT_DOUBLE_EQ(run.out[0].cost_s, 0.002);
+  EXPECT_EQ(d.stats().failed, 1u);
+}
+
+TEST(Dispatcher, RejectsResultsForUnissuedIds) {
+  const auto space = make_space();
+  fleet::Dispatcher d(space);
+  FakeWorker w;
+  w.id = d.attach("synthetic", 1, w.push());
+  EXPECT_FALSE(d.on_result(w.id, 0, true, 1.0, 0.0));
+  EXPECT_FALSE(d.on_result(w.id, 12345, true, 1.0, 0.0));
+}
+
+TEST(Dispatcher, ShutdownFailsOutstandingBatch) {
+  const auto space = make_space();
+  fleet::Dispatcher d(space);  // no workers at all
+
+  BatchRun run(d, space, 3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  d.shutdown();
+  run.join();
+
+  ASSERT_EQ(run.out.size(), 3u);
+  for (const auto& o : run.out) {
+    EXPECT_FALSE(o.result.valid);
+    EXPECT_FALSE(o.ran);
+  }
+  // Further batches fail immediately instead of blocking.
+  std::vector<Config> one{space.default_config()};
+  const auto out = d.run_batch(one);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].result.valid);
+}
+
+}  // namespace

@@ -187,7 +187,10 @@ ControllerResult SearchController::run(BatchSearchStrategy& strategy,
         ++evaluations_;
         out.total_cost_s += o.cost_s;
       }
-      note_result(batch[i], o.result, /*cached=*/!o.ran);
+      // Speculative (model-predicted) outcomes reach the strategy only:
+      // History and the incumbent record measurements exclusively, so the
+      // reported best is always a real evaluation.
+      if (!o.speculative) note_result(batch[i], o.result, /*cached=*/!o.ran);
       results[i] = o.result;
     }
     strategy.report_batch(batch, results);
@@ -222,7 +225,11 @@ ControllerResult SearchController::run(BatchSearchStrategy& strategy,
 
 std::optional<Config> SearchController::ask(SearchStrategy& strategy) {
   if (pending_) return pending_;  // idempotent re-ask of the outstanding point
-  if (proposals_ >= limits_.max_evaluations) return std::nullopt;
+  // The budget counts measurements, not proposals: speculative tells leave
+  // evaluations_ untouched, so a surrogate-assisted loop keeps asking until
+  // enough *real* measurements were spent (max_proposals still bounds it).
+  if (evaluations_ >= limits_.max_evaluations) return std::nullopt;
+  if (proposals_ >= limits_.max_proposals) return std::nullopt;
   auto proposal = strategy.propose();
   if (!proposal) return std::nullopt;
   ++proposals_;
@@ -230,17 +237,21 @@ std::optional<Config> SearchController::ask(SearchStrategy& strategy) {
   return pending_;
 }
 
-void SearchController::tell(SearchStrategy& strategy, const EvaluationResult& r) {
+void SearchController::tell(SearchStrategy& strategy, const EvaluationResult& r,
+                            bool speculative) {
   if (!pending_) {
     throw std::logic_error("SearchController::tell without a pending ask");
   }
   if (tracer_ != nullptr) {
     const double now = tracer_->now_us();
     tracer_->record({strategy.name(), space_->format(*pending_), r.objective,
-                     r.valid, /*cache_hit=*/false, /*thread_lane=*/0, now, now});
+                     r.valid, /*cache_hit=*/speculative, /*thread_lane=*/0, now,
+                     now});
   }
-  ++evaluations_;
-  note_result(*pending_, r, /*cached=*/false);
+  if (!speculative) {
+    ++evaluations_;
+    note_result(*pending_, r, /*cached=*/false);
+  }
   strategy.report(*pending_, r);
   pending_.reset();
 }

@@ -69,6 +69,15 @@ struct EvalOutcome {
   EvaluationResult result;
   bool ran = true;      ///< a fresh evaluation happened (charges the budget)
   double cost_s = 0.0;  ///< tuning cost charged when ran (restart+warmup+run)
+
+  /// True when `result` is a model prediction rather than a measurement
+  /// (engine::SurrogateEvalBackend skipping a low-ranked candidate). The
+  /// controller reports a speculative result to the strategy — that is the
+  /// whole point of pre-ranking — but never lets it charge the budget,
+  /// enter the cache, update the incumbent, or land in History. No backend
+  /// sets this by default, so trajectories without a surrogate are
+  /// untouched.
+  bool speculative = false;
 };
 
 /// How candidates get measured. The backend owns the evaluation side of the
@@ -188,8 +197,13 @@ class SearchController {
   /// server, in-application Session). ask() is idempotent while a proposal
   /// is outstanding and returns nullopt once the evaluation budget is spent
   /// or the strategy stops proposing; tell() feeds the measurement back.
+  /// A speculative tell() carries a model-predicted value: the strategy
+  /// hears it, but it charges no budget, never becomes the incumbent and is
+  /// not recorded in History — mirroring how the batch loop treats
+  /// EvalOutcome::speculative.
   [[nodiscard]] std::optional<Config> ask(SearchStrategy& strategy);
-  void tell(SearchStrategy& strategy, const EvaluationResult& r);
+  void tell(SearchStrategy& strategy, const EvaluationResult& r,
+            bool speculative = false);
   [[nodiscard]] bool awaiting_tell() const { return pending_.has_value(); }
 
   [[nodiscard]] int evaluations() const { return evaluations_; }

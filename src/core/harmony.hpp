@@ -16,6 +16,7 @@
 #include "core/coordinate_descent.hpp"
 #include "core/evaluation.hpp"
 #include "core/exhaustive.hpp"
+#include "core/genetic_search.hpp"
 #include "core/history.hpp"
 #include "core/nelder_mead.hpp"
 #include "core/offline_driver.hpp"

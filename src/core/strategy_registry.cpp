@@ -7,6 +7,7 @@
 
 #include "core/coordinate_descent.hpp"
 #include "core/exhaustive.hpp"
+#include "core/genetic_search.hpp"
 #include "core/random_search.hpp"
 #include "core/simulated_annealing.hpp"
 #include "core/systematic_sampler.hpp"
@@ -150,6 +151,45 @@ AnnealingOptions parse_annealing(const StrategyOptions& opts) {
   return o;
 }
 
+GeneticOptions parse_genetic(const StrategyOptions& opts) {
+  static constexpr const char* kKnown =
+      "population, generations, mutation, elite, tournament, crossover, seed";
+  GeneticOptions o;
+  for (const auto& [key, value] : opts) {
+    if (key == "population") {
+      o.population = parse_number<int>("genetic", key, value);
+    } else if (key == "generations") {
+      o.generations = parse_number<int>("genetic", key, value);
+    } else if (key == "mutation") {
+      o.mutation = parse_real("genetic", key, value);
+    } else if (key == "elite") {
+      o.elite = parse_number<int>("genetic", key, value);
+    } else if (key == "tournament") {
+      o.tournament = parse_number<int>("genetic", key, value);
+    } else if (key == "crossover") {
+      o.crossover = parse_real("genetic", key, value);
+    } else if (key == "seed") {
+      o.seed = parse_number<std::uint64_t>("genetic", key, value);
+    } else {
+      unknown_key("genetic", key, kKnown);
+    }
+  }
+  // Mirror the constructor's range checks here so validate() (the server's
+  // pre-START STRATEGY screen) rejects bad values without a ParamSpace.
+  if (o.population < 2) bad_option("genetic", "population must be >= 2");
+  if (o.generations < 1) bad_option("genetic", "generations must be >= 1");
+  if (o.mutation < 0.0 || o.mutation > 1.0) {
+    bad_option("genetic", "mutation must be in [0, 1]");
+  }
+  if (o.elite < 0) bad_option("genetic", "elite must be >= 0");
+  if (o.elite >= o.population) bad_option("genetic", "elite must be < population");
+  if (o.tournament < 1) bad_option("genetic", "tournament must be >= 1");
+  if (o.crossover < 0.0 || o.crossover > 1.0) {
+    bad_option("genetic", "crossover must be in [0, 1]");
+  }
+  return o;
+}
+
 struct CoordinateParams {
   int max_sweeps = 50;
   int line_samples = 0;
@@ -170,12 +210,40 @@ CoordinateParams parse_coordinate(const StrategyOptions& opts) {
   return p;
 }
 
+/// Owning counterpart of SequentialBatchAdapter for registry-built serial
+/// strategies riding the batch pathway.
+class OwningSequentialAdapter final : public BatchSearchStrategy {
+ public:
+  explicit OwningSequentialAdapter(std::unique_ptr<SearchStrategy> inner)
+      : inner_(std::move(inner)), adapter_(*inner_) {}
+
+  [[nodiscard]] std::vector<Config> propose_batch(std::size_t max_n) override {
+    return adapter_.propose_batch(max_n);
+  }
+  void report_batch(const std::vector<Config>& configs,
+                    const std::vector<EvaluationResult>& results) override {
+    adapter_.report_batch(configs, results);
+  }
+  [[nodiscard]] bool converged() const override { return adapter_.converged(); }
+  [[nodiscard]] std::optional<Config> best() const override {
+    return adapter_.best();
+  }
+  [[nodiscard]] double best_objective() const override {
+    return adapter_.best_objective();
+  }
+  [[nodiscard]] std::string name() const override { return adapter_.name(); }
+
+ private:
+  std::unique_ptr<SearchStrategy> inner_;
+  SequentialBatchAdapter adapter_;
+};
+
 }  // namespace
 
 const std::vector<std::string>& StrategyRegistry::names() {
   static const std::vector<std::string> kNames = {
-      "nelder-mead", "random",    "systematic",
-      "exhaustive",  "annealing", "coordinate-descent"};
+      "nelder-mead", "random",    "systematic",         "exhaustive",
+      "annealing",   "genetic",   "coordinate-descent"};
   return kNames;
 }
 
@@ -199,6 +267,8 @@ bool StrategyRegistry::validate(const std::string& name, const StrategyOptions& 
       (void)parse_exhaustive(opts);
     } else if (name == "annealing") {
       (void)parse_annealing(opts);
+    } else if (name == "genetic") {
+      (void)parse_genetic(opts);
     } else if (name == "coordinate-descent") {
       (void)parse_coordinate(opts);
     } else {
@@ -234,12 +304,27 @@ std::unique_ptr<SearchStrategy> StrategyRegistry::make(const std::string& name,
     return std::make_unique<SimulatedAnnealing>(space, parse_annealing(opts),
                                                 std::move(initial));
   }
+  if (name == "genetic") {
+    return std::make_unique<GeneticSearch>(space, parse_genetic(opts),
+                                           std::move(initial));
+  }
   if (name == "coordinate-descent") {
     const CoordinateParams p = parse_coordinate(opts);
     return std::make_unique<CoordinateDescent>(space, std::move(initial),
                                                p.max_sweeps, p.line_samples);
   }
   throw std::invalid_argument("unknown strategy " + name);
+}
+
+std::unique_ptr<BatchSearchStrategy> StrategyRegistry::make_batch(
+    const std::string& name, const ParamSpace& space, const StrategyOptions& opts,
+    std::optional<Config> initial) {
+  if (name == "genetic") {
+    return std::make_unique<GeneticSearch>(space, parse_genetic(opts),
+                                           std::move(initial));
+  }
+  return std::make_unique<OwningSequentialAdapter>(
+      make(name, space, opts, std::move(initial)));
 }
 
 std::unique_ptr<SearchStrategy> StrategyRegistry::make_default(

@@ -20,6 +20,8 @@
 ///   exhaustive         max_points
 ///   annealing          max_evaluations, initial_temperature, cooling,
 ///                      neighbor_fraction, seed
+///   genetic            population, generations, mutation, elite, tournament,
+///                      crossover, seed
 ///   coordinate-descent max_sweeps, line_samples
 
 #include <memory>
@@ -58,6 +60,16 @@ class StrategyRegistry {
   /// on unknown names, bad options, or construction failure (e.g. exhaustive
   /// on a space larger than max_points).
   [[nodiscard]] static std::unique_ptr<SearchStrategy> make(
+      const std::string& name, const ParamSpace& space,
+      const StrategyOptions& opts = {},
+      std::optional<Config> initial = std::nullopt);
+
+  /// Construct the batch-native form of a strategy. Strategies with a native
+  /// batch implementation (genetic) are returned directly, so a concurrent
+  /// backend can evaluate a whole population at once; every other name is
+  /// wrapped in an owning batch-size-1 adapter that preserves its serial
+  /// propose/report semantics to the letter.
+  [[nodiscard]] static std::unique_ptr<BatchSearchStrategy> make_batch(
       const std::string& name, const ParamSpace& space,
       const StrategyOptions& opts = {},
       std::optional<Config> initial = std::nullopt);

@@ -15,4 +15,6 @@
 #include "engine/batch_strategy.hpp"
 #include "engine/eval_cache.hpp"
 #include "engine/parallel_driver.hpp"
+#include "engine/surrogate.hpp"
+#include "engine/surrogate_backend.hpp"
 #include "engine/thread_pool.hpp"

@@ -1,0 +1,86 @@
+#include "engine/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace harmony::engine {
+
+KnnSurrogate::KnnSurrogate(const ParamSpace& space, KnnSurrogateOptions opts)
+    : space_(&space), opts_(opts) {
+  if (space.empty()) {
+    throw std::invalid_argument("KnnSurrogate: empty parameter space");
+  }
+  if (opts.k == 0) throw std::invalid_argument("KnnSurrogate: k must be >= 1");
+}
+
+std::vector<double> KnnSurrogate::normalized(const Config& c) const {
+  std::vector<double> coords = space_->coords(c);
+  for (std::size_t d = 0; d < coords.size(); ++d) {
+    const Parameter& p = space_->param(d);
+    const double span = p.coord_max() - p.coord_min();
+    coords[d] = span > 0.0 ? (coords[d] - p.coord_min()) / span : 0.0;
+  }
+  return coords;
+}
+
+void KnnSurrogate::observe(const Config& c, double objective) {
+  points_.push_back(normalized(c));
+  values_.push_back(objective);
+}
+
+void KnnSurrogate::fit_history(const History& h) {
+  for (const auto& e : h.entries()) {
+    if (e.result.valid && !e.cached) observe(e.config, e.result.objective);
+  }
+}
+
+std::optional<double> KnnSurrogate::predict(const Config& c) const {
+  if (values_.size() < opts_.min_samples) return std::nullopt;
+  const std::vector<double> q = normalized(c);
+
+  // Squared distance to every sample; partial-select the k nearest.
+  std::vector<std::pair<double, std::size_t>> dist;
+  dist.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < q.size(); ++d) {
+      const double delta = points_[i][d] - q[d];
+      d2 += delta * delta;
+    }
+    dist.emplace_back(d2, i);
+  }
+  const std::size_t k = std::min(opts_.k, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist.end());
+
+  // Inverse-distance weighting; an exact lattice match dominates entirely.
+  double wsum = 0.0;
+  double vsum = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double d = std::sqrt(dist[j].first);
+    if (d < 1e-12) return values_[dist[j].second];
+    const double w = 1.0 / std::pow(d, opts_.idw_power);
+    wsum += w;
+    vsum += w * values_[dist[j].second];
+  }
+  return vsum / wsum;
+}
+
+double KnnSurrogate::uncertainty(const Config& c) const {
+  if (points_.empty()) return std::numeric_limits<double>::infinity();
+  const std::vector<double> q = normalized(c);
+  double nearest = std::numeric_limits<double>::infinity();
+  for (const auto& p : points_) {
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < q.size(); ++d) {
+      const double delta = p[d] - q[d];
+      d2 += delta * delta;
+    }
+    nearest = std::min(nearest, d2);
+  }
+  return std::sqrt(nearest);
+}
+
+}  // namespace harmony::engine

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file surrogate.hpp
+/// Cheap performance models fitted from observed evaluations — the "offsite"
+/// half of model-guided two-stage search (Offsite Autotuning, Odyssey/AutoSA
+/// flow): a cheap model pre-ranks candidates so the accurate-but-expensive
+/// measurement only runs on the promising ones. A Surrogate absorbs real
+/// measurements incrementally (one observe() per fresh evaluation, or a
+/// whole recorded History at once) and predicts the objective of unseen
+/// configurations; SurrogateEvalBackend (surrogate_backend.hpp) wires a
+/// Surrogate in front of any EvalBackend.
+///
+/// KnnSurrogate is the default model: k-nearest-neighbour regression with
+/// inverse-distance weighting over the ParamSpace coordinate embedding,
+/// normalized per dimension so "nearest" is meaningful across parameters
+/// with wildly different ranges. It has no training step — fitting is an
+/// append — which makes it a natural incremental model for a running search.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+#include "core/param_space.hpp"
+#include "core/types.hpp"
+
+namespace harmony::engine {
+
+/// Incremental objective model: absorb measurements, predict unseen points.
+class Surrogate {
+ public:
+  virtual ~Surrogate() = default;
+
+  /// Absorb one real measurement (invalid results must not be fed here).
+  virtual void observe(const Config& c, double objective) = 0;
+
+  /// Predicted objective for `c`, or nullopt while the model does not yet
+  /// consider itself able to predict (too few samples).
+  [[nodiscard]] virtual std::optional<double> predict(const Config& c) const = 0;
+
+  /// Number of measurements absorbed so far.
+  [[nodiscard]] virtual std::size_t samples() const = 0;
+
+  /// How unsure the model is about `c`, on an arbitrary but monotone scale
+  /// (0 = a point it has already measured). SurrogateEvalBackend spends one
+  /// forwarded slot per batch on the most uncertain candidate, so the model
+  /// keeps being corrected where it is extrapolating instead of measuring
+  /// only where it already predicts well.
+  [[nodiscard]] virtual double uncertainty(const Config&) const { return 0.0; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+struct KnnSurrogateOptions {
+  std::size_t k = 5;            ///< neighbours averaged per prediction
+  std::size_t min_samples = 8;  ///< predict() abstains below this
+  double idw_power = 2.0;       ///< inverse-distance weight exponent
+};
+
+/// k-NN / inverse-distance-weighted regressor over normalized coordinates.
+class KnnSurrogate final : public Surrogate {
+ public:
+  /// Throws std::invalid_argument on k == 0 or an empty space.
+  explicit KnnSurrogate(const ParamSpace& space, KnnSurrogateOptions opts = {});
+
+  void observe(const Config& c, double objective) override;
+
+  /// Warm-start from a recorded History: every valid, non-cached entry is
+  /// absorbed (cached entries repeat a lattice point already seen).
+  void fit_history(const History& h);
+
+  [[nodiscard]] std::optional<double> predict(const Config& c) const override;
+  [[nodiscard]] std::size_t samples() const override { return values_.size(); }
+
+  /// Distance to the nearest stored sample in normalized coordinate space.
+  [[nodiscard]] double uncertainty(const Config& c) const override;
+
+  [[nodiscard]] std::string name() const override { return "knn"; }
+
+ private:
+  /// Per-dimension [0, 1] normalization of the coordinate embedding.
+  [[nodiscard]] std::vector<double> normalized(const Config& c) const;
+
+  const ParamSpace* space_;
+  KnnSurrogateOptions opts_;
+  std::vector<std::vector<double>> points_;  ///< normalized coordinates
+  std::vector<double> values_;               ///< observed objectives
+};
+
+}  // namespace harmony::engine

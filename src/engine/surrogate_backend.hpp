@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file surrogate_backend.hpp
+/// Model-guided pre-ranking on the EvalBackend seam. SurrogateEvalBackend
+/// decorates any existing backend — Serial, ShortRun, Pool, the fleet's
+/// WorkerEvalBackend — without that backend knowing:
+///
+///   strategy --(batch)--> SurrogateEvalBackend --(top-K)--> inner backend
+///                              |     ^
+///                           predict  observe (real results)
+///                              v     |
+///                           Surrogate model
+///
+/// While the model is still warming up (fewer observations than it needs to
+/// predict), every candidate is forwarded and measured for real. Once the
+/// model predicts, each proposed batch is ranked by predicted objective and
+/// only the best `top_k` candidates reach the inner backend; the rest come
+/// back as EvalOutcome::speculative with the model's prediction as their
+/// result. The SearchController reports speculative results to the strategy
+/// (steering the search) but never charges them to the budget, caches them,
+/// or lets them become the incumbent — so switching the surrogate off (just
+/// don't wrap the backend) leaves trajectories bit-exact.
+///
+/// concurrency() reports `rank_window`, not the inner backend's width: the
+/// controller then asks the strategy for a whole window of candidates at
+/// once, which is what gives the model something to rank. Observability:
+/// `engine.surrogate.forwarded` / `engine.surrogate.skipped` counters and an
+/// `engine.surrogate.rel_error` histogram of |predicted - measured| /
+/// measured for every forwarded candidate the model had an opinion on.
+
+#include <cstddef>
+
+#include "core/controller.hpp"
+#include "engine/surrogate.hpp"
+
+namespace harmony::engine {
+
+struct SurrogateBackendOptions {
+  /// Candidates per batch forwarded to real evaluation once the model is
+  /// predicting (>= 1).
+  std::size_t top_k = 6;
+
+  /// Batch width reported to the controller (>= top_k): how many candidates
+  /// the strategy is asked to propose so the model can rank them.
+  std::size_t rank_window = 24;
+};
+
+class SurrogateEvalBackend final : public EvalBackend {
+ public:
+  /// `inner` and `model` are borrowed and must outlive the backend.
+  SurrogateEvalBackend(EvalBackend& inner, Surrogate& model,
+                       SurrogateBackendOptions opts = {});
+
+  [[nodiscard]] std::vector<EvalOutcome> evaluate(const std::vector<Config>& batch,
+                                                  const Context& ctx) override;
+
+  [[nodiscard]] std::size_t concurrency() const override {
+    return opts_.rank_window;
+  }
+  [[nodiscard]] bool traces() const override { return inner_->traces(); }
+  [[nodiscard]] std::size_t cache_hits() const override {
+    return inner_->cache_hits();
+  }
+  [[nodiscard]] std::size_t cache_coalesced() const override {
+    return inner_->cache_coalesced();
+  }
+
+  /// Candidates measured for real / answered from the model.
+  [[nodiscard]] std::size_t forwarded() const noexcept { return forwarded_; }
+  [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
+
+ private:
+  EvalBackend* inner_;
+  Surrogate* model_;
+  SurrogateBackendOptions opts_;
+  std::size_t forwarded_ = 0;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace harmony::engine

@@ -25,8 +25,8 @@ ParamSpace small_space() {
 TEST(StrategyRegistry, ListsEveryStrategy) {
   const auto& names = StrategyRegistry::names();
   const std::vector<std::string> expected = {
-      "nelder-mead", "random",    "systematic",
-      "exhaustive",  "annealing", "coordinate-descent"};
+      "nelder-mead", "random",    "systematic",         "exhaustive",
+      "annealing",   "genetic",   "coordinate-descent"};
   EXPECT_EQ(names, expected);
   for (const auto& n : names) EXPECT_TRUE(StrategyRegistry::known(n));
   EXPECT_FALSE(StrategyRegistry::known("simplex"));
@@ -97,6 +97,79 @@ TEST(StrategyRegistry, ValidateMatchesMakeWithoutConstructing) {
   EXPECT_FALSE(
       StrategyRegistry::validate("annealing", {{"warmth", "1"}}, &error));
   EXPECT_NE(error.find("warmth"), std::string::npos);
+}
+
+TEST(StrategyRegistry, GeneticUnknownOptionKeyListsKnownKeys) {
+  const auto space = small_space();
+  try {
+    (void)StrategyRegistry::make("genetic", space, {{"popsize", "10"}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("popsize"), std::string::npos) << what;
+    EXPECT_NE(what.find("population"), std::string::npos) << what;
+    EXPECT_NE(what.find("mutation"), std::string::npos) << what;
+    EXPECT_NE(what.find("elite"), std::string::npos) << what;
+  }
+}
+
+TEST(StrategyRegistry, GeneticOutOfRangeOptionsRejected) {
+  const auto space = small_space();
+  const std::vector<std::pair<StrategyOptions, std::string>> cases = {
+      {{{"population", "1"}}, "population must be >= 2"},
+      {{{"population", "0"}}, "population must be >= 2"},
+      {{{"generations", "0"}}, "generations must be >= 1"},
+      {{{"mutation", "1.5"}}, "mutation must be in [0, 1]"},
+      {{{"mutation", "-0.1"}}, "mutation must be in [0, 1]"},
+      {{{"elite", "-1"}}, "elite must be >= 0"},
+      {{{"population", "4"}, {"elite", "4"}}, "elite must be < population"},
+      {{{"tournament", "0"}}, "tournament must be >= 1"},
+      {{{"crossover", "2"}}, "crossover must be in [0, 1]"},
+  };
+  for (const auto& [opts, expected] : cases) {
+    try {
+      (void)StrategyRegistry::make("genetic", space, opts);
+      FAIL() << "expected std::invalid_argument for " << expected;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(expected), std::string::npos)
+          << e.what();
+    }
+    // validate() (the server's pre-START screen) must agree with make().
+    std::string error;
+    EXPECT_FALSE(StrategyRegistry::validate("genetic", opts, &error));
+    EXPECT_NE(error.find(expected), std::string::npos) << error;
+  }
+}
+
+TEST(StrategyRegistry, GeneticBadNumericValuesRejected) {
+  const auto space = small_space();
+  for (const auto& key :
+       {"population", "generations", "mutation", "elite", "seed"}) {
+    try {
+      (void)StrategyRegistry::make("genetic", space, {{key, "banana"}});
+      FAIL() << key << ": expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(key), std::string::npos) << what;
+      EXPECT_NE(what.find("banana"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(StrategyRegistry, MakeBatchReturnsNativeGeneticAndAdaptedSerial) {
+  const auto space = small_space();
+  auto genetic = StrategyRegistry::make_batch(
+      "genetic", space, {{"population", "6"}, {"generations", "2"}});
+  ASSERT_NE(genetic, nullptr);
+  EXPECT_EQ(genetic->name(), "genetic");
+  // Native batch width: the whole population at once.
+  EXPECT_EQ(genetic->propose_batch(32).size(), 6u);
+
+  auto serial = StrategyRegistry::make_batch("random", space, {{"samples", "8"}});
+  ASSERT_NE(serial, nullptr);
+  EXPECT_EQ(serial->name(), "random");
+  // Serial strategies ride the batch-size-1 adapter.
+  EXPECT_EQ(serial->propose_batch(32).size(), 1u);
 }
 
 TEST(StrategyRegistry, OptionsReachTheStrategy) {

@@ -102,6 +102,85 @@ TEST_F(StrategyVerbFixture, AcceptedStrategyEchoesName) {
   EXPECT_EQ(*reply, "OK annealing");
 }
 
+TEST_F(StrategyVerbFixture, GeneticBadOptionsRejectedBeforeStart) {
+  auto sock = harmony::net::connect_loopback(server_.port());
+  ASSERT_TRUE(sock.valid());
+  harmony::net::LineReader reader(sock);
+  ASSERT_TRUE(sock.send_line("HELLO raw"));
+  ASSERT_TRUE(reader.read_line().has_value());
+
+  ASSERT_TRUE(sock.send_line("STRATEGY genetic population=1"));
+  auto reply = reader.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("ERR", 0), 0u) << *reply;
+  EXPECT_NE(reply->find("population"), std::string::npos) << *reply;
+
+  ASSERT_TRUE(sock.send_line("STRATEGY genetic popsize=8"));
+  reply = reader.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("ERR", 0), 0u) << *reply;
+  EXPECT_NE(reply->find("popsize"), std::string::npos) << *reply;
+
+  // The session survives both rejections and accepts a valid selection.
+  ASSERT_TRUE(sock.send_line("STRATEGY genetic population=8 mutation=0.2"));
+  reply = reader.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "OK genetic");
+}
+
+TEST_F(StrategyVerbFixture, PipelinedGeneticNegotiationAndTuning) {
+  auto sock = harmony::net::connect_loopback(server_.port());
+  ASSERT_TRUE(sock.valid());
+  harmony::net::LineReader reader(sock);
+
+  // The whole negotiation goes out as one pipelined burst: handshake,
+  // strategy selection with options, parameter declarations, START, and the
+  // first FETCH — then every reply is validated in order.
+  const std::string burst =
+      "HELLO ga-pipelined\n"
+      "STRATEGY genetic population=6 generations=2 mutation=0.2 seed=4\n"
+      "PARAM INT x 0 16 1\n"
+      "PARAM INT y 0 16 1\n"
+      "START 12\n"
+      "FETCH\n";
+  ASSERT_TRUE(sock.send_all(burst));
+
+  auto reply = reader.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("OK", 0), 0u) << *reply;  // HELLO
+  reply = reader.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "OK genetic");  // STRATEGY
+  for (int i = 0; i < 3; ++i) {     // PARAM, PARAM, START
+    reply = reader.read_line();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->rfind("OK", 0), 0u) << *reply;
+  }
+  reply = reader.read_line();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->rfind("CONFIG ", 0), 0u) << *reply;
+
+  // Steady state: pipelined REPORT+FETCH until the GA's plan (6 members x 2
+  // generations = 12 evaluations, exactly the START budget) is exhausted.
+  int fetched = 1;
+  for (;;) {
+    ASSERT_TRUE(sock.send_line("REPORT+FETCH 1.0"));
+    reply = reader.read_line();
+    ASSERT_TRUE(reply.has_value());
+    if (*reply == "DONE") break;
+    ASSERT_EQ(reply->rfind("CONFIG ", 0), 0u) << *reply;
+    ++fetched;
+    ASSERT_LE(fetched, 12);
+  }
+  EXPECT_EQ(fetched, 12);
+
+  ASSERT_TRUE(sock.send_line("BEST"));
+  reply = reader.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("CONFIG ", 0), 0u) << *reply;
+  ASSERT_TRUE(sock.send_line("BYE"));
+}
+
 // ---- TuningClient round trip ------------------------------------------------
 
 TEST_F(StrategyVerbFixture, ClientListsStrategies) {

@@ -9,8 +9,9 @@
 //
 //   harmony_worker --port P [--substrate synthetic|pop|gs2|petsc]
 //                  [--name N] [--capacity C] [--steps S] [--spin-us U]
-//                  [--max-evals M]
+//                  [--max-evals M] [--heartbeat-ms H]
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -31,13 +32,14 @@ int usage(const char* argv0) {
   std::printf(
       "usage: %s --port P [--substrate %s]\n"
       "          [--name N] [--capacity C] [--steps S] [--spin-us U]\n"
-      "          [--max-evals M]\n\n"
+      "          [--max-evals M] [--heartbeat-ms H]\n\n"
       "Evaluation worker for a harmony tuning server: ATTACHes with the\n"
       "chosen substrate and serves WORK pushes until the server hangs up\n"
       "(or M evaluations are done). --spin-us adds a busy-wait per\n"
       "evaluation to model real run cost; --name defaults to the substrate\n"
       "(the server only dispatches to workers whose name matches its\n"
-      "dispatcher's substrate filter, when one is set).\n",
+      "dispatcher's substrate filter, when one is set). --heartbeat-ms sets\n"
+      "the idle PING cadence (default 500, 0 disables heartbeats).\n",
       argv0, names.c_str());
   return 2;
 }
@@ -52,6 +54,7 @@ int main(int argc, char** argv) {
   int steps = 0;  // 0 = substrate default
   int spin_us = 0;
   long long max_evals = 0;
+  int heartbeat_ms = -1;  // -1 = keep the WorkerClientOptions default
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,6 +76,9 @@ int main(int argc, char** argv) {
       spin_us = std::atoi(v);
     } else if (arg == "--max-evals" && (v = next()) != nullptr) {
       max_evals = std::atoll(v);
+    } else if (arg == "--heartbeat-ms" && (v = next()) != nullptr) {
+      heartbeat_ms = std::atoi(v);
+      if (heartbeat_ms < 0) return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
@@ -89,6 +95,7 @@ int main(int argc, char** argv) {
   opts.name = name.empty() ? sub->name : name;
   opts.capacity = capacity > 0 ? capacity : 1;
   if (max_evals > 0) opts.max_evals = static_cast<std::uint64_t>(max_evals);
+  if (heartbeat_ms >= 0) opts.heartbeat = std::chrono::milliseconds(heartbeat_ms);
 
   fleet::WorkerClient worker(opts);
   const int run_steps = steps > 0 ? steps : sub->steps;

@@ -18,6 +18,12 @@
 //    throughput over legacy+blocking throughput (bench/server_load.hpp).
 //    Machine-portable for the same reason ratios are above; it must not
 //    drop below its baseline by more than --speedup-tol.
+//  * p99/p50 latency ratio — for the latency workload only: tail over median
+//    per-request latency of the pipelined server under gate-sized load. A
+//    ratio (not raw milliseconds) so the check survives host speed
+//    differences; it must not exceed its baseline by more than
+//    --latency-tol (a new lock, a quantile scan on the request path, or a
+//    stalled reactor widens the tail long before it moves the median).
 //
 // Exits nonzero when either metric regresses past its tolerance (default
 // 20%, per --evals-tol / --wall-tol) or when the best objective itself gets
@@ -62,6 +68,7 @@ struct GateOptions {
   double evals_tol = 0.20;
   double wall_tol = 0.20;
   double speedup_tol = 0.50;  // allowed drop in the server evals/s ratio
+  double latency_tol = 1.00;  // allowed growth in the server p99/p50 ratio
   int reps = 3;  // wall time is the min over this many repetitions
 };
 
@@ -333,7 +340,35 @@ obs::BenchReport run_gate_server_throughput(int reps) {
   return report;
 }
 
-// ---- workload 5: evaluation-fleet scaling ratio ---------------------------
+// ---- workload 5: tuning-server tail latency -------------------------------
+
+obs::BenchReport run_gate_server_latency(int reps) {
+  harmony::bench::LoadOptions load;
+  load.clients = 16;
+  load.evals = 100;
+  load.window = 8;
+  load.reactors = 2;
+  // Best run by throughput: the quietest rep, so its tail is protocol cost,
+  // not scheduler noise.
+  const auto best = harmony::bench::best_of(reps, [&] {
+    return harmony::bench::run_load(harmony::ServerThreading::kEventLoop,
+                                    /*pipelined=*/true, load);
+  });
+
+  obs::BenchReport report;
+  report.name = "gate_server_latency";
+  report.evaluations = static_cast<int>(best.evals);
+  report.wall_s = best.wall_s;
+  report.metrics["p50_ms"] = best.p50_ms;
+  report.metrics["p95_ms"] = best.p95_ms;
+  report.metrics["p99_ms"] = best.p99_ms;
+  report.metrics["p99_p50_ratio"] =
+      best.p50_ms > 0.0 ? best.p99_ms / best.p50_ms : 0.0;
+  report.metrics["evals_per_s"] = best.evals_per_s();
+  return report;
+}
+
+// ---- workload 6: evaluation-fleet scaling ratio ---------------------------
 
 /// One fleet run: server + dispatcher + `nworkers` in-process WorkerClient
 /// threads, a gate-sized random search over the synthetic substrate (cache
@@ -439,6 +474,20 @@ bool check_report(const obs::BenchReport& fresh, const obs::BenchReport& base,
     rows.push_back({fresh.name + "." + label, baseline, current, limit, row_ok});
     ok = ok && row_ok;
   };
+  // The latency workload tracks one number: the p99/p50 ratio, checked as a
+  // ceiling (lower is better). Raw milliseconds would gate the host, not the
+  // code.
+  if (fresh.metrics.count("p99_p50_ratio") != 0) {
+    const double base_ratio = base.metrics.count("p99_p50_ratio")
+                                  ? base.metrics.at("p99_p50_ratio")
+                                  : 0.0;
+    const double fresh_ratio = fresh.metrics.at("p99_p50_ratio");
+    const double max_ratio = base_ratio * (1.0 + gate.latency_tol);
+    const bool row_ok = fresh_ratio <= max_ratio;
+    rows.push_back({fresh.name + ".p99_p50_max", base_ratio, fresh_ratio,
+                    max_ratio, row_ok});
+    return row_ok;
+  }
   // Throughput workloads carry no search trajectory; the single tracked
   // number is the evals/s ratio, checked as a floor (higher is better). The
   // wall/evals rows would only measure scheduler noise there.
@@ -488,7 +537,8 @@ bool check_report(const obs::BenchReport& fresh, const obs::BenchReport& base,
 int usage(const char* argv0) {
   std::printf(
       "usage: %s [--baselines DIR] [--out DIR] [--update]\n"
-      "          [--evals-tol F] [--wall-tol F] [--speedup-tol F] [--runs N]\n\n"
+      "          [--evals-tol F] [--wall-tol F] [--speedup-tol F]\n"
+      "          [--latency-tol F] [--runs N]\n\n"
       "Runs the gate workloads, writes BENCH_<name>.json into --out, and\n"
       "compares against the baselines in --baselines (exit 1 on regression).\n"
       "--update rewrites the baselines from the fresh run instead.\n",
@@ -527,6 +577,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       gate.speedup_tol = std::atof(v);
+    } else if (arg == "--latency-tol") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      gate.latency_tol = std::atof(v);
     } else if (arg == "--runs") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -557,6 +611,7 @@ int main(int argc, char** argv) {
   reports.push_back(run_gate_pop_nm(gate.reps));
   reports.push_back(run_gate_model_guided(gate.reps));
   reports.push_back(run_gate_server_throughput(gate.reps));
+  reports.push_back(run_gate_server_latency(gate.reps));
   reports.push_back(run_gate_server_fleet(gate.reps));
   for (auto& r : reports) {
     r.metrics["wall_ratio"] = r.wall_s / calib_s;

@@ -15,9 +15,11 @@
 //                    real deployment runs; the CI bench-smoke job uses this).
 //
 // Results go to stdout and BENCH_server_fleet.json (ah-bench-report/1):
-// evals/s per worker count, plus the headline `evals_per_s_ratio`
-// (max-workers over 1-worker throughput) that bench_gate tracks against a
-// checked-in baseline.
+// evals/s per worker count, per-evaluation dispatch latency quantiles
+// (p50/p95/p99 of WORK-dispatch to RESULT, from the dispatcher's HDR
+// histogram) at the maximum worker count, plus the headline
+// `evals_per_s_ratio` (max-workers over 1-worker throughput) that bench_gate
+// tracks against a checked-in baseline.
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -26,6 +28,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -38,6 +41,7 @@
 #include "fleet/worker_backend.hpp"
 #include "fleet/worker_client.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/trace.hpp"
 
 namespace fleet = harmony::fleet;
 namespace obs = harmony::obs;
@@ -55,25 +59,45 @@ struct Options {
   int port = 0;          // fixed listen port for --serve (0 = ephemeral)
   std::string worker_bin;  // fork/exec this binary instead of threads
   std::string out_dir = obs::bench_out_dir();
+  // Request tracing (off unless --trace-out is given): dispatcher
+  // head-sample rate, dispatcher span JSONL path, per-worker span file
+  // prefix for subprocess workers, and the tracer every in-process span
+  // lands in (set by main, points at a stack-local SearchTracer).
+  double trace_sample = 0.0;
+  std::string trace_out;
+  std::string worker_trace_out;
+  obs::SearchTracer* tracer = nullptr;
 };
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+struct PointResult {
+  double evals_per_s = 0.0;
+  double p50_ms = 0.0;  ///< dispatch-to-RESULT latency quantiles
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
 /// One curve point: server + dispatcher + `nworkers` workers, one search.
-/// Returns evals/s (0 on failure).
-double run_point(const Options& opt, const fleet::Substrate& sub, int nworkers) {
+/// evals_per_s is 0 on failure. `rep` only disambiguates the per-worker
+/// span files — every (point, rep, worker) triple gets its own shard.
+PointResult run_point(const Options& opt, const fleet::Substrate& sub,
+                      int nworkers, int rep) {
   fleet::DispatcherOptions dopts;
   dopts.substrate = sub.name;
+  dopts.tracer = opt.tracer;
+  dopts.trace_sample = opt.tracer != nullptr ? opt.trace_sample : 0.0;
   fleet::Dispatcher dispatcher(sub.space, dopts);
 
   harmony::ServerOptions sopts;
   sopts.fleet = &dispatcher;
   harmony::TuningServer server(sopts);
+  PointResult point;
   if (!server.start()) {
     std::fprintf(stderr, "error: server failed to start\n");
-    return 0.0;
+    return point;
   }
 
   // Launch the workers: harmony_worker subprocesses when --worker-bin was
@@ -82,16 +106,32 @@ double run_point(const Options& opt, const fleet::Substrate& sub, int nworkers) 
   std::vector<std::unique_ptr<fleet::WorkerClient>> clients;
   std::vector<std::thread> threads;
   if (!opt.worker_bin.empty()) {
-    const std::string port_s = std::to_string(server.port());
-    const std::string cap_s = std::to_string(opt.capacity);
-    const std::string spin_s = std::to_string(opt.spin_us);
     for (int w = 0; w < nworkers; ++w) {
+      // argv built before fork: the server's reactor threads are already
+      // running, so the child must not allocate between fork and exec.
+      std::vector<std::string> args;
+      args.push_back(opt.worker_bin);
+      args.push_back("--port");
+      args.push_back(std::to_string(server.port()));
+      args.push_back("--substrate");
+      args.push_back(sub.name);
+      args.push_back("--capacity");
+      args.push_back(std::to_string(opt.capacity));
+      args.push_back("--spin-us");
+      args.push_back(std::to_string(opt.spin_us));
+      if (!opt.worker_trace_out.empty()) {
+        args.push_back("--trace-out");
+        args.push_back(opt.worker_trace_out + ".n" + std::to_string(nworkers) +
+                       "r" + std::to_string(rep) + ".w" + std::to_string(w) +
+                       ".jsonl");
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
       const pid_t pid = ::fork();
       if (pid == 0) {
-        ::execl(opt.worker_bin.c_str(), opt.worker_bin.c_str(), "--port",
-                port_s.c_str(), "--substrate", sub.name.c_str(), "--capacity",
-                cap_s.c_str(), "--spin-us", spin_s.c_str(),
-                static_cast<char*>(nullptr));
+        ::execv(opt.worker_bin.c_str(), argv.data());
         std::_Exit(127);  // exec failed
       }
       if (pid > 0) pids.push_back(pid);
@@ -101,6 +141,7 @@ double run_point(const Options& opt, const fleet::Substrate& sub, int nworkers) 
       fleet::WorkerClientOptions wopts;
       wopts.name = sub.name;
       wopts.capacity = opt.capacity;
+      wopts.tracer = opt.tracer;  // in-process: spans share the one tracer
       clients.push_back(std::make_unique<fleet::WorkerClient>(wopts));
     }
     const int port = server.port();
@@ -112,7 +153,6 @@ double run_point(const Options& opt, const fleet::Substrate& sub, int nworkers) 
     }
   }
 
-  double evals_per_s = 0.0;
   if (dispatcher.wait_for_workers(static_cast<std::size_t>(nworkers),
                                   std::chrono::milliseconds(5000))) {
     fleet::WorkerBackendOptions bopts;
@@ -129,8 +169,12 @@ double run_point(const Options& opt, const fleet::Substrate& sub, int nworkers) 
     const auto result = controller.run(strategy, backend);
     const double wall = seconds_since(t0);
     if (wall > 0.0) {
-      evals_per_s = static_cast<double>(result.evaluations) / wall;
+      point.evals_per_s = static_cast<double>(result.evaluations) / wall;
     }
+    const auto& lat = dispatcher.eval_latency();
+    point.p50_ms = lat.quantile(0.50) * 1e3;
+    point.p95_ms = lat.quantile(0.95) * 1e3;
+    point.p99_ms = lat.quantile(0.99) * 1e3;
   } else {
     std::fprintf(stderr, "error: only %zu/%d workers attached\n",
                  dispatcher.worker_count(), nworkers);
@@ -143,7 +187,7 @@ double run_point(const Options& opt, const fleet::Substrate& sub, int nworkers) 
     int status = 0;
     (void)::waitpid(pid, &status, 0);
   }
-  return evals_per_s;
+  return point;
 }
 
 /// --serve: a single search on a fixed port, workers attached externally
@@ -204,13 +248,20 @@ int usage(const char* argv0) {
   std::printf(
       "usage: %s [--workers N] [--capacity C] [--evals M] [--spin-us U]\n"
       "          [--reps R] [--worker-bin PATH] [--out DIR]\n"
-      "          [--serve [--port P]]\n\n"
+      "          [--trace-sample F] [--trace-out FILE]\n"
+      "          [--worker-trace-out PREFIX] [--serve [--port P]]\n\n"
       "Measures fleet throughput: a random search of M distinct evaluations\n"
       "over the synthetic substrate, repeated for every worker count in\n"
       "1..N. Writes BENCH_server_fleet.json into --out. With --worker-bin,\n"
       "workers are harmony_worker subprocesses; otherwise in-process\n"
       "threads. With --serve, runs one search on a fixed port and waits for\n"
-      "N workers to attach externally (no report is written).\n",
+      "N workers to attach externally (no report is written).\n\n"
+      "--trace-out FILE enables dispatcher request tracing (head-sampled at\n"
+      "--trace-sample, default 0.05) and writes span JSONL to FILE.\n"
+      "--worker-trace-out PREFIX makes each harmony_worker subprocess write\n"
+      "its own spans to PREFIX.n<point>r<rep>.w<worker>.jsonl; merge the\n"
+      "shards with\n"
+      "  report_gen --merge FILE PREFIX.*.jsonl --out trace.json\n",
       argv0);
   return 2;
 }
@@ -239,6 +290,12 @@ int main(int argc, char** argv) {
       opt.worker_bin = v;
     } else if (arg == "--out" && (v = next()) != nullptr) {
       opt.out_dir = v;
+    } else if (arg == "--trace-sample" && (v = next()) != nullptr) {
+      opt.trace_sample = std::atof(v);
+    } else if (arg == "--trace-out" && (v = next()) != nullptr) {
+      opt.trace_out = v;
+    } else if (arg == "--worker-trace-out" && (v = next()) != nullptr) {
+      opt.worker_trace_out = v;
     } else if (arg == "--serve") {
       opt.serve = true;
     } else if (arg == "--port" && (v = next()) != nullptr) {
@@ -246,6 +303,12 @@ int main(int argc, char** argv) {
     } else {
       return usage(argv[0]);
     }
+  }
+
+  obs::SearchTracer tracer;
+  if (!opt.trace_out.empty()) {
+    opt.tracer = &tracer;
+    if (opt.trace_sample <= 0.0) opt.trace_sample = 0.05;
   }
 
   const auto sub = fleet::make_substrate("synthetic", opt.spin_us);
@@ -260,15 +323,20 @@ int main(int argc, char** argv) {
   obs::BenchReport report;
   report.name = "server_fleet";
   std::vector<double> curve;
+  PointResult top;  // best rep at the maximum worker count
   const auto curve_t0 = Clock::now();
   for (int n = 1; n <= opt.workers; ++n) {
-    double best = 0.0;
+    PointResult best;
     for (int rep = 0; rep < opt.reps; ++rep) {
-      best = std::max(best, run_point(opt, *sub, n));
+      const auto point = run_point(opt, *sub, n, rep);
+      if (point.evals_per_s > best.evals_per_s) best = point;
     }
-    curve.push_back(best);
-    std::printf("%d worker%s: %.0f evals/s\n", n, n == 1 ? " " : "s", best);
-    report.metrics["evals_per_s_" + std::to_string(n)] = best;
+    curve.push_back(best.evals_per_s);
+    std::printf("%d worker%s: %.0f evals/s (eval p50 %.2f ms, p99 %.2f ms)\n",
+                n, n == 1 ? " " : "s", best.evals_per_s, best.p50_ms,
+                best.p99_ms);
+    report.metrics["evals_per_s_" + std::to_string(n)] = best.evals_per_s;
+    if (n == opt.workers) top = best;
   }
 
   const double ratio = curve.front() > 0.0 ? curve.back() / curve.front() : 0.0;
@@ -282,6 +350,9 @@ int main(int argc, char** argv) {
   report.metrics["capacity"] = opt.capacity;
   report.metrics["evals"] = opt.evals;
   report.metrics["spin_us"] = opt.spin_us;
+  report.metrics["eval_p50_ms"] = top.p50_ms;
+  report.metrics["eval_p95_ms"] = top.p95_ms;
+  report.metrics["eval_p99_ms"] = top.p99_ms;
   report.metrics["subprocess"] = opt.worker_bin.empty() ? 0.0 : 1.0;
   if (const auto path = report.write_file(opt.out_dir)) {
     std::printf("wrote %s\n", path->c_str());
@@ -289,6 +360,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: could not write report into '%s'\n",
                  opt.out_dir.c_str());
     return 2;
+  }
+
+  if (!opt.trace_out.empty()) {
+    std::ofstream out(opt.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "error: could not write spans into '%s'\n",
+                   opt.trace_out.c_str());
+      return 2;
+    }
+    tracer.write_jsonl(out);
+    std::printf("wrote %s (%zu span(s))\n", opt.trace_out.c_str(),
+                tracer.span_count());
   }
   return 0;
 }

@@ -29,7 +29,9 @@
 #include <vector>
 
 #include "core/net.hpp"
+#include "core/protocol.hpp"
 #include "core/server.hpp"
+#include "obs/trace.hpp"
 
 namespace harmony::bench {
 
@@ -50,7 +52,21 @@ struct LoadOptions {
   int evals = 200;   // evaluations per client
   int window = 8;    // pipelined REPORT+FETCH lines in flight per connection
   int reactors = 2;  // server reactor threads / client mux threads
+
+  /// Client-side head sampling: this fraction of pipelined REPORT+FETCH
+  /// lines carry a wire trace token (see protocol.hpp). Needs `tracer` to
+  /// produce spans; 0 sends the exact untraced byte stream.
+  double trace_sample = 0.0;
+  obs::SearchTracer* tracer = nullptr;  ///< server-side span sink (optional)
+  long long slow_request_us = 0;        ///< ServerOptions::slow_request_us
 };
+
+/// Head-based sampling coin drawn from the trace-id generator's stream.
+inline bool trace_coin(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return static_cast<double>(obs::next_trace_id() >> 11) * 0x1.0p-53 < p;
+}
 
 struct ClientStats {
   std::uint64_t evals = 0;
@@ -66,6 +82,7 @@ struct MuxConn {
   ClientStats* stats = nullptr;
   int evals = 0;
   int window = 0;
+  double trace_sample = 0.0;
   std::string rbuf;
   std::size_t rpos = 0;
   std::string wbuf;
@@ -93,6 +110,14 @@ struct MuxConn {
     while (sent < evals && static_cast<int>(inflight.size()) < window) {
       wbuf += "REPORT+FETCH ";
       wbuf += std::to_string(synthetic_objective(sent));
+      if (trace_coin(trace_sample)) {
+        // This request becomes a trace root: the server's "server.handle"
+        // span will name our span id as its parent.
+        obs::TraceContext ctx;
+        ctx.trace_id = obs::next_trace_id();
+        ctx.span_id = obs::next_trace_id();
+        proto::append_trace(ctx, wbuf);
+      }
       wbuf += '\n';
       ++sent;
       inflight.push_back(now);
@@ -240,6 +265,7 @@ struct LoadResult {
   std::uint64_t evals = 0;
   int sessions_completed = 0;
   double p50_ms = 0.0;
+  double p95_ms = 0.0;
   double p99_ms = 0.0;
 
   [[nodiscard]] double evals_per_s() const {
@@ -265,6 +291,8 @@ inline LoadResult run_load(ServerThreading mode, bool pipelined,
   ServerOptions sopts;
   sopts.threading = mode;
   sopts.reactor_threads = opt.reactors;
+  sopts.tracer = opt.tracer;
+  sopts.slow_request_us = opt.slow_request_us;
   TuningServer server(sopts);
   LoadResult result;
   if (!server.start()) {
@@ -290,6 +318,7 @@ inline LoadResult run_load(ServerThreading mode, bool pipelined,
       conns[i].stats = &stats[i];
       conns[i].evals = opt.evals;
       conns[i].window = opt.window;
+      conns[i].trace_sample = opt.trace_sample;
       assigned[i % assigned.size()].push_back(&conns[i]);
     }
     threads.reserve(assigned.size());
@@ -314,6 +343,7 @@ inline LoadResult run_load(ServerThreading mode, bool pipelined,
   }
   std::sort(all_lat.begin(), all_lat.end());
   result.p50_ms = latency_percentile(all_lat, 0.50);
+  result.p95_ms = latency_percentile(all_lat, 0.95);
   result.p99_ms = latency_percentile(all_lat, 0.99);
   return result;
 }

@@ -21,21 +21,29 @@
 // event-loop server.
 //
 // Results go to stdout and to BENCH_server_throughput.json
-// (ah-bench-report/1): sessions/sec, evals/sec, p50/p99 per-request latency
-// for each configuration, plus the two headline ratios
+// (ah-bench-report/1): sessions/sec, evals/sec, p50/p95/p99 per-request
+// latency for each configuration, plus the two headline ratios
 // (`speedup` = pipelined-epoll over legacy evals/s, and `rf_speedup`). The
 // CI bench-smoke job runs a small K x M and uploads the report; bench_gate
 // tracks the epoll/legacy ratio against a baseline on a gate-sized workload.
+//
+// --trace-sample F + --trace-out FILE turn on end-to-end request tracing for
+// the pipelined run: F of the REPORT+FETCH lines carry a wire trace token,
+// the server records per-stage spans, and the spans land in FILE as JSONL
+// (merge into a Chrome trace with report_gen --merge). --slow-us N sets the
+// server's slow-request SLO so over-threshold requests hit the event log.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "core/client.hpp"
 #include "core/server.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/trace.hpp"
 #include "server_load.hpp"
 
 namespace bench = harmony::bench;
@@ -48,6 +56,7 @@ struct Options {
   bench::LoadOptions load;
   int reps = 3;  // keep the best of this many runs per configuration
   std::string out_dir = obs::bench_out_dir();
+  std::string trace_out;  // span JSONL path; empty = tracing off
 };
 
 /// Single synchronous TuningClient, one round trip per evaluation via
@@ -85,11 +94,14 @@ LoadResult run_single_client(bool combined, int evals, const Options& opt) {
 int usage(const char* argv0) {
   std::printf(
       "usage: %s [--clients K] [--evals M] [--window W] [--reactors N]\n"
-      "          [--reps R] [--out DIR]\n\n"
+      "          [--reps R] [--out DIR] [--trace-sample F]\n"
+      "          [--trace-out FILE] [--slow-us N]\n\n"
       "Measures tuning-server throughput: K concurrent clients x M\n"
       "evaluations each, event-loop+pipelined vs legacy+blocking, plus a\n"
       "single-client REPORT+FETCH vs FETCH/REPORT comparison. Writes\n"
-      "BENCH_server_throughput.json into --out.\n",
+      "BENCH_server_throughput.json into --out. --trace-sample F samples F\n"
+      "of the pipelined requests into spans written to --trace-out FILE;\n"
+      "--slow-us N logs requests over N microseconds.\n",
       argv0);
   return 2;
 }
@@ -116,9 +128,21 @@ int main(int argc, char** argv) {
       opt.reps = std::max(1, std::atoi(v));
     } else if (arg == "--out" && (v = next()) != nullptr) {
       opt.out_dir = v;
+    } else if (arg == "--trace-sample" && (v = next()) != nullptr) {
+      opt.load.trace_sample = std::atof(v);
+    } else if (arg == "--trace-out" && (v = next()) != nullptr) {
+      opt.trace_out = v;
+    } else if (arg == "--slow-us" && (v = next()) != nullptr) {
+      opt.load.slow_request_us = std::atoll(v);
     } else {
       return usage(argv[0]);
     }
+  }
+
+  harmony::obs::SearchTracer tracer;
+  if (!opt.trace_out.empty()) {
+    opt.load.tracer = &tracer;
+    if (opt.load.trace_sample <= 0.0) opt.load.trace_sample = 0.05;
   }
 
   std::printf("== server_throughput: %d clients x %d evals (window %d, "
@@ -190,10 +214,12 @@ int main(int argc, char** argv) {
   report.metrics["epoll_evals_per_s"] = epoll.evals_per_s();
   report.metrics["epoll_sessions_per_s"] = epoll.sessions_per_s();
   report.metrics["epoll_p50_ms"] = epoll.p50_ms;
+  report.metrics["epoll_p95_ms"] = epoll.p95_ms;
   report.metrics["epoll_p99_ms"] = epoll.p99_ms;
   report.metrics["legacy_evals_per_s"] = legacy.evals_per_s();
   report.metrics["legacy_sessions_per_s"] = legacy.sessions_per_s();
   report.metrics["legacy_p50_ms"] = legacy.p50_ms;
+  report.metrics["legacy_p95_ms"] = legacy.p95_ms;
   report.metrics["legacy_p99_ms"] = legacy.p99_ms;
   report.metrics["rf_evals_per_s"] = rf.evals_per_s();
   report.metrics["fetch_report_evals_per_s"] = fr.evals_per_s();
@@ -204,6 +230,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: could not write report into '%s'\n",
                  opt.out_dir.c_str());
     return 2;
+  }
+  if (!opt.trace_out.empty()) {
+    std::ofstream tf(opt.trace_out);
+    if (tf) {
+      tracer.write_jsonl(tf);
+      std::printf("wrote %zu span(s) to %s\n", tracer.span_count(),
+                  opt.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.trace_out.c_str());
+      return 2;
+    }
   }
   return 0;
 }

@@ -1,8 +1,10 @@
 // harmony_top: a `top`-style admin client for a live Harmony tuning server.
 // It opens an ordinary protocol connection and polls the introspection verbs
-// (STATUS / METRICS / LOG), pretty-printing the live session board, the fleet
-// worker lanes (busy/idle, in-flight candidate, evals served, heartbeat age),
-// a few headline metrics and the recent event log on every refresh.
+// (STATUS / METRICS / LOG), pretty-printing the live session board (with
+// per-session p50/p99 request latency), the fleet worker lanes (busy/idle,
+// in-flight candidate, evals served, heartbeat age), the fleet-wide latency
+// summary with its slow-request counter, a few headline metrics and the
+// recent event log on every refresh.
 //
 //   harmony_top <port> [refreshes] [interval_ms]   attach to a running server
 //   harmony_top                                    self-contained demo: starts
@@ -28,6 +30,20 @@
 
 namespace {
 
+// Microseconds → short human latency string ("412us", "3.1ms", "1.2s").
+std::string fmt_lat_us(double us) {
+  char buf[32];
+  if (us <= 0.0) return "-";
+  if (us < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", us);
+  } else if (us < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fs", us / 1e6);
+  }
+  return buf;
+}
+
 void print_status(const std::string& json) {
   const auto doc = harmony::obs::json_parse(json);
   if (!doc || !doc->is_object()) {
@@ -38,8 +54,9 @@ void print_status(const std::string& json) {
               doc->number_or("epoch", 0), doc->number_or("sessions_started", 0));
   if (const auto* sessions = doc->find("sessions");
       sessions != nullptr && sessions->is_array()) {
-    std::printf("  %-12s %-10s %-14s %-12s %6s %10s  %s\n", "SESSION", "APP",
-                "STRATEGY", "PHASE", "ITER", "BEST", "CONFIG");
+    std::printf("  %-12s %-10s %-14s %-12s %6s %10s %7s %7s  %s\n", "SESSION",
+                "APP", "STRATEGY", "PHASE", "ITER", "BEST", "P50", "P99",
+                "CONFIG");
     for (const auto& s : sessions->as_array()) {
       const auto* best = s.find("best_value");
       const std::string best_str =
@@ -50,11 +67,14 @@ void print_status(const std::string& json) {
                   return std::string(buf);
                 }()
               : std::string("-");
-      std::printf("  %-12s %-10s %-14s %-12s %6.0f %10s  %s\n",
+      std::printf("  %-12s %-10s %-14s %-12s %6.0f %10s %7s %7s  %s\n",
                   s.string_or("id", "?").c_str(), s.string_or("app", "-").c_str(),
                   s.string_or("strategy", "-").c_str(),
                   s.string_or("phase", "-").c_str(), s.number_or("iterations", 0),
-                  best_str.c_str(), s.string_or("best_config", "").c_str());
+                  best_str.c_str(),
+                  fmt_lat_us(s.number_or("p50_us", 0)).c_str(),
+                  fmt_lat_us(s.number_or("p99_us", 0)).c_str(),
+                  s.string_or("best_config", "").c_str());
     }
   }
   if (const auto* workers = doc->find("workers");
@@ -78,6 +98,15 @@ void print_status(const std::string& json) {
                   is_busy ? "busy" : "idle", w.number_or("tasks", 0),
                   beat_str.c_str(), w.string_or("detail", "").c_str());
     }
+  }
+  if (const auto* lat = doc->find("latency");
+      lat != nullptr && lat->is_object() && lat->number_or("count", 0) > 0) {
+    std::printf(
+        "  latency  p50 %s  p95 %s  p99 %s  (%.0f request(s), %.0f slow)\n",
+        fmt_lat_us(lat->number_or("p50_us", 0)).c_str(),
+        fmt_lat_us(lat->number_or("p95_us", 0)).c_str(),
+        fmt_lat_us(lat->number_or("p99_us", 0)).c_str(),
+        lat->number_or("count", 0), lat->number_or("slow_requests", 0));
   }
 }
 

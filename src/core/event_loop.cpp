@@ -68,20 +68,32 @@ void EventLoop::wakeup() {
 }
 
 void EventLoop::defer(std::function<void()> fn) {
+  Deferred item{std::move(fn), {}};
+  if (obs::enabled()) item.enqueued = std::chrono::steady_clock::now();
   {
     const std::lock_guard<std::mutex> lock(deferred_mutex_);
-    deferred_.push_back(std::move(fn));
+    deferred_.push_back(std::move(item));
   }
   wakeup();
 }
 
 void EventLoop::drain_deferred() {
-  std::vector<std::function<void()>> pending;
+  std::vector<Deferred> pending;
   {
     const std::lock_guard<std::mutex> lock(deferred_mutex_);
     pending.swap(deferred_);
   }
-  for (auto& fn : pending) fn();
+  if (pending.empty()) return;
+  if (obs::enabled()) {
+    auto& defer_wait =
+        obs::MetricsRegistry::global().hdr("net.loop.defer_wait_s");
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& item : pending) {
+      if (item.enqueued == std::chrono::steady_clock::time_point{}) continue;
+      defer_wait.record(std::chrono::duration<double>(now - item.enqueued).count());
+    }
+  }
+  for (auto& item : pending) item.fn();
 }
 
 void EventLoop::run() {

@@ -15,10 +15,13 @@
 /// loop and how stop tears everything down from outside.
 ///
 /// Observability: when AH_OBS is on, each iteration records the ready-queue
-/// depth into `net.loop.ready` and counts `net.loop.iterations`; connection
-/// byte counters are maintained by the server's connection handlers.
+/// depth into `net.loop.ready` and counts `net.loop.iterations`, and every
+/// deferred closure's queue residency (defer() enqueue to drain) lands in
+/// the `net.loop.defer_wait_s` HDR histogram; connection byte counters are
+/// maintained by the server's connection handlers.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -79,7 +82,13 @@ class EventLoop {
   std::atomic<bool> stop_{false};
   std::unordered_map<int, std::shared_ptr<FdCallback>> callbacks_;
   std::mutex deferred_mutex_;
-  std::vector<std::function<void()>> deferred_;
+  // Enqueue timestamp rides along so drain can record queue residency; it is
+  // only taken when observability is on (epoch otherwise, skipped at drain).
+  struct Deferred {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  std::vector<Deferred> deferred_;
 };
 
 }  // namespace harmony::net

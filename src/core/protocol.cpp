@@ -127,6 +127,42 @@ std::optional<double> parse_f64(std::string_view s) {
   return v;
 }
 
+bool is_trace_token(std::string_view field) noexcept {
+  return field.size() > 2 && field[0] == 'T' && field[1] == '=';
+}
+
+std::optional<obs::TraceContext> parse_trace(std::string_view field) noexcept {
+  if (!is_trace_token(field)) return std::nullopt;
+  const std::string_view body = field.substr(2);
+  const auto dash = body.find('-');
+  if (dash == std::string_view::npos || dash == 0 || dash + 1 >= body.size()) {
+    return std::nullopt;
+  }
+  const auto parse_hex = [](std::string_view s) -> std::optional<std::uint64_t> {
+    if (s.empty() || s.size() > 16) return std::nullopt;
+    std::uint64_t v{};
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 16);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+    return v;
+  };
+  const auto trace = parse_hex(body.substr(0, dash));
+  const auto span = parse_hex(body.substr(dash + 1));
+  if (!trace || !span || *trace == 0) return std::nullopt;
+  obs::TraceContext ctx;
+  ctx.trace_id = *trace;
+  ctx.span_id = *span;
+  return ctx;
+}
+
+void append_trace(const obs::TraceContext& ctx, std::string& out) {
+  if (!ctx.sampled()) return;
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof(buf), " T=%016llx-%016llx",
+                              static_cast<unsigned long long>(ctx.trace_id),
+                              static_cast<unsigned long long>(ctx.span_id));
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
 Message MessageView::to_message() const {
   Message m;
   m.verb = std::string(verb);

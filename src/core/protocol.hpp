@@ -32,6 +32,15 @@
 /// trip per evaluation (REPORT+FETCH), and setup (HELLO..START) can ride in
 /// a single write.
 ///
+/// Distributed tracing (optional, fully backward compatible): FETCH, REPORT,
+/// REPORT+FETCH, WORK and RESULT accept one extra trailing token of the form
+///   T=<trace-hex>-<span-hex>
+/// carrying a TraceContext (64-bit ids, lowercase hex). A sampled request's
+/// spans on both sides of the wire share the trace id, and the receiver
+/// treats the sender's span id as the parent span. An absent token means the
+/// request is unsampled and every tracing call site is skipped — old clients
+/// and servers interoperate unchanged, and replies never carry the token.
+///
 /// Worker (fleet) verbs — a connection that sends ATTACH becomes an
 /// evaluation worker channel instead of a tuning session (requires the
 /// server to be wired to a WorkSink dispatcher; see work_sink.hpp):
@@ -74,6 +83,7 @@
 
 #include "core/param_space.hpp"
 #include "core/types.hpp"
+#include "obs/trace.hpp"
 
 namespace harmony::proto {
 
@@ -135,6 +145,18 @@ void encode_config(const ParamSpace& space, const Config& c, std::string& out);
 /// allocation-free once `out` has capacity).
 void encode_work(const ParamSpace& space, std::uint64_t work_id, const Config& c,
                  std::string& out);
+
+/// True when a field is a trace-context token ("T=..."); the cheap test verb
+/// handlers use before attempting a full parse. Allocation-free.
+[[nodiscard]] bool is_trace_token(std::string_view field) noexcept;
+
+/// Parse a "T=<trace-hex>-<span-hex>" token. Returns nullopt unless both ids
+/// are valid non-empty hex and the trace id is non-zero. Allocation-free.
+[[nodiscard]] std::optional<obs::TraceContext> parse_trace(std::string_view field) noexcept;
+
+/// Append " T=<trace>-<span>" (note the leading separator) to `out` —
+/// allocation-free once `out` has capacity. No-op for unsampled contexts.
+void append_trace(const obs::TraceContext& ctx, std::string& out);
 
 /// Build a PARAM registration line for a parameter.
 [[nodiscard]] std::string encode_param(const Parameter& p);

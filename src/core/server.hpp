@@ -38,6 +38,7 @@
 
 #include "core/nelder_mead.hpp"
 #include "core/net.hpp"
+#include "obs/trace.hpp"
 
 namespace harmony {
 
@@ -81,6 +82,17 @@ struct ServerOptions {
   /// through them; null servers answer ATTACH with ERR. The sink must
   /// outlive the server (declare the Dispatcher before the TuningServer).
   WorkSink* fleet = nullptr;
+
+  /// Span sink for distributed tracing (not owned, may be null). Requests
+  /// carrying a wire trace token (see protocol.hpp) get per-stage spans
+  /// recorded here; without a tracer the token is parsed and dropped.
+  obs::SearchTracer* tracer = nullptr;
+
+  /// Slow-request SLO threshold in microseconds: a request verb whose handle
+  /// time exceeds this lands in the global EventLog with its trace id and
+  /// per-stage breakdown, and bumps the STATUS latency block's slow-request
+  /// counter. 0 disables the slow-request log.
+  long long slow_request_us = 0;
 };
 
 class TuningServer {

@@ -1,6 +1,8 @@
 #include "core/server_session.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -18,13 +20,28 @@ void reply(std::string& out, std::string_view line) {
   out.push_back('\n');
 }
 
+double us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Registry name of the per-verb latency HDR histogram.
+const char* verb_hdr_name(std::string_view verb) {
+  if (verb == "REPORT+FETCH") return "server.verb.report_fetch_s";
+  if (verb == "FETCH") return "server.verb.fetch_s";
+  if (verb == "REPORT") return "server.verb.report_s";
+  return "server.verb.result_s";
+}
+
 }  // namespace
 
 ServerConnection::ServerConnection(const ServerOptions& opts, int session_no)
     : opts_(&opts),
       session_id_("server/" + std::to_string(session_no)),
       budget_(opts.default_max_iterations),
-      status_(obs::StatusRegistry::global().publish_session(session_id_)) {
+      status_(obs::StatusRegistry::global().publish_session(session_id_)),
+      latency_(std::make_unique<obs::HdrHistogram>()) {
   // Live-status slot for this session. Published unconditionally (the STATUS
   // verb is part of the protocol surface, not passive instrumentation); the
   // handle unpublishes when the connection ends.
@@ -71,7 +88,15 @@ void ServerConnection::append_fetch_reply(std::string& out, bool count_fresh) {
   // it) and returns nullopt once the iteration budget is spent or the
   // strategy stops proposing.
   const bool re_fetch = controller_->awaiting_tell();
-  auto proposal = controller_->ask(*search_);
+  std::optional<Config> proposal;
+  if (measure_stages_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    proposal = controller_->ask(*search_);
+    stage_ask_us_ = us_since(t0);
+    record_stage_span("server.ask", stage_ask_us_);
+  } else {
+    proposal = controller_->ask(*search_);
+  }
   if (!proposal) {
     reply(out, "DONE");
     return;
@@ -94,7 +119,14 @@ bool ServerConnection::handle_report_value(std::string_view field,
   EvaluationResult r;
   r.objective = *value;
   r.valid = std::isfinite(*value);
-  controller_->tell(*search_, r);
+  if (measure_stages_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    controller_->tell(*search_, r);
+    stage_tell_us_ = us_since(t0);
+    record_stage_span("server.tell", stage_tell_us_);
+  } else {
+    controller_->tell(*search_, r);
+  }
   // One completed FETCH -> REPORT pair is one tuning round trip.
   ++roundtrips_;
   obs::count("server.roundtrips");
@@ -193,11 +225,118 @@ void ServerConnection::handle_result(std::string& out) {
   }
 }
 
+void ServerConnection::record_stage_span(const char* name, double dur_us) {
+  if (!trace_.sampled() || opts_->tracer == nullptr) return;
+  obs::SearchTracer* tr = opts_->tracer;
+  obs::SpanEvent sp;
+  sp.trace_id = trace_.trace_id;
+  sp.span_id = obs::next_trace_id();
+  sp.parent_span = trace_.span_id;
+  sp.name = name;
+  sp.t_end_us = tr->now_us();
+  sp.t_start_us = sp.t_end_us - dur_us;
+  tr->record_span(sp);
+}
+
+void ServerConnection::finish_request(std::string_view verb,
+                                      std::chrono::steady_clock::time_point t0) {
+  const double dt_us = us_since(t0);
+  const double dt_s = dt_us * 1e-6;
+
+  // Root span first, while now_us() still matches the dt measurement — the
+  // histogram bookkeeping below takes microseconds and would otherwise shift
+  // the span late enough for its children to "start before" it.
+  if (trace_.sampled() && opts_->tracer != nullptr) {
+    obs::SearchTracer* tr = opts_->tracer;
+    obs::SpanEvent sp;
+    sp.trace_id = trace_.trace_id;
+    sp.span_id = trace_.span_id;
+    sp.parent_span = trace_.parent_span;
+    sp.name = "server.handle";
+    sp.detail = std::string(verb);
+    sp.t_end_us = tr->now_us();
+    sp.t_start_us = sp.t_end_us - dt_us;
+    tr->record_span(sp);
+  }
+
+  latency_->record(dt_s);
+  auto& board = obs::StatusRegistry::global().latency();
+  board.request_s.record(dt_s);
+
+  // Refreshing the published quantiles scans the histogram, so do it on the
+  // first request and then every 64th instead of every round trip.
+  ++requests_;
+  if ((requests_ & 63) == 1) {
+    status_.update([&](obs::SessionStatus& s) {
+      s.p50_us = latency_->quantile(0.50) * 1e6;
+      s.p95_us = latency_->quantile(0.95) * 1e6;
+      s.p99_us = latency_->quantile(0.99) * 1e6;
+    });
+  }
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global().hdr(verb_hdr_name(verb)).record(dt_s);
+  }
+
+  if (opts_->slow_request_us > 0 &&
+      dt_us > static_cast<double>(opts_->slow_request_us)) {
+    board.slow_requests.fetch_add(1, std::memory_order_relaxed);
+    obs::count("server.slow_requests");
+    // The slow-request log is gated by its own option, not by obs::enabled():
+    // setting a latency SLO is an explicit request to hear about misses.
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "slow request %.*s %.0fus (tell %.0fus, ask %.0fus) "
+                  "trace=%016llx span=%016llx",
+                  static_cast<int>(verb.size()), verb.data(), dt_us,
+                  stage_tell_us_, stage_ask_us_,
+                  static_cast<unsigned long long>(trace_.trace_id),
+                  static_cast<unsigned long long>(trace_.span_id));
+    obs::EventLog::global().record(obs::Severity::Warn, "server.slow", session_id_,
+                                   buf);
+  }
+}
+
 bool ServerConnection::handle_line(std::string_view line, std::string& out) {
   if (!proto::parse_line(line, msg_)) return true;  // blank line: ignore
   obs::count("server.messages");
   const auto handle_timer = obs::time_scope("server.handle_s");
   const std::string_view verb = msg_.verb;
+
+  // Request verbs (the steady-state tuning/eval path) are latency-tracked
+  // end to end; every other verb answers without touching the clock.
+  const bool request_verb = verb == "REPORT+FETCH" || verb == "FETCH" ||
+                            verb == "REPORT" || verb == "RESULT";
+  trace_ = obs::TraceContext{};
+  if (request_verb && !msg_.args.empty() &&
+      proto::is_trace_token(msg_.args.back())) {
+    // Optional trailing trace token: strip it before the per-verb arg-count
+    // checks so untraced parsing below stays byte-identical. The sender's
+    // span becomes the parent of this request's root span.
+    if (const auto ctx = proto::parse_trace(msg_.args.back())) {
+      trace_.trace_id = ctx->trace_id;
+      trace_.parent_span = ctx->span_id;
+      trace_.span_id = obs::next_trace_id();
+    }
+    msg_.args.pop_back();
+  }
+  measure_stages_ = request_verb && ((trace_.sampled() && opts_->tracer != nullptr) ||
+                                     opts_->slow_request_us > 0);
+  stage_tell_us_ = 0.0;
+  stage_ask_us_ = 0.0;
+
+  // Closes out the request on every exit path (ERR replies included).
+  struct RequestScope {
+    ServerConnection* conn;
+    std::string_view verb;
+    std::chrono::steady_clock::time_point t0;
+    bool active;
+    ~RequestScope() {
+      if (active) conn->finish_request(verb, t0);
+    }
+  } scope{this, verb,
+          request_verb ? std::chrono::steady_clock::now()
+                       : std::chrono::steady_clock::time_point{},
+          request_verb};
 
   if (verb == "FETCH") {
     if (!search_) {

@@ -15,6 +15,7 @@
 /// steady-state request path performs no heap allocations except when the
 /// incumbent improves (the live-status board then reformats its config).
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -72,6 +73,18 @@ class ServerConnection {
   void handle_attach(std::string& out);
   void handle_result(std::string& out);
 
+  /// Close out one request verb: record its handle time into the
+  /// per-connection and process-wide latency histograms, refresh the
+  /// session's published quantiles, log it when over the slow-request SLO,
+  /// and emit the root span when the request is sampled.
+  void finish_request(std::string_view verb,
+                      std::chrono::steady_clock::time_point t0);
+
+  /// Emit a child span of the current request (tell/ask stages) ending now
+  /// and lasting `dur_us`. No-op unless the request is sampled and the
+  /// server has a tracer.
+  void record_stage_span(const char* name, double dur_us);
+
   const ServerOptions* opts_;
   std::string session_id_;
   ParamSpace space_;
@@ -90,6 +103,18 @@ class ServerConnection {
   // detaches, so a dying worker's in-flight WORK re-dispatches elsewhere.
   WorkSink::PushFn sender_;
   std::uint64_t worker_id_ = 0;
+
+  // Tracing + latency state for the request currently inside handle_line().
+  // trace_ is zeroed per request; an unsampled request touches none of the
+  // span machinery and allocates nothing. latency_ is the per-connection
+  // HDR histogram behind the session's published p50/p95/p99 (heap-held:
+  // it is ~22 KiB and most ServerConnection uses are short-lived tests).
+  obs::TraceContext trace_;
+  bool measure_stages_ = false;
+  double stage_tell_us_ = 0.0;
+  double stage_ask_us_ = 0.0;
+  std::uint64_t requests_ = 0;
+  std::unique_ptr<obs::HdrHistogram> latency_;
 };
 
 }  // namespace harmony

@@ -33,6 +33,30 @@ bool Dispatcher::eligible(const WorkerState& w) const {
   return opts_.substrate.empty() || w.name == opts_.substrate;
 }
 
+bool Dispatcher::sample_trace() const {
+  if (opts_.tracer == nullptr || opts_.trace_sample <= 0.0) return false;
+  if (opts_.trace_sample >= 1.0) return true;
+  // Coin flip drawn from the id generator's own splitmix stream, so sampling
+  // needs no extra RNG state and stays thread-safe.
+  const double u =
+      static_cast<double>(obs::next_trace_id() >> 11) * 0x1.0p-53;
+  return u < opts_.trace_sample;
+}
+
+void Dispatcher::span_locked(const Item& item, const char* name,
+                             const std::string& detail, double dur_us) const {
+  if (!item.trace.sampled() || opts_.tracer == nullptr) return;
+  obs::SpanEvent sp;
+  sp.trace_id = item.trace.trace_id;
+  sp.span_id = obs::next_trace_id();
+  sp.parent_span = item.trace.span_id;
+  sp.name = name;
+  sp.detail = detail;
+  sp.t_end_us = opts_.tracer->now_us();
+  sp.t_start_us = sp.t_end_us - dur_us;
+  opts_.tracer->record_span(sp);
+}
+
 void Dispatcher::publish_worker_locked(std::uint64_t id, WorkerState& w) {
   std::string detail;
   if (!w.inflight.empty()) {
@@ -74,6 +98,13 @@ void Dispatcher::pump_locked(Outbox& outbox) {
     Item& item = it->second;
     item.holders.insert(best_id);
     item.issued = std::chrono::steady_clock::now();
+    if (!item.ever_dispatched) {
+      item.ever_dispatched = true;
+      span_locked(item, "fleet.queue_wait", best->name,
+                  std::chrono::duration<double, std::micro>(item.issued -
+                                                            item.enqueued)
+                      .count());
+    }
     best->inflight.insert(id);
     ++stats_.dispatched;
     outbox.emplace_back(best->push, item.payload);
@@ -93,6 +124,9 @@ void Dispatcher::check_stragglers_locked(Outbox& outbox) {
       if (item.holders.count(wid) != 0) continue;
       // Duplicate onto the free worker; first RESULT wins, the loser's late
       // duplicate is dropped (deduped) when it eventually lands.
+      span_locked(item, "fleet.redispatch", w.name,
+                  std::chrono::duration<double, std::micro>(now - item.issued)
+                      .count());
       item.holders.insert(wid);
       item.issued = now;  // re-arm the timeout instead of re-firing every tick
       w.inflight.insert(id);
@@ -208,6 +242,33 @@ bool Dispatcher::on_result(std::uint64_t worker_id, std::uint64_t work_id,
       outcome.ran = true;
       outcome.cost_s = cost_s;
       if (!outcome.result.valid) ++stats_.failed;
+      const auto now = std::chrono::steady_clock::now();
+      const double wait_us =
+          std::chrono::duration<double, std::micro>(now - it->second.issued)
+              .count();
+      eval_s_.record(wait_us * 1e-6);
+      if (obs::enabled()) {
+        obs::MetricsRegistry::global().hdr("fleet.eval_s").record(wait_us *
+                                                                  1e-6);
+      }
+      span_locked(it->second, "fleet.eval",
+                  wit != workers_.end() ? wit->second.name : std::string(),
+                  wait_us);
+      if (it->second.trace.sampled() && opts_.tracer != nullptr) {
+        // Root span for this item's whole fleet lifetime (enqueue → RESULT);
+        // the remote worker's spans parent onto it via the wire token.
+        obs::SpanEvent root;
+        root.trace_id = it->second.trace.trace_id;
+        root.span_id = it->second.trace.span_id;
+        root.name = "fleet.item";
+        root.detail = "work " + std::to_string(work_id);
+        root.t_end_us = opts_.tracer->now_us();
+        root.t_start_us =
+            root.t_end_us -
+            std::chrono::duration<double, std::micro>(now - it->second.enqueued)
+                .count();
+        opts_.tracer->record_span(root);
+      }
       finish_item_locked(it, outcome);
       obs::count("fleet.results");
     }
@@ -242,6 +303,16 @@ std::vector<EvalOutcome> Dispatcher::run_batch(const std::vector<Config>& batch)
       item.batch = &state;
       item.slot = i;
       proto::encode_work(*space_, item.id, batch[i], item.payload);
+      item.enqueued = std::chrono::steady_clock::now();
+      if (sample_trace()) {
+        item.trace.trace_id = obs::next_trace_id();
+        item.trace.span_id = obs::next_trace_id();
+        // Splice the trace token in front of the newline so the worker's
+        // spans join this item's trace.
+        item.payload.pop_back();
+        proto::append_trace(item.trace, item.payload);
+        item.payload.push_back('\n');
+      }
       pending_.push_back(item.id);
       items_.emplace(item.id, std::move(item));
     }

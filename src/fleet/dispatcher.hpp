@@ -43,6 +43,7 @@
 #include "core/param_space.hpp"
 #include "core/work_sink.hpp"
 #include "obs/status.hpp"
+#include "obs/trace.hpp"
 
 namespace harmony::fleet {
 
@@ -57,6 +58,16 @@ struct DispatcherOptions {
 
   /// StatusRegistry pool prefix for the per-worker lanes ("<pool>/<name>").
   std::string status_pool = "fleet";
+
+  /// Span sink for dispatch tracing (not owned, may be null). Sampled batch
+  /// items get queue-wait / eval / straggler-redispatch spans recorded here,
+  /// and their WORK lines carry the wire trace token so the remote worker's
+  /// spans join the same trace (see protocol.hpp).
+  obs::SearchTracer* tracer = nullptr;
+
+  /// Head-based sampling probability in [0, 1] applied per batch item; 0
+  /// traces nothing even with a tracer set.
+  double trace_sample = 0.0;
 };
 
 /// Lifetime counters (monotonic; snapshot via stats()).
@@ -106,6 +117,13 @@ class Dispatcher final : public WorkSink {
   [[nodiscard]] std::size_t total_capacity() const;
   [[nodiscard]] DispatcherStats stats() const;
 
+  /// In-flight evaluation latency (WORK dispatch to winning RESULT), always
+  /// recorded; lock-free to read while batches run (atomic buckets). The
+  /// fleet bench reads its p50/p99 for BENCH_*.json.
+  [[nodiscard]] const obs::HdrHistogram& eval_latency() const noexcept {
+    return eval_s_;
+  }
+
  private:
   struct Batch {
     std::vector<EvalOutcome> out;
@@ -120,6 +138,12 @@ class Dispatcher final : public WorkSink {
     std::string payload;                  ///< complete "WORK ...\n" line
     std::chrono::steady_clock::time_point issued{};
     std::set<std::uint64_t> holders;      ///< workers currently holding it
+
+    // Tracing: trace.span_id is the item's root span; enqueued anchors the
+    // queue-wait span; ever_dispatched keeps that span first-dispatch-only.
+    obs::TraceContext trace;
+    std::chrono::steady_clock::time_point enqueued{};
+    bool ever_dispatched = false;
   };
 
   struct WorkerState {
@@ -134,6 +158,12 @@ class Dispatcher final : public WorkSink {
   using Outbox = std::vector<std::pair<PushFn, std::string>>;
 
   [[nodiscard]] bool eligible(const WorkerState& w) const;
+  /// Head-based sampling decision for one fresh batch item.
+  [[nodiscard]] bool sample_trace() const;
+  /// Record a child span of `item`'s root span ending now, lasting `dur_us`.
+  /// No-op for unsampled items.
+  void span_locked(const Item& item, const char* name,
+                   const std::string& detail, double dur_us) const;
   /// Drain the pending queue into free capacity (least-loaded first);
   /// callers send the outbox after unlocking.
   void pump_locked(Outbox& outbox);
@@ -156,6 +186,8 @@ class Dispatcher final : public WorkSink {
   std::map<std::uint64_t, Item> items_;   ///< incomplete items by id
   std::deque<std::uint64_t> pending_;     ///< ids with no holder yet
   DispatcherStats stats_;
+  obs::HdrHistogram eval_s_;              ///< dispatch-to-RESULT latency
+
 };
 
 }  // namespace harmony::fleet

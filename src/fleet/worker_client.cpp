@@ -34,30 +34,65 @@ bool WorkerClient::handle_line(std::string_view line, const ParamSpace& space,
 
   if (msg.verb == "WORK") {
     if (msg.args.empty()) return true;  // malformed push; ignore
+    // Optional trailing trace token (see protocol.hpp): strip it before the
+    // config decode, mint this worker's own span under the sender's, and
+    // echo the token on the RESULT so the chain survives the round trip.
+    obs::TraceContext trace;
+    if (proto::is_trace_token(msg.args.back())) {
+      if (const auto ctx = proto::parse_trace(msg.args.back())) {
+        trace.trace_id = ctx->trace_id;
+        trace.parent_span = ctx->span_id;
+        trace.span_id = obs::next_trace_id();
+      }
+      msg.args.pop_back();
+      if (msg.args.empty()) return true;  // token with no work id; ignore
+    }
     const auto id = proto::parse_i64(msg.args[0]);
     if (!id || *id <= 0) return true;
-    char reply[96];
+    char reply[160];
+    int len = 0;
+    const auto finish_reply = [&] {
+      if (trace.sampled()) {
+        len += std::snprintf(reply + len, sizeof(reply) - len,
+                             " T=%016llx-%016llx",
+                             static_cast<unsigned long long>(trace.trace_id),
+                             static_cast<unsigned long long>(trace.span_id));
+      }
+      reply[len++] = '\n';
+      return std::string_view(reply, static_cast<std::size_t>(len));
+    };
     const auto config = proto::decode_config(space, msg, /*skip=*/1);
     if (!config) {
       // Undecodable against this worker's compiled-in space: report FAIL so
       // the search charges the candidate instead of waiting forever.
-      std::snprintf(reply, sizeof(reply), "RESULT %lld FAIL\n",
-                    static_cast<long long>(*id));
-      return socket_.send_all(reply);
+      len = std::snprintf(reply, sizeof(reply), "RESULT %lld FAIL",
+                          static_cast<long long>(*id));
+      return socket_.send_all(finish_reply());
     }
     const auto t0 = std::chrono::steady_clock::now();
     const ShortRunResult r = fn(*config, steps);
     const double cost_s = seconds_since(t0);
+    if (trace.sampled() && opts_.tracer != nullptr) {
+      obs::SpanEvent sp;
+      sp.trace_id = trace.trace_id;
+      sp.span_id = trace.span_id;
+      sp.parent_span = trace.parent_span;
+      sp.name = "worker.eval";
+      sp.detail = "work " + std::to_string(*id);
+      sp.t_end_us = opts_.tracer->now_us();
+      sp.t_start_us = sp.t_end_us - cost_s * 1e6;
+      opts_.tracer->record_span(sp);
+    }
     if (r.ok) {
       // %.17g: exact double round trip, so a fleet search sees bit-identical
       // objectives to a serial run of the same substrate.
-      std::snprintf(reply, sizeof(reply), "RESULT %lld %.17g %.6g\n",
-                    static_cast<long long>(*id), r.measured_s, cost_s);
+      len = std::snprintf(reply, sizeof(reply), "RESULT %lld %.17g %.6g",
+                          static_cast<long long>(*id), r.measured_s, cost_s);
     } else {
-      std::snprintf(reply, sizeof(reply), "RESULT %lld FAIL\n",
-                    static_cast<long long>(*id));
+      len = std::snprintf(reply, sizeof(reply), "RESULT %lld FAIL",
+                          static_cast<long long>(*id));
     }
-    if (!socket_.send_all(reply)) return false;
+    if (!socket_.send_all(finish_reply())) return false;
     const std::uint64_t done = evals_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (opts_.max_evals > 0 && done >= opts_.max_evals) {
       (void)socket_.send_all(std::string_view("DETACH\n"));

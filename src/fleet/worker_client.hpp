@@ -19,6 +19,7 @@
 #include "core/controller.hpp"
 #include "core/net.hpp"
 #include "core/param_space.hpp"
+#include "obs/trace.hpp"
 
 namespace harmony::fleet {
 
@@ -35,6 +36,12 @@ struct WorkerClientOptions {
 
   /// Detach voluntarily after this many evaluations; 0 = serve forever.
   std::uint64_t max_evals = 0;
+
+  /// Span sink (not owned, may be null). WORK lines carrying a wire trace
+  /// token get a "worker.eval" span recorded here, and the RESULT echoes the
+  /// token so the server-side spans of the same request link up. Without a
+  /// tracer the token is still echoed (the ids keep the chain intact).
+  obs::SearchTracer* tracer = nullptr;
 };
 
 class WorkerClient {

@@ -35,6 +35,11 @@ namespace harmony::obs {
 /// from the environment on first call.
 [[nodiscard]] bool enabled() noexcept;
 
+/// Escape a Prometheus label value per the text exposition spec: backslash,
+/// double quote and line feed become \\, \" and \n. Implemented in
+/// prometheus.cpp; exposed so the conformance tests can pin the rule down.
+[[nodiscard]] std::string prometheus_escape(std::string_view v);
+
 /// Turn recording on/off process-wide (overrides AH_OBS).
 void set_enabled(bool on) noexcept;
 
@@ -97,6 +102,50 @@ class Histogram {
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
 };
 
+/// High-dynamic-range distribution: log-linear buckets — 64 linear
+/// sub-buckets per power-of-two octave — bound the relative quantile error at
+/// ~1.6% anywhere in the range [1e-9, ~1.8e4] (seconds, say), which the
+/// base-2 Histogram's factor-of-two buckets cannot do. quantile(q) scans the
+/// cumulative counts and returns the matched bucket's midpoint clamped to the
+/// observed [min, max], so a single-valued distribution reports that value
+/// exactly. All updates are relaxed/CAS atomics; record() never allocates.
+class HdrHistogram {
+ public:
+  static constexpr int kSubBits = 6;  ///< 2^6 linear sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  static constexpr int kOctaves = 44;
+  static constexpr int kBuckets = 1 + kOctaves * kSubBuckets;
+  static constexpr double kValueFloor = 1e-9;  ///< bucket 0 upper bound
+
+  void record(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double min() const noexcept;  ///< 0 when empty
+  [[nodiscard]] double max() const noexcept;  ///< 0 when empty
+  [[nodiscard]] double mean() const noexcept;
+  /// Value at quantile q in [0, 1] (0 when empty). q=0.5 is the median.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] std::uint64_t bucket(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  /// Bucket a value falls into / that bucket's upper bound (exposed for the
+  /// Prometheus renderer and for tests).
+  [[nodiscard]] static int bucket_index(double v) noexcept;
+  [[nodiscard]] static double bucket_upper(int i) noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> any_{false};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
 /// Name -> metric table, sharded by name hash (one mutex per shard) so the
 /// parallel engine's workers resolving different metrics do not contend.
 class MetricsRegistry {
@@ -112,6 +161,7 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  HdrHistogram& hdr(std::string_view name);
 
   [[nodiscard]] std::size_t size() const;
 
@@ -134,10 +184,11 @@ class MetricsRegistry {
 
  private:
   struct Entry {
-    enum class Kind { Counter, Gauge, Histogram } kind;
+    enum class Kind { Counter, Gauge, Histogram, Hdr } kind;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<HdrHistogram> hdr;
   };
   struct Shard {
     mutable std::mutex mutex;
@@ -171,6 +222,11 @@ inline void observe(std::string_view name, double v) {
   MetricsRegistry::global().histogram(name).record(v);
 }
 
+inline void hdr_observe(std::string_view name, double v) {
+  if (!enabled()) return;
+  MetricsRegistry::global().hdr(name).record(v);
+}
+
 /// RAII wall-clock timer recording seconds into a histogram on destruction.
 /// Construct via time_scope(); holds nullptr (and touches no clock) when
 /// observability is disabled at construction time.
@@ -187,5 +243,22 @@ class ScopedTimer {
 };
 
 [[nodiscard]] ScopedTimer time_scope(std::string_view name);
+
+/// RAII wall-clock timer recording seconds into an HdrHistogram on
+/// destruction. Same contract as ScopedTimer: holds nullptr (and touches no
+/// clock) when observability is disabled at construction time.
+class HdrScopedTimer {
+ public:
+  explicit HdrScopedTimer(HdrHistogram* h) noexcept;
+  ~HdrScopedTimer();
+  HdrScopedTimer(const HdrScopedTimer&) = delete;
+  HdrScopedTimer& operator=(const HdrScopedTimer&) = delete;
+
+ private:
+  HdrHistogram* histogram_;
+  std::uint64_t start_ns_ = 0;
+};
+
+[[nodiscard]] HdrScopedTimer hdr_time_scope(std::string_view name);
 
 }  // namespace harmony::obs

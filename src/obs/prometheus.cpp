@@ -11,11 +11,26 @@
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
 
 namespace harmony::obs {
+
+std::string prometheus_escape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
 
 namespace {
 
@@ -38,6 +53,24 @@ std::string render_double(double v) {
   return os.str();
 }
 
+void render_help_type(std::ostream& os, const std::string& pname,
+                      const std::string& source_name, std::string_view type) {
+  // The source (dotted) name can in principle hold anything, so HELP text is
+  // escaped: backslash -> \\ and line-feed -> \n per the text-format spec.
+  std::string help;
+  for (const char c : source_name) {
+    if (c == '\\') {
+      help += "\\\\";
+    } else if (c == '\n') {
+      help += "\\n";
+    } else {
+      help += c;
+    }
+  }
+  os << "# HELP " << pname << " harmony metric " << help << "\n";
+  os << "# TYPE " << pname << " " << type << "\n";
+}
+
 /// Upper bound of log-2 bucket `i` (see Histogram::bucket_index): bucket 0
 /// ends at kBucketFloor, bucket i at kBucketFloor * 2^i.
 double bucket_upper_bound(int i) {
@@ -45,8 +78,8 @@ double bucket_upper_bound(int i) {
 }
 
 void render_histogram(std::ostream& os, const std::string& name,
-                      const Histogram& h) {
-  os << "# TYPE " << name << " histogram\n";
+                      const std::string& source_name, const Histogram& h) {
+  render_help_type(os, name, source_name, "histogram");
   // Emit up to the highest non-empty bucket (at least bucket 0) so typical
   // timer histograms stay a dozen lines, not kBuckets.
   int top = 0;
@@ -56,12 +89,39 @@ void render_histogram(std::ostream& os, const std::string& name,
   std::uint64_t cumulative = 0;
   for (int i = 0; i <= top; ++i) {
     cumulative += h.bucket(i);
-    os << name << "_bucket{le=\"" << render_double(bucket_upper_bound(i))
+    os << name << "_bucket{le=\"" << prometheus_escape(render_double(bucket_upper_bound(i)))
        << "\"} " << cumulative << "\n";
   }
   os << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
   os << name << "_sum " << render_double(h.sum()) << "\n";
   os << name << "_count " << h.count() << "\n";
+}
+
+void render_hdr(std::ostream& os, const std::string& name,
+                const std::string& source_name, const HdrHistogram& h) {
+  render_help_type(os, name, source_name, "histogram");
+  // The log-linear layout has thousands of buckets; emit only the non-empty
+  // ones (cumulative counts stay correct — skipped buckets add nothing).
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < HdrHistogram::kBuckets; ++i) {
+    const std::uint64_t n = h.bucket(i);
+    if (n == 0) continue;
+    cumulative += n;
+    os << name << "_bucket{le=\"" << prometheus_escape(render_double(HdrHistogram::bucket_upper(i)))
+       << "\"} " << cumulative << "\n";
+  }
+  os << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+  os << name << "_sum " << render_double(h.sum()) << "\n";
+  os << name << "_count " << h.count() << "\n";
+  // Pre-computed quantiles ride along as a gauge family so scrapers that do
+  // not do histogram_quantile() still see the tail.
+  const std::string qname = name + "_quantile";
+  os << "# HELP " << qname << " harmony metric " << prometheus_escape(source_name)
+     << " quantiles\n";
+  os << "# TYPE " << qname << " gauge\n";
+  os << qname << "{quantile=\"0.5\"} " << render_double(h.quantile(0.50)) << "\n";
+  os << qname << "{quantile=\"0.95\"} " << render_double(h.quantile(0.95)) << "\n";
+  os << qname << "{quantile=\"0.99\"} " << render_double(h.quantile(0.99)) << "\n";
 }
 
 }  // namespace
@@ -79,15 +139,18 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
       std::ostringstream body;
       switch (entry.kind) {
         case Entry::Kind::Counter:
-          body << "# TYPE " << pname << "_total counter\n"
-               << pname << "_total " << entry.counter->value() << "\n";
+          render_help_type(body, pname + "_total", name, "counter");
+          body << pname << "_total " << entry.counter->value() << "\n";
           break;
         case Entry::Kind::Gauge:
-          body << "# TYPE " << pname << " gauge\n"
-               << pname << " " << render_double(entry.gauge->value()) << "\n";
+          render_help_type(body, pname, name, "gauge");
+          body << pname << " " << render_double(entry.gauge->value()) << "\n";
           break;
         case Entry::Kind::Histogram:
-          render_histogram(body, pname, *entry.histogram);
+          render_histogram(body, pname, name, *entry.histogram);
+          break;
+        case Entry::Kind::Hdr:
+          render_hdr(body, pname, name, *entry.hdr);
           break;
       }
       rows.push_back({pname, body.str()});

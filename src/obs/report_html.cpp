@@ -102,6 +102,9 @@ std::vector<TraceEvent> load_trace_jsonl(std::istream& is,
       ++bad;
       continue;
     }
+    // Span records (tracing PRs onward) share the file but not the schema;
+    // they are not evaluations, so the report skips them silently.
+    if (v->find("kind") != nullptr) continue;
     TraceEvent e;
     e.strategy = v->string_or("strategy", "");
     e.point = v->string_or("point", "");
@@ -121,6 +124,71 @@ std::vector<TraceEvent> load_trace_jsonl(std::istream& is,
   }
   if (skipped != nullptr) *skipped = bad;
   return out;
+}
+
+std::vector<MergedSpan> load_span_jsonl(std::istream& is,
+                                        std::size_t* skipped) {
+  std::vector<MergedSpan> out;
+  std::size_t bad = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto v = json_parse(line);
+    if (!v || !v->is_object()) {
+      ++bad;
+      continue;
+    }
+    const JsonValue* kind = v->find("kind");
+    if (kind == nullptr || !kind->is_string() || kind->as_string() != "span") {
+      continue;  // evaluation line, shared file
+    }
+    MergedSpan s;
+    s.trace_id = v->string_or("trace", "");
+    s.span_id = v->string_or("span", "");
+    s.parent_span = v->string_or("parent", "");
+    s.name = v->string_or("name", "");
+    s.detail = v->string_or("detail", "");
+    s.thread_lane = static_cast<std::uint32_t>(v->number_or("thread", 0.0));
+    // The anchor is the tracer's wall-clock time at its steady-epoch zero;
+    // adding it turns per-process relative microseconds into a shared axis.
+    const double anchor = v->number_or("anchor_us", 0.0);
+    s.t_start_us = anchor + v->number_or("t_start_us", 0.0);
+    s.t_end_us = anchor + v->number_or("t_end_us", 0.0);
+    out.push_back(std::move(s));
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return out;
+}
+
+void write_merged_chrome_trace(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::vector<MergedSpan>>>& inputs) {
+  double t0 = std::numeric_limits<double>::infinity();
+  for (const auto& [label, spans] : inputs) {
+    for (const auto& s : spans) t0 = std::min(t0, s.t_start_us);
+  }
+  if (!std::isfinite(t0)) t0 = 0.0;
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t pid = 0; pid < inputs.size(); ++pid) {
+    const auto& [label, spans] = inputs[pid];
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(label) << "\"}}";
+    for (const auto& s : spans) {
+      os << ",{\"name\":\"" << json_escape(s.name) << "\",\"cat\":\"span\""
+         << ",\"ph\":\"X\",\"ts\":" << fmt(s.t_start_us - t0, 17)
+         << ",\"dur\":" << fmt(std::max(0.0, s.t_end_us - s.t_start_us), 17)
+         << ",\"pid\":" << pid << ",\"tid\":" << s.thread_lane
+         << ",\"args\":{\"trace\":\"" << json_escape(s.trace_id)
+         << "\",\"span\":\"" << json_escape(s.span_id) << "\",\"parent\":\""
+         << json_escape(s.parent_span) << "\",\"detail\":\""
+         << json_escape(s.detail) << "\"}}";
+    }
+  }
+  os << "]}\n";
 }
 
 void write_convergence_svg(std::ostream& os,

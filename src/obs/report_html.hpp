@@ -19,9 +19,11 @@
 /// The library half lives here so tests can exercise the renderer directly;
 /// `tools/report_gen` is the thin CLI that CI runs over bench artifacts.
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/bench_report.hpp"
@@ -41,6 +43,36 @@ struct HtmlReportOptions {
 /// a crashed run still renders.
 [[nodiscard]] std::vector<TraceEvent> load_trace_jsonl(std::istream& is,
                                                        std::size_t* skipped = nullptr);
+
+/// One span parsed back from a write_jsonl export ("kind":"span" lines).
+/// Ids stay hex strings (64-bit values do not survive a double round trip);
+/// the timestamps have already been shifted onto the writing process's
+/// wall clock via the per-line anchor, so spans from different processes
+/// of the same distributed request line up on a shared axis.
+struct MergedSpan {
+  std::string trace_id;
+  std::string span_id;
+  std::string parent_span;
+  std::string name;
+  std::string detail;
+  std::uint32_t thread_lane = 0;
+  double t_start_us = 0.0;  ///< wall-clock unix microseconds
+  double t_end_us = 0.0;
+};
+
+/// Parse only the span lines of a write_jsonl export (evaluation lines are
+/// skipped; unparseable lines are counted in `*skipped` when non-null).
+[[nodiscard]] std::vector<MergedSpan> load_span_jsonl(std::istream& is,
+                                                      std::size_t* skipped = nullptr);
+
+/// Merge span files from several processes into one Chrome trace-viewer
+/// document: one pid per input (named by its label), tid = recording lane,
+/// trace/span/parent ids in each slice's args so a distributed request can
+/// be followed across the server and its workers by trace id. Timestamps
+/// are rebased to the earliest span so the viewer opens at t=0.
+void write_merged_chrome_trace(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::vector<MergedSpan>>>& inputs);
 
 /// Render the full report document. `bench` may be null (trace-only report).
 void write_html_report(std::ostream& os, const std::vector<TraceEvent>& events,

@@ -235,7 +235,10 @@ void StatusRegistry::write_json(std::ostream& os) const {
        << ",\"best_config\":\"" << json_escape(s.best_config) << "\""
        << ",\"best_value\":" << json_number(s.best_value)
        << ",\"iterations\":" << s.iterations
-       << ",\"cache_hits\":" << s.cache_hits << "}";
+       << ",\"cache_hits\":" << s.cache_hits
+       << ",\"p50_us\":" << json_number(s.p50_us)
+       << ",\"p95_us\":" << json_number(s.p95_us)
+       << ",\"p99_us\":" << json_number(s.p99_us) << "}";
   }
   os << "],\"workers\":[";
   const double now_s = steady_seconds();
@@ -249,7 +252,14 @@ void StatusRegistry::write_json(std::ostream& os) const {
        << (w.last_beat_s >= 0.0 ? json_number(now_s - w.last_beat_s) : "null")
        << "}";
   }
-  os << "]}";
+  os << "],\"latency\":{";
+  const auto& lat = latency_.request_s;
+  os << "\"p50_us\":" << json_number(lat.quantile(0.50) * 1e6)
+     << ",\"p95_us\":" << json_number(lat.quantile(0.95) * 1e6)
+     << ",\"p99_us\":" << json_number(lat.quantile(0.99) * 1e6)
+     << ",\"count\":" << lat.count() << ",\"slow_requests\":"
+     << latency_.slow_requests.load(std::memory_order_relaxed);
+  os << "}}";
 }
 
 std::string StatusRegistry::to_json() const {

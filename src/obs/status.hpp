@@ -36,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"  // HdrHistogram for the latency board
+
 namespace harmony::obs {
 
 /// Live state of one tuning session (a server connection or an offline
@@ -49,6 +51,12 @@ struct SessionStatus {
   double best_value = std::numeric_limits<double>::infinity();  ///< inf = none
   std::uint64_t iterations = 0;  ///< completed evaluations / round trips
   std::uint64_t cache_hits = 0;  ///< evaluations served from a cache
+
+  /// Per-session request-latency quantiles in microseconds (server handle
+  /// time of FETCH/REPORT/REPORT+FETCH/RESULT). 0 until the first request.
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
 };
 
 /// Live state of one worker lane (a thread-pool lane or a remote fleet
@@ -134,6 +142,17 @@ class StatusRegistry {
     WorkerSlot* slot_ = nullptr;
   };
 
+  /// Process-wide request-latency board: every server request verb records
+  /// its handle time here (always on — the STATUS verb's latency block is
+  /// protocol surface, like the session slots), and requests slower than
+  /// ServerOptions::slow_request_us bump `slow_requests`. Serialized by
+  /// write_json as the top-level "latency" object.
+  struct LatencyBoard {
+    HdrHistogram request_s;
+    std::atomic<std::uint64_t> slow_requests{0};
+  };
+  [[nodiscard]] LatencyBoard& latency() noexcept { return latency_; }
+
   /// Claim a session slot. Ids must be unique among live sessions; a clash
   /// gets a "#<n>" suffix rather than an error so publishers never fail.
   [[nodiscard]] SessionHandle publish_session(const std::string& id);
@@ -161,7 +180,9 @@ class StatusRegistry {
   [[nodiscard]] std::size_t worker_count() const;
 
   /// One JSON object:
-  /// {"epoch":N,"sessions_started":N,"sessions":[{...}],"workers":[{...}]}.
+  /// {"epoch":N,"sessions_started":N,"sessions":[{...}],"workers":[{...}],
+  ///  "latency":{"p50_us":..,"p95_us":..,"p99_us":..,"count":N,
+  ///             "slow_requests":N}}.
   /// Sessions with no measurement yet serialize "best_value":null.
   void write_json(std::ostream& os) const;
   [[nodiscard]] std::string to_json() const;
@@ -188,6 +209,7 @@ class StatusRegistry {
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> sessions_started_{0};
   std::uint64_t clash_suffix_ = 0;
+  LatencyBoard latency_;
 };
 
 }  // namespace harmony::obs

@@ -1,7 +1,9 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <ostream>
 #include <sstream>
@@ -22,10 +24,39 @@ std::string json_number(double v) {
   return os.str();
 }
 
+/// Hex rendering for 64-bit ids: JSON numbers only carry 53 bits safely, so
+/// trace/span ids are always strings.
+std::string hex_id(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
+std::uint64_t next_trace_id() noexcept {
+  static std::atomic<std::uint64_t> counter{static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count())};
+  std::uint64_t id = 0;
+  while (id == 0) {
+    id = splitmix64(counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
 SearchTracer::SearchTracer()
-    : epoch_(std::chrono::steady_clock::now()), shards_(kShards) {}
+    : epoch_(std::chrono::steady_clock::now()),
+      wall_anchor_us_(std::chrono::duration<double, std::micro>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count()),
+      shards_(kShards) {}
 
 double SearchTracer::now_us() const {
   return std::chrono::duration<double, std::micro>(
@@ -49,6 +80,39 @@ void SearchTracer::record(TraceEvent e) {
                          shards_.size()];
   const std::lock_guard<std::mutex> lock(shard.mutex);
   shard.events.push_back(std::move(e));
+}
+
+void SearchTracer::record_span(SpanEvent s) {
+  s.thread_lane = lane_for_current_thread();
+  Shard& shard = shards_[std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+                         shards_.size()];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.spans.push_back(std::move(s));
+}
+
+std::vector<SpanEvent> SearchTracer::spans() const {
+  std::vector<SpanEvent> out;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    out.insert(out.end(), shard.spans.begin(), shard.spans.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.t_start_us != b.t_start_us) {
+                       return a.t_start_us < b.t_start_us;
+                     }
+                     return a.thread_lane < b.thread_lane;
+                   });
+  return out;
+}
+
+std::size_t SearchTracer::span_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.spans.size();
+  }
+  return n;
 }
 
 std::vector<TraceEvent> SearchTracer::events() const {
@@ -85,6 +149,7 @@ void SearchTracer::clear() {
   for (auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     shard.events.clear();
+    shard.spans.clear();
   }
   const std::lock_guard<std::mutex> lock(lanes_mutex_);
   lane_ids_.clear();
@@ -101,12 +166,25 @@ void SearchTracer::write_jsonl(std::ostream& os) const {
        << ",\"t_start_us\":" << json_number(e.t_start_us)
        << ",\"t_end_us\":" << json_number(e.t_end_us) << "}\n";
   }
+  for (const auto& s : spans()) {
+    os << "{\"kind\":\"span\",\"trace\":\"" << hex_id(s.trace_id) << "\""
+       << ",\"span\":\"" << hex_id(s.span_id) << "\""
+       << ",\"parent\":\"" << hex_id(s.parent_span) << "\""
+       << ",\"name\":\"" << json_escape(s.name) << "\""
+       << ",\"detail\":\"" << json_escape(s.detail) << "\""
+       << ",\"thread\":" << s.thread_lane
+       << ",\"t_start_us\":" << json_number(s.t_start_us)
+       << ",\"t_end_us\":" << json_number(s.t_end_us)
+       << ",\"anchor_us\":" << json_number(wall_anchor_us_) << "}\n";
+  }
 }
 
 void SearchTracer::write_chrome_trace(std::ostream& os) const {
   const auto evs = events();
+  const auto sps = spans();
   std::uint32_t max_lane = 0;
   for (const auto& e : evs) max_lane = std::max(max_lane, e.thread_lane);
+  for (const auto& s : sps) max_lane = std::max(max_lane, s.thread_lane);
 
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -116,7 +194,7 @@ void SearchTracer::write_chrome_trace(std::ostream& os) const {
   };
 
   // Lane labels so chrome://tracing shows "worker 0..N" instead of raw tids.
-  if (!evs.empty()) {
+  if (!evs.empty() || !sps.empty()) {
     for (std::uint32_t lane = 0; lane <= max_lane; ++lane) {
       comma();
       os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << lane
@@ -136,6 +214,18 @@ void SearchTracer::write_chrome_trace(std::ostream& os) const {
        << json_escape(e.strategy) << "\",\"objective\":"
        << json_number(e.objective) << ",\"valid\":" << (e.valid ? "true" : "false")
        << ",\"cache_hit\":" << (e.cache_hit ? "true" : "false") << "}}";
+  }
+  for (const auto& s : sps) {
+    comma();
+    const double dur = std::max(0.0, s.t_end_us - s.t_start_us);
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << s.thread_lane
+       << ",\"ts\":" << json_number(s.t_start_us)
+       << ",\"dur\":" << json_number(dur)
+       << ",\"cat\":\"span\",\"name\":\"" << json_escape(s.name)
+       << "\",\"args\":{\"trace\":\"" << hex_id(s.trace_id)
+       << "\",\"span\":\"" << hex_id(s.span_id)
+       << "\",\"parent\":\"" << hex_id(s.parent_span)
+       << "\",\"detail\":\"" << json_escape(s.detail) << "\"}}";
   }
   os << "]}";
 }

@@ -29,6 +29,37 @@
 
 namespace harmony::obs {
 
+/// Trace identity for one end-to-end request, carried across the wire as an
+/// optional trailing "T=<trace>-<span>" token (see core/protocol.hpp).
+/// trace_id == 0 means "not sampled": every tracing call site must be a
+/// no-op in that case, so unsampled requests pay nothing.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;     ///< id of the current (innermost) span
+  std::uint64_t parent_span = 0; ///< 0 at the root
+  [[nodiscard]] bool sampled() const noexcept { return trace_id != 0; }
+};
+
+/// A fresh process-unique non-zero 64-bit id (for trace ids and span ids):
+/// an atomic counter mixed through splitmix64, seeded once per process from
+/// the wall clock so ids from different processes do not collide.
+[[nodiscard]] std::uint64_t next_trace_id() noexcept;
+
+/// One named stage of a sampled request (parse, queue wait, strategy ask,
+/// remote eval, ...). Span ids tie the stages of one request together across
+/// threads — and, via the wall-clock anchor written by write_jsonl, across
+/// processes.
+struct SpanEvent {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  std::string name;            ///< stage name, e.g. "server.tell"
+  std::string detail;          ///< free-form (verb, work id, ...)
+  std::uint32_t thread_lane = 0;
+  double t_start_us = 0.0;     ///< microseconds since tracer construction
+  double t_end_us = 0.0;
+};
+
 /// One objective evaluation as seen by a driver.
 struct TraceEvent {
   std::string strategy;    ///< SearchStrategy::name() of the proposer
@@ -55,22 +86,39 @@ class SearchTracer {
   /// callers set every other field. Thread-safe.
   void record(TraceEvent e);
 
+  /// Append one span of a sampled request. Same sharding and lane rules as
+  /// record(). Callers must already have checked TraceContext::sampled() —
+  /// recording a span with trace_id 0 is a programming error.
+  void record_span(SpanEvent s);
+
   /// All events so far, merged across shards and sorted by start time
   /// (ties broken by lane). Thread-safe snapshot.
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
+  /// All spans so far, merged and sorted like events(). Thread-safe snapshot.
+  [[nodiscard]] std::vector<SpanEvent> spans() const;
+
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t span_count() const;
   [[nodiscard]] std::size_t lanes() const;
   void clear();
+
+  /// Wall-clock (unix) microseconds corresponding to t == 0 on this tracer's
+  /// steady clock. Lets a merge tool align traces from different processes.
+  [[nodiscard]] double wall_anchor_us() const noexcept { return wall_anchor_us_; }
 
   /// One JSON object per line:
   /// {"strategy":...,"point":...,"objective":...,"valid":...,"cache_hit":...,
   ///  "thread":...,"t_start_us":...,"t_end_us":...}
+  /// Span records ride along as {"kind":"span","trace":"<hex>",...} lines
+  /// carrying an "anchor_us" wall-clock field (loaders keyed on the eval
+  /// schema must skip lines with a "kind" key).
   void write_jsonl(std::ostream& os) const;
 
   /// Chrome trace JSON: one complete ("ph":"X") event per evaluation in the
   /// lane of its recording thread, plus thread_name metadata so
-  /// chrome://tracing labels each pool worker.
+  /// chrome://tracing labels each pool worker. Spans appear in the same
+  /// lanes under the "span" category with trace/span ids in args.
   void write_chrome_trace(std::ostream& os) const;
 
  private:
@@ -79,9 +127,11 @@ class SearchTracer {
   struct Shard {
     mutable std::mutex mutex;
     std::vector<TraceEvent> events;
+    std::vector<SpanEvent> spans;
   };
 
   std::chrono::steady_clock::time_point epoch_;
+  double wall_anchor_us_ = 0.0;
   mutable std::vector<Shard> shards_;
   mutable std::mutex lanes_mutex_;
   std::unordered_map<std::thread::id, std::uint32_t> lane_ids_;

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 using harmony::net::EventLoop;
 
 namespace {
@@ -122,6 +124,39 @@ TEST(EventLoopDefer, StopWhileProducersAreDeferring) {
   quit.store(true);
   for (auto& t : producers) t.join();
   EXPECT_GT(executed.load(), 0);
+}
+
+// Defer-queue residency: with observability on, every drained defer records
+// its cross-thread handoff wait into the "net.loop.defer_wait_s" HDR
+// histogram (nothing is recorded while observability is off).
+TEST(EventLoopDefer, HdrDeferWaitRecordedWhenObsEnabled) {
+  namespace obs = harmony::obs;
+  auto& hist = obs::MetricsRegistry::global().hdr("net.loop.defer_wait_s");
+  const bool was = obs::enabled();
+  obs::set_enabled(false);
+
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+  std::thread runner([&] { loop.run(); });
+
+  std::atomic<int> ran{0};
+  loop.defer([&] { ran.fetch_add(1); });
+  EXPECT_TRUE(eventually([&] { return ran.load() == 1; }));
+  const auto count_disabled = hist.count();
+
+  obs::set_enabled(true);
+  constexpr int kDefers = 32;
+  for (int i = 0; i < kDefers; ++i) {
+    loop.defer([&] { ran.fetch_add(1); });
+  }
+  EXPECT_TRUE(eventually([&] { return ran.load() == 1 + kDefers; }));
+  loop.stop();
+  runner.join();
+  obs::set_enabled(was);
+
+  // Each enabled-mode defer recorded exactly one (nonnegative) wait sample;
+  // the disabled-mode defer recorded none.
+  EXPECT_GE(hist.count(), count_disabled + kDefers);
 }
 
 }  // namespace

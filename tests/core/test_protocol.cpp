@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "obs/trace.hpp"
+
 namespace {
 
 using harmony::Config;
@@ -133,6 +137,49 @@ TEST(Protocol, DecodeParamMalformedFails) {
 
 TEST(Protocol, DecodeParamTrailingGarbageFails) {
   EXPECT_FALSE(proto::decode_param({"INT", "x", "1", "10", "1", "extra"}).has_value());
+}
+
+TEST(Protocol, TraceContextTokenRoundTrips) {
+  harmony::obs::TraceContext ctx;
+  ctx.trace_id = 0xdeadbeefcafef00dULL;
+  ctx.span_id = 0x0000000000000001ULL;
+  std::string line = "REPORT+FETCH 3.25";
+  proto::append_trace(ctx, line);
+  EXPECT_EQ(line, "REPORT+FETCH 3.25 T=deadbeefcafef00d-0000000000000001");
+
+  const auto msg = proto::parse_line(line);
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_EQ(msg->args.size(), 2u);
+  ASSERT_TRUE(proto::is_trace_token(msg->args.back()));
+  const auto parsed = proto::parse_trace(msg->args.back());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, ctx.trace_id);
+  EXPECT_EQ(parsed->span_id, ctx.span_id);
+  EXPECT_TRUE(parsed->sampled());
+}
+
+TEST(Protocol, TraceContextTokenRejectsMalformed) {
+  // Not a token at all: parse_trace refuses, is_trace_token refuses.
+  EXPECT_FALSE(proto::is_trace_token("3.25"));
+  EXPECT_FALSE(proto::is_trace_token("T="));
+  EXPECT_FALSE(proto::parse_trace("REPORT").has_value());
+  // Token-shaped but invalid bodies.
+  EXPECT_FALSE(proto::parse_trace("T=deadbeef").has_value());          // no dash
+  EXPECT_FALSE(proto::parse_trace("T=-deadbeef").has_value());         // empty trace
+  EXPECT_FALSE(proto::parse_trace("T=deadbeef-").has_value());         // empty span
+  EXPECT_FALSE(proto::parse_trace("T=xyzw-0123").has_value());         // non-hex
+  EXPECT_FALSE(proto::parse_trace("T=0123zz-0123").has_value());       // non-hex tail
+  EXPECT_FALSE(proto::parse_trace("T=00000000000000000-1").has_value());  // 17 digits
+  // trace_id 0 means "unsampled" and is never a valid wire token.
+  EXPECT_FALSE(
+      proto::parse_trace("T=0000000000000000-0000000000000001").has_value());
+}
+
+TEST(Protocol, TraceContextAppendIsNoopWhenUnsampled) {
+  harmony::obs::TraceContext ctx;  // trace_id 0: unsampled
+  std::string line = "FETCH";
+  proto::append_trace(ctx, line);
+  EXPECT_EQ(line, "FETCH");  // old clients' lines stay byte-identical
 }
 
 }  // namespace

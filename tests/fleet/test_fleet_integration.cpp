@@ -24,6 +24,7 @@
 #include "fleet/worker_backend.hpp"
 #include "fleet/worker_client.hpp"
 #include "obs/status.hpp"
+#include "obs/trace.hpp"
 
 namespace fleet = harmony::fleet;
 using harmony::Config;
@@ -315,6 +316,85 @@ TEST(FleetIntegration, WorkerConnectRetryToleratesLateServer) {
   server.stop();
   wt.join();
   EXPECT_NE(worker.worker_id(), 0u);
+}
+
+// End-to-end span chains across the dispatch boundary: with trace_sample=1
+// every fleet item gets a fleet.item root span with fleet.queue_wait and
+// fleet.eval children, and the WORK line's trace token comes back from the
+// worker as a worker.eval span parented on the item's root — one connected
+// tree per evaluation, recorded from two "processes" into one tracer here.
+TEST(FleetIntegration, TraceContextChainsSpanDispatcherAndWorker) {
+  const auto sub = fleet::make_substrate("synthetic");
+  ASSERT_TRUE(sub.has_value());
+  harmony::obs::SearchTracer tracer;
+  fleet::DispatcherOptions dopts;
+  dopts.tracer = &tracer;
+  dopts.trace_sample = 1.0;
+  Fleet f(sub->space, dopts);
+  ASSERT_TRUE(f.up);
+  fleet::WorkerClientOptions wopts;
+  wopts.tracer = &tracer;
+  f.add_worker(sub->space, sub->run, wopts);
+  f.add_worker(sub->space, sub->run, wopts);
+  ASSERT_TRUE(f.dispatcher.wait_for_workers(2, std::chrono::seconds(5)));
+
+  const auto result = run_fleet_search(f, sub->space, 4, 16);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(result.evaluations, 16);
+
+  const auto spans = tracer.spans();
+  std::size_t roots = 0;
+  std::size_t queue_waits = 0;
+  std::size_t fleet_evals = 0;
+  std::size_t worker_evals = 0;
+  for (const auto& s : spans) {
+    ASSERT_NE(s.trace_id, 0u);
+    if (s.name == "fleet.item") {
+      ++roots;
+      EXPECT_EQ(s.parent_span, 0u);  // the item is the root of its tree
+      continue;
+    }
+    // Every non-root span must hang off a fleet.item root of its own trace.
+    bool parented = false;
+    for (const auto& r : spans) {
+      if (r.name == "fleet.item" && r.trace_id == s.trace_id &&
+          r.span_id == s.parent_span) {
+        parented = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(parented) << s.name << " span is orphaned";
+    if (s.name == "fleet.queue_wait") ++queue_waits;
+    if (s.name == "fleet.eval") ++fleet_evals;
+    if (s.name == "worker.eval") ++worker_evals;
+  }
+  // One tree per evaluation (stragglers would add extras; none here).
+  EXPECT_EQ(roots, 16u);
+  EXPECT_EQ(queue_waits, 16u);
+  EXPECT_EQ(fleet_evals, 16u);
+  EXPECT_EQ(worker_evals, 16u);
+}
+
+// With sampling off (the default), a tracer wired into the dispatcher and
+// workers must see nothing: WORK lines carry no token, workers mint no
+// spans, and the fleet trajectory is untouched.
+TEST(FleetIntegration, TraceContextUnsampledFleetRecordsNothing) {
+  const auto sub = fleet::make_substrate("synthetic");
+  harmony::obs::SearchTracer tracer;
+  fleet::DispatcherOptions dopts;
+  dopts.tracer = &tracer;  // trace_sample stays 0.0
+  Fleet f(sub->space, dopts);
+  ASSERT_TRUE(f.up);
+  fleet::WorkerClientOptions wopts;
+  wopts.tracer = &tracer;
+  f.add_worker(sub->space, sub->run, wopts);
+  ASSERT_TRUE(f.dispatcher.wait_for_workers(1, std::chrono::seconds(5)));
+
+  const auto golden = serial_golden(*sub, 4, 16);
+  const auto result = run_fleet_search(f, sub->space, 4, 16);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(result.best_objective, golden.best_objective);
+  EXPECT_EQ(tracer.span_count(), 0u);
 }
 
 }  // namespace

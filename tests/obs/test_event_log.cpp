@@ -171,4 +171,42 @@ TEST(EventLog, ConcurrentRecordersKeepAllEvents) {
   }
 }
 
+// Regression: a JSONL export must stay one-valid-object-per-line no matter
+// what bytes land in a record. Slow-request messages carry client-supplied
+// session ids and configs verbatim, so the escaper sees genuinely hostile
+// strings in production, not just in tests.
+TEST(EventLog, HostileStringsStayOneValidJsonObjectPerLine) {
+  const std::vector<std::string> hostiles = {
+      "plain",
+      "quote\" backslash\\ slash/",
+      "newline\n carriage\r tab\t",
+      "embedded \"}{\"fake\":1} json",
+      std::string("nul\0byte", 8),
+      "controls \x01\x02\x1f\x7f",
+      "unicode \xc3\xa9\xe2\x82\xac",  // é € (UTF-8 passes through)
+      std::string(300, '\\'),
+  };
+  obs::EventLog log(64);
+  for (const auto& h : hostiles) {
+    log.record(obs::Severity::Warn, h, h, h);
+  }
+  std::ostringstream os;
+  log.write_jsonl_tail(os, hostiles.size());
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    const auto doc = obs::json_parse(line);
+    ASSERT_TRUE(doc.has_value()) << "unparseable JSONL line: " << line;
+    // The parsed message must round-trip the original bytes exactly
+    // (NUL and other control bytes included), matched by index.
+    ASSERT_LT(lines, hostiles.size());
+    EXPECT_EQ(doc->string_or("message", ""), hostiles[lines]) << "line " << lines;
+    EXPECT_EQ(doc->string_or("component", ""), hostiles[lines]);
+    EXPECT_EQ(doc->string_or("session", ""), hostiles[lines]);
+    ++lines;
+  }
+  EXPECT_EQ(lines, hostiles.size());
+}
+
 }  // namespace

@@ -91,6 +91,89 @@ TEST(MetricsRegistry, HistogramBucketsAreLogScale) {
   EXPECT_EQ(h.bucket(b1 + 1), 1u);
 }
 
+TEST(MetricsRegistry, HdrBucketsBoundRelativeError) {
+  using H = obs::HdrHistogram;
+  EXPECT_EQ(H::bucket_index(0.0), 0);
+  EXPECT_EQ(H::bucket_index(-1.0), 0);
+  EXPECT_EQ(H::bucket_index(H::kValueFloor), 0);
+  EXPECT_EQ(H::bucket_index(1e300), H::kBuckets - 1);
+
+  // Across nine decades, the bucket containing v has upper - lower <= v/32
+  // (64 linear sub-buckets per octave -> width is 1/64 of the octave base,
+  // and v is at least the octave base), so quantiles carry ~1.6% error.
+  for (double v = 1e-8; v < 1e1; v *= 1.37) {
+    const int i = H::bucket_index(v);
+    const double hi = H::bucket_upper(i);
+    const double lo = H::bucket_upper(i - 1);
+    EXPECT_GE(v, lo) << v;  // boundary values land in the upper bucket
+    EXPECT_LE(v, hi) << v;
+    EXPECT_LE(hi - lo, v / 32.0) << v;
+  }
+
+  // bucket_upper is strictly increasing (cumulative scans depend on it).
+  for (int i = 1; i < H::kBuckets; ++i) {
+    EXPECT_GT(H::bucket_upper(i), H::bucket_upper(i - 1)) << i;
+  }
+}
+
+TEST(MetricsRegistry, HdrQuantilesAreExactWithinBucketError) {
+  obs::HdrHistogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  // 1..1000 microseconds, uniformly.
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i) * 1e-6);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.max(), 1e-3);
+  EXPECT_NEAR(h.quantile(0.50), 500e-6, 500e-6 * 0.02);
+  EXPECT_NEAR(h.quantile(0.95), 950e-6, 950e-6 * 0.02);
+  EXPECT_NEAR(h.quantile(0.99), 990e-6, 990e-6 * 0.02);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1e-3);   // clamped to observed max
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1e-6);   // clamped to observed min
+
+  // A single-valued distribution reports that value exactly at any q.
+  obs::HdrHistogram one;
+  one.record(3.14e-3);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 3.14e-3);
+  EXPECT_DOUBLE_EQ(one.quantile(0.99), 3.14e-3);
+}
+
+TEST(MetricsRegistry, HdrRegistryEntryKindIsDistinct) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.hdr("lat");
+  auto& again = reg.hdr("lat");
+  EXPECT_EQ(&h, &again);
+  EXPECT_THROW(reg.histogram("lat"), std::logic_error);
+  EXPECT_THROW(reg.counter("lat"), std::logic_error);
+  h.record(0.5);
+  reg.reset_values();
+  EXPECT_EQ(reg.hdr("lat").count(), 0u);
+
+  const std::string json = reg.to_json();
+  const auto doc = obs::json_parse(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  ASSERT_NE(doc->find("lat"), nullptr);
+  EXPECT_EQ(doc->find("lat")->string_or("type", ""), "hdr");
+  EXPECT_DOUBLE_EQ(doc->find("lat")->number_or("p99", -1), 0.0);
+}
+
+TEST(MetricsRegistry, HdrConcurrentRecordersLoseNothing) {
+  obs::HdrHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kRecords; ++i) h.record(1e-6 * (t + 1));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kRecords);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.max(), 8e-6);
+  EXPECT_NEAR(h.quantile(0.5), 4e-6, 4e-6 * 0.02);
+}
+
 TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
   obs::MetricsRegistry reg;
   reg.counter("a").add(7);

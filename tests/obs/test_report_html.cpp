@@ -19,6 +19,7 @@
 #include "core/harmony.hpp"
 #include "minipop/minipop.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/json.hpp"
 #include "obs/trace.hpp"
 #include "simcluster/simcluster.hpp"
 
@@ -66,6 +67,88 @@ TEST(ReportHtml, LoadTraceJsonlRoundTripsTracerOutput) {
   EXPECT_TRUE(events[1].cache_hit);
   EXPECT_TRUE(std::isinf(events[1].objective));
   EXPECT_DOUBLE_EQ(events[1].t_end_us, 21.0);
+}
+
+TEST(ReportHtml, LoadSpanJsonlAppliesWallClockAnchor) {
+  obs::SearchTracer tracer;
+  obs::SpanEvent sp;
+  sp.trace_id = 0xabcULL;
+  sp.span_id = 0x1ULL;
+  sp.parent_span = 0x2ULL;
+  sp.name = "server.handle";
+  sp.detail = "REPORT+FETCH";
+  sp.t_start_us = 100.0;
+  sp.t_end_us = 250.0;
+  tracer.record_span(sp);
+  tracer.record({"s", "p", 1.0, true, false, 0, 0.0, 1.0});  // must be skipped
+  std::ostringstream os;
+  tracer.write_jsonl(os);
+
+  std::istringstream in(os.str());
+  std::size_t skipped = 99;
+  const auto spans = obs::load_span_jsonl(in, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(spans.size(), 1u);  // the evaluation line is not a span
+  EXPECT_EQ(spans[0].trace_id, "0000000000000abc");
+  EXPECT_EQ(spans[0].span_id, "0000000000000001");
+  EXPECT_EQ(spans[0].parent_span, "0000000000000002");
+  EXPECT_EQ(spans[0].name, "server.handle");
+  EXPECT_EQ(spans[0].detail, "REPORT+FETCH");
+  // Loaded timestamps are tracer-relative plus the wall anchor, so spans
+  // from different processes land on one shared clock.
+  EXPECT_DOUBLE_EQ(spans[0].t_start_us, 100.0 + tracer.wall_anchor_us());
+  EXPECT_DOUBLE_EQ(spans[0].t_end_us - spans[0].t_start_us, 150.0);
+}
+
+TEST(ReportHtml, MergedChromeTraceAlignsProcessesOnSharedClock) {
+  // Two "processes": a server whose span starts at wall +1000 us and a
+  // worker whose nested span starts at wall +1400 us. After the merge both
+  // must appear on one rebased axis with distinct pids.
+  obs::MergedSpan server_span;
+  server_span.trace_id = "00000000000000aa";
+  server_span.span_id = "0000000000000001";
+  server_span.name = "fleet.item";
+  server_span.detail = "work 7";
+  server_span.t_start_us = 1000.0;
+  server_span.t_end_us = 2000.0;
+  obs::MergedSpan worker_span;
+  worker_span.trace_id = "00000000000000aa";
+  worker_span.span_id = "0000000000000002";
+  worker_span.parent_span = "0000000000000001";
+  worker_span.name = "worker.eval";
+  worker_span.thread_lane = 3;
+  worker_span.t_start_us = 1400.0;
+  worker_span.t_end_us = 1900.0;
+
+  std::ostringstream os;
+  obs::write_merged_chrome_trace(
+      os, {{"server", {server_span}}, {"worker", {worker_span}}});
+  const auto doc = obs::json_parse(os.str());
+  ASSERT_TRUE(doc.has_value()) << os.str();
+  const auto* events = doc->find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+
+  bool saw_server = false;
+  bool saw_worker = false;
+  for (const auto& e : events->as_array()) {
+    if (e.string_or("ph", "") != "X") continue;  // skip process metadata
+    const auto* args = e.find("args");
+    ASSERT_TRUE(args != nullptr);
+    EXPECT_EQ(args->string_or("trace", ""), "00000000000000aa");
+    if (e.string_or("name", "") == "fleet.item") {
+      saw_server = true;
+      EXPECT_DOUBLE_EQ(e.number_or("ts", -1), 0.0);  // rebased to earliest
+      EXPECT_DOUBLE_EQ(e.number_or("dur", 0), 1000.0);
+    } else if (e.string_or("name", "") == "worker.eval") {
+      saw_worker = true;
+      EXPECT_DOUBLE_EQ(e.number_or("ts", -1), 400.0);  // shared axis
+      EXPECT_DOUBLE_EQ(e.number_or("tid", -1), 3.0);
+      EXPECT_NE(e.number_or("pid", -1), -1.0);
+      EXPECT_EQ(args->string_or("parent", ""), "0000000000000001");
+    }
+  }
+  EXPECT_TRUE(saw_server);
+  EXPECT_TRUE(saw_worker);
 }
 
 TEST(ReportHtml, LoadTraceJsonlSkipsMalformedLines) {

@@ -186,4 +186,65 @@ TEST(Status, ConcurrentPublishersAndPollers) {
             static_cast<std::uint64_t>(kThreads) * kRounds);
 }
 
+TEST(Status, LatencyBoardSerializesQuantilesAndSlowCount) {
+  obs::StatusRegistry reg;
+  for (int i = 1; i <= 100; ++i) {
+    reg.latency().request_s.record(static_cast<double>(i) * 1e-6);
+  }
+  reg.latency().slow_requests.fetch_add(3);
+  auto h = reg.publish_session("lat/1");
+  h.update([](obs::SessionStatus& s) {
+    s.p50_us = 12.5;
+    s.p95_us = 40.0;
+    s.p99_us = 55.0;
+  });
+
+  const auto doc = obs::json_parse(reg.to_json());
+  ASSERT_TRUE(doc.has_value());
+  const auto* lat = doc->find("latency");
+  ASSERT_TRUE(lat != nullptr && lat->is_object());
+  EXPECT_EQ(lat->number_or("count", 0), 100.0);
+  EXPECT_EQ(lat->number_or("slow_requests", 0), 3.0);
+  // 1..100 us uniform: the quantiles bracket the true values within the
+  // HDR bucket's ~1.6% relative error.
+  EXPECT_NEAR(lat->number_or("p50_us", 0), 50.0, 2.0);
+  EXPECT_NEAR(lat->number_or("p99_us", 0), 99.0, 3.0);
+  EXPECT_GE(lat->number_or("p99_us", 0), lat->number_or("p95_us", 0));
+  const auto* sessions = doc->find("sessions");
+  ASSERT_TRUE(sessions != nullptr && sessions->is_array());
+  EXPECT_DOUBLE_EQ(sessions->as_array()[0].number_or("p50_us", 0), 12.5);
+  EXPECT_DOUBLE_EQ(sessions->as_array()[0].number_or("p99_us", 0), 55.0);
+}
+
+// Runs under TSan in CI: recorders racing the JSON poller on the latency
+// board must be clean (lock-free histogram buckets + relaxed counter).
+TEST(Status, SlowRequestCounterConcurrentWithPollers) {
+  obs::StatusRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 2000;
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load()) {
+      (void)reg.to_json();
+    }
+  });
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&reg] {
+      for (int i = 0; i < kRounds; ++i) {
+        reg.latency().request_s.record(1e-4);
+        reg.latency().slow_requests.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : recorders) th.join();
+  stop.store(true);
+  poller.join();
+  EXPECT_EQ(reg.latency().request_s.count(),
+            static_cast<std::uint64_t>(kThreads) * kRounds);
+  EXPECT_EQ(reg.latency().slow_requests.load(),
+            static_cast<std::uint64_t>(kThreads) * kRounds);
+}
+
 }  // namespace

@@ -9,15 +9,22 @@
 //
 //   harmony_worker --port P [--substrate synthetic|pop|gs2|petsc]
 //                  [--name N] [--capacity C] [--steps S] [--spin-us U]
-//                  [--max-evals M] [--heartbeat-ms H]
+//                  [--max-evals M] [--heartbeat-ms H] [--trace-out FILE]
+//
+// --trace-out records a "worker.eval" span for every WORK line that carried
+// a wire trace token and writes them as span JSONL on exit; feed the file to
+// report_gen --merge together with the server's span log to see one request
+// end to end.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "fleet/substrates.hpp"
 #include "fleet/worker_client.hpp"
+#include "obs/trace.hpp"
 
 namespace fleet = harmony::fleet;
 
@@ -32,14 +39,16 @@ int usage(const char* argv0) {
   std::printf(
       "usage: %s --port P [--substrate %s]\n"
       "          [--name N] [--capacity C] [--steps S] [--spin-us U]\n"
-      "          [--max-evals M] [--heartbeat-ms H]\n\n"
+      "          [--max-evals M] [--heartbeat-ms H] [--trace-out FILE]\n\n"
       "Evaluation worker for a harmony tuning server: ATTACHes with the\n"
       "chosen substrate and serves WORK pushes until the server hangs up\n"
       "(or M evaluations are done). --spin-us adds a busy-wait per\n"
       "evaluation to model real run cost; --name defaults to the substrate\n"
       "(the server only dispatches to workers whose name matches its\n"
       "dispatcher's substrate filter, when one is set). --heartbeat-ms sets\n"
-      "the idle PING cadence (default 500, 0 disables heartbeats).\n",
+      "the idle PING cadence (default 500, 0 disables heartbeats).\n"
+      "--trace-out FILE writes span JSONL for trace-token WORK lines on\n"
+      "exit (merge with the server's spans via report_gen --merge).\n",
       argv0, names.c_str());
   return 2;
 }
@@ -55,6 +64,7 @@ int main(int argc, char** argv) {
   int spin_us = 0;
   long long max_evals = 0;
   int heartbeat_ms = -1;  // -1 = keep the WorkerClientOptions default
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -79,6 +89,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--heartbeat-ms" && (v = next()) != nullptr) {
       heartbeat_ms = std::atoi(v);
       if (heartbeat_ms < 0) return usage(argv[0]);
+    } else if (arg == "--trace-out" && (v = next()) != nullptr) {
+      trace_out = v;
     } else {
       return usage(argv[0]);
     }
@@ -97,11 +109,24 @@ int main(int argc, char** argv) {
   if (max_evals > 0) opts.max_evals = static_cast<std::uint64_t>(max_evals);
   if (heartbeat_ms >= 0) opts.heartbeat = std::chrono::milliseconds(heartbeat_ms);
 
+  harmony::obs::SearchTracer tracer;
+  if (!trace_out.empty()) opts.tracer = &tracer;
+
   fleet::WorkerClient worker(opts);
   const int run_steps = steps > 0 ? steps : sub->steps;
   std::printf("harmony_worker: substrate=%s capacity=%d -> port %d\n",
               sub->name.c_str(), opts.capacity, port);
   const bool ok = worker.run(port, sub->space, sub->run, run_steps);
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (out) {
+      tracer.write_jsonl(out);
+      std::printf("harmony_worker: wrote %zu span(s) to %s\n",
+                  tracer.span_count(), trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+    }
+  }
   std::printf("harmony_worker: done, %llu evals (%s)\n",
               static_cast<unsigned long long>(worker.evals()),
               ok ? "served" : worker.last_error().c_str());

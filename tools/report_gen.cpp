@@ -7,8 +7,17 @@
 //   report_gen --trace TRACE_x.jsonl [--bench BENCH_x.json]
 //              [--out report.html] [--title "..."]
 //
+// A second mode merges distributed-tracing span logs from several processes
+// (a server's --trace-out plus each harmony_worker's) into one Chrome
+// trace-viewer JSON, one pid per input file, timestamps aligned on each
+// file's wall-clock anchor — load the result at chrome://tracing or
+// https://ui.perfetto.dev and follow one request across processes by the
+// trace id in each slice's args:
+//
+//   report_gen --merge spans_server.jsonl spans_worker*.jsonl [--out t.json]
+//
 // With no --out, the document goes to stdout. Exit status: 0 on success,
-// 1 on unusable input (unreadable trace, or zero parseable events).
+// 1 on unusable input (unreadable trace, or zero parseable events/spans).
 
 #include <cstdio>
 #include <cstring>
@@ -16,6 +25,8 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/bench_report.hpp"
 #include "obs/report_html.hpp"
@@ -25,9 +36,55 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --trace <trace.jsonl> [--bench <bench.json>] "
-               "[--out <report.html>] [--title <title>]\n",
-               argv0);
+               "[--out <report.html>] [--title <title>]\n"
+               "       %s --merge <spans.jsonl>... [--out <trace.json>]\n",
+               argv0, argv0);
   return 1;
+}
+
+/// Strip directories from a path for the per-process label in the merge.
+std::string base_name(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+int run_merge(const std::vector<std::string>& span_paths,
+              const std::string& out_path) {
+  std::vector<std::pair<std::string, std::vector<harmony::obs::MergedSpan>>>
+      inputs;
+  std::size_t total = 0;
+  for (const auto& path : span_paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read spans: %s\n", path.c_str());
+      return 1;
+    }
+    std::size_t skipped = 0;
+    auto spans = harmony::obs::load_span_jsonl(in, &skipped);
+    if (skipped > 0) {
+      std::fprintf(stderr, "warning: skipped %zu unparseable line(s) in %s\n",
+                   skipped, path.c_str());
+    }
+    total += spans.size();
+    inputs.emplace_back(base_name(path), std::move(spans));
+  }
+  if (total == 0) {
+    std::fprintf(stderr, "no spans in any input\n");
+    return 1;
+  }
+  if (out_path.empty()) {
+    harmony::obs::write_merged_chrome_trace(std::cout, inputs);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  harmony::obs::write_merged_chrome_trace(out, inputs);
+  std::fprintf(stderr, "wrote %s (%zu spans from %zu file(s))\n",
+               out_path.c_str(), total, inputs.size());
+  return 0;
 }
 
 }  // namespace
@@ -36,6 +93,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string bench_path;
   std::string out_path;
+  bool merge = false;
+  std::vector<std::string> span_paths;
   harmony::obs::HtmlReportOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -62,10 +121,18 @@ int main(int argc, char** argv) {
       const char* v = need_value("--title");
       if (v == nullptr) return usage(argv[0]);
       opts.title = v;
+    } else if (std::strcmp(argv[i], "--merge") == 0) {
+      merge = true;
+    } else if (merge && argv[i][0] != '-') {
+      span_paths.emplace_back(argv[i]);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return usage(argv[0]);
     }
+  }
+  if (merge) {
+    if (span_paths.empty()) return usage(argv[0]);
+    return run_merge(span_paths, out_path);
   }
   if (trace_path.empty()) return usage(argv[0]);
 

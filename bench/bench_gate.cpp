@@ -368,7 +368,37 @@ obs::BenchReport run_gate_server_latency(int reps) {
   return report;
 }
 
-// ---- workload 6: evaluation-fleet scaling ratio ---------------------------
+// ---- workload 6: 1k-session multi-tenant storm -----------------------------
+
+obs::BenchReport run_gate_server_sessions(int reps) {
+  harmony::bench::StormOptions storm;
+  storm.sessions = 1024;        // >= 1k concurrently live sessions
+  storm.total_sessions = 1536;  // ~50% churn on top
+  storm.evals = 8;              // short searches — admission-heavy load
+  storm.batch = 4;
+  storm.window = 2;
+  storm.reactors = 2;
+  storm.drivers = 2;
+  storm.tenants = 4;
+  storm.slow_every = 50;  // every 50th session is a deliberate slow reader
+  const auto best = harmony::bench::best_of(
+      reps, [&] { return harmony::bench::run_storm(storm); });
+
+  obs::BenchReport report;
+  report.name = "gate_server_sessions";
+  report.evaluations = static_cast<int>(best.evals);
+  report.wall_s = best.wall_s;
+  report.metrics["sessions_total"] = best.sessions_completed;
+  report.metrics["p50_ms"] = best.p50_ms;
+  report.metrics["p99_ms"] = best.p99_ms;
+  report.metrics["p99_p50_ratio"] =
+      best.p50_ms > 0.0 ? best.p99_ms / best.p50_ms : 0.0;
+  report.metrics["evals_per_s"] = best.evals_per_s();
+  report.metrics["sessions_per_s"] = best.sessions_per_s();
+  return report;
+}
+
+// ---- workload 7: evaluation-fleet scaling ratio ---------------------------
 
 /// One fleet run: server + dispatcher + `nworkers` in-process WorkerClient
 /// threads, a gate-sized random search over the synthetic substrate (cache
@@ -474,6 +504,33 @@ bool check_report(const obs::BenchReport& fresh, const obs::BenchReport& base,
     rows.push_back({fresh.name + "." + label, baseline, current, limit, row_ok});
     ok = ok && row_ok;
   };
+  // The session-storm workload gates three numbers at >= 1k concurrent
+  // sessions: the p99/p50 tail ratio (ceiling), the calibration-normalized
+  // wall ratio — the machine-portable form of evals/s, since the evaluation
+  // count is fixed — (ceiling), and a completeness floor on sessions served
+  // (a shed or wedged slot must not pass silently).
+  if (fresh.metrics.count("sessions_total") != 0) {
+    bool all_ok = true;
+    const auto ceiling = [&](const char* key, const char* label, double tol) {
+      const double b = base.metrics.count(key) ? base.metrics.at(key) : 0.0;
+      const double f = fresh.metrics.at(key);
+      const double limit = b * (1.0 + tol);
+      const bool row_ok = f <= limit;
+      rows.push_back({fresh.name + "." + label, b, f, limit, row_ok});
+      all_ok = all_ok && row_ok;
+    };
+    ceiling("p99_p50_ratio", "p99_p50_max", gate.latency_tol);
+    ceiling("wall_ratio", "wall_ratio", gate.wall_tol);
+    const double base_sessions = base.metrics.count("sessions_total")
+                                     ? base.metrics.at("sessions_total")
+                                     : 0.0;
+    const double fresh_sessions = fresh.metrics.at("sessions_total");
+    const double min_sessions = 0.98 * base_sessions;  // tiny flake headroom
+    const bool sessions_ok = fresh_sessions >= min_sessions;
+    rows.push_back({fresh.name + ".sessions_min", base_sessions, fresh_sessions,
+                    min_sessions, sessions_ok});
+    return all_ok && sessions_ok;
+  }
   // The latency workload tracks one number: the p99/p50 ratio, checked as a
   // ceiling (lower is better). Raw milliseconds would gate the host, not the
   // code.
@@ -612,6 +669,7 @@ int main(int argc, char** argv) {
   reports.push_back(run_gate_model_guided(gate.reps));
   reports.push_back(run_gate_server_throughput(gate.reps));
   reports.push_back(run_gate_server_latency(gate.reps));
+  reports.push_back(run_gate_server_sessions(gate.reps));
   reports.push_back(run_gate_server_fleet(gate.reps));
   for (auto& r : reports) {
     r.metrics["wall_ratio"] = r.wall_s / calib_s;

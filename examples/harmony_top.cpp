@@ -15,9 +15,11 @@
 // TCP — e.g. `printf 'METRICS\n' | nc 127.0.0.1 <port>` emits Prometheus
 // text exposition ready for a scraper.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <thread>
 
@@ -44,7 +46,15 @@ std::string fmt_lat_us(double us) {
   return buf;
 }
 
-void print_status(const std::string& json) {
+/// Cumulative per-tenant eval counts from the previous refresh, so tenant
+/// rows can show a live evals/s rate instead of a lifetime total.
+struct TenantRates {
+  std::map<std::string, double> prev_evals;
+  std::chrono::steady_clock::time_point prev_at{};
+  bool primed = false;
+};
+
+void print_status(const std::string& json, TenantRates& rates) {
   const auto doc = harmony::obs::json_parse(json);
   if (!doc || !doc->is_object()) {
     std::printf("  (unparseable STATUS reply)\n");
@@ -99,6 +109,52 @@ void print_status(const std::string& json) {
                   beat_str.c_str(), w.string_or("detail", "").c_str());
     }
   }
+  if (const auto* tenants = doc->find("tenants");
+      tenants != nullptr && tenants->is_array() && !tenants->as_array().empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    const double dt =
+        rates.primed
+            ? std::chrono::duration<double>(now - rates.prev_at).count()
+            : 0.0;
+    std::printf("  %-16s %8s %9s %7s %6s\n", "TENANT", "SESSIONS", "EVALS/S",
+                "P99", "SHED");
+    std::map<std::string, double> fresh;
+    for (const auto& t : tenants->as_array()) {
+      const std::string name = t.string_or("name", "?");
+      const double evals = t.number_or("evals", 0);
+      fresh[name] = evals;
+      std::string rate = "-";
+      if (dt > 0.0) {
+        const auto it = rates.prev_evals.find(name);
+        const double prev = it != rates.prev_evals.end() ? it->second : 0.0;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f",
+                      std::max(0.0, evals - prev) / dt);
+        rate = buf;
+      }
+      std::printf("  %-16s %8.0f %9s %7s %6.0f\n", name.c_str(),
+                  t.number_or("sessions", 0), rate.c_str(),
+                  fmt_lat_us(t.number_or("p99_us", 0)).c_str(),
+                  t.number_or("shed", 0));
+    }
+    rates.prev_evals = std::move(fresh);
+    rates.prev_at = now;
+    rates.primed = true;
+  }
+  if (const auto* bp = doc->find("backpressure");
+      bp != nullptr && bp->is_object()) {
+    // Only worth a line when something is actually under pressure.
+    const double pending = bp->number_or("pending_out_bytes", 0);
+    const double paused = bp->number_or("paused", 0);
+    const double reaped = bp->number_or("idle_reaped", 0);
+    const double shed = bp->number_or("shed", 0);
+    if (pending > 0 || paused > 0 || reaped > 0 || shed > 0) {
+      std::printf(
+          "  backpressure  %.0f B queued, %.0f conn(s) paused, "
+          "%.0f reaped, %.0f shed\n",
+          pending, paused, reaped, shed);
+    }
+  }
   if (const auto* lat = doc->find("latency");
       lat != nullptr && lat->is_object() && lat->number_or("count", 0) > 0) {
     std::printf(
@@ -128,13 +184,14 @@ void print_metrics_headlines(const std::string& text) {
 }
 
 int watch(harmony::TuningClient& admin, int refreshes, int interval_ms) {
+  TenantRates rates;
   for (int i = 0; i < refreshes; ++i) {
     if (i > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
     }
     std::printf("---- refresh %d/%d ----\n", i + 1, refreshes);
     if (const auto status = admin.status_json()) {
-      print_status(*status);
+      print_status(*status, rates);
     } else {
       std::fprintf(stderr, "STATUS failed: %s\n", admin.last_error().c_str());
       return 1;
@@ -184,6 +241,7 @@ int main(int argc, char** argv) {
 
     harmony::TuningClient client;
     if (!client.connect(port, "pop")) return;
+    if (!client.set_tenant("pop-demo")) return;  // shows up in the rollup
     bool ok = client.add_int("num_iotasks", 1, 32);
     for (const auto& spec : minipop::parameter_table()) {
       ok = ok && client.add_enum(spec.name, spec.choices);

@@ -96,6 +96,11 @@ void EventLoop::drain_deferred() {
   for (auto& item : pending) item.fn();
 }
 
+void EventLoop::set_tick(int interval_ms, std::function<void()> fn) {
+  tick_ms_ = interval_ms > 0 ? interval_ms : 0;
+  tick_fn_ = tick_ms_ > 0 ? std::move(fn) : nullptr;
+}
+
 void EventLoop::run() {
   // Resolve the hot-path metric handles once; recording stays gated on
   // obs::enabled() so a disabled run costs one relaxed load per iteration.
@@ -104,8 +109,25 @@ void EventLoop::run() {
 
   constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];
+  auto next_tick = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(tick_ms_ > 0 ? tick_ms_ : 0);
   while (!stop_.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    int timeout_ms = -1;
+    if (tick_ms_ > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= next_tick) {
+        if (tick_fn_) tick_fn_();
+        // No catch-up bursts after a stall: the next deadline is measured
+        // from now, so ticks are "at least interval apart", not "N per N ms".
+        next_tick = now + std::chrono::milliseconds(tick_ms_);
+      }
+      timeout_ms = static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        next_tick - std::chrono::steady_clock::now())
+                                        .count()) +
+                   1;
+      if (timeout_ms < 1) timeout_ms = 1;
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;

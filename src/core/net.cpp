@@ -161,6 +161,25 @@ void ByteRing::consume(std::size_t n) {
   head_ = count_ == 0 ? 0 : (head_ + n) % buf_.size();
 }
 
+void ByteRing::shrink(std::size_t max_capacity) {
+  if (buf_.size() <= max_capacity || count_ > max_capacity) return;
+  if (count_ == 0 && max_capacity == 0) {
+    std::vector<char>().swap(buf_);
+    head_ = 0;
+    return;
+  }
+  std::vector<char> packed(std::max(max_capacity, count_));
+  iovec iov[2];
+  const int segs = drain_iov(iov);
+  std::size_t at = 0;
+  for (int i = 0; i < segs; ++i) {
+    std::memcpy(packed.data() + at, iov[i].iov_base, iov[i].iov_len);
+    at += iov[i].iov_len;
+  }
+  buf_ = std::move(packed);
+  head_ = 0;
+}
+
 ListenResult listen_loopback(int port) {
   ListenResult out;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);

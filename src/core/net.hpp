@@ -116,6 +116,15 @@ class ByteRing {
   /// Discard the first n readable bytes (after a successful write).
   void consume(std::size_t n);
 
+  /// Compact after a burst drain: when capacity exceeds `max_capacity` and
+  /// the pending bytes still fit, re-linearize into a block of exactly
+  /// max(max_capacity, size()) bytes (an empty ring with max_capacity 0
+  /// frees its storage entirely). A ring holding more than `max_capacity`
+  /// is left untouched — compaction never drops or moves unread data out of
+  /// reach. This is how a one-time 10k-session write spike stops pinning
+  /// peak memory forever (the server calls it from its idle-tick sweep).
+  void shrink(std::size_t max_capacity);
+
  private:
   std::vector<char> buf_;
   std::size_t head_ = 0;   ///< index of the first readable byte

@@ -26,6 +26,36 @@
 ///   BEST
 ///   BYE
 ///
+/// Multi-tenancy (optional):
+///   TENANT <name>             -> "OK tenant <name>". Declares which tenant
+///                                this session bills to (before START; at
+///                                most once; name <= 64 chars). When the
+///                                server enforces a per-tenant session quota
+///                                and it is full, the reply is
+///                                "ERR retry-after <seconds> ..." and the
+///                                connection is closed — a graceful shed
+///                                telling the client when to come back.
+///                                Sessions that never send TENANT are
+///                                unconstrained and unattributed.
+///
+/// Batched framing (optional, negotiated):
+///   BATCH                     -> "OK batch <max>" on transports that
+///                                support batching (the event-loop stack),
+///                                "ERR batch unsupported on this transport"
+///                                on the legacy stack. Probe once, then:
+///   BATCH <n> <v1> ... <vn>   -> n REPORT+FETCH exchanges in ONE line:
+///                                each vi reports the pending candidate and
+///                                the reply block is exactly n lines, each
+///                                CONFIG or DONE (DONE from the point the
+///                                budget runs out). The line is validated
+///                                atomically — a malformed count or value
+///                                answers a single ERR and consumes nothing.
+///                                n is capped by the advertised <max>.
+///                                Collapses the per-evaluation syscall and
+///                                framing overhead at high session counts
+///                                without changing unbatched behaviour by a
+///                                byte.
+///
 /// Clients may pipeline: any number of verbs can be written before reading
 /// the replies, and the server answers strictly in request order (one reply
 /// block per verb). The steady-state tuning loop therefore costs one round
@@ -33,7 +63,8 @@
 /// a single write.
 ///
 /// Distributed tracing (optional, fully backward compatible): FETCH, REPORT,
-/// REPORT+FETCH, WORK and RESULT accept one extra trailing token of the form
+/// REPORT+FETCH, BATCH, WORK and RESULT accept one extra trailing token of
+/// the form
 ///   T=<trace-hex>-<span-hex>
 /// carrying a TraceContext (64-bit ids, lowercase hex). A sampled request's
 /// spans on both sides of the wire share the trace id, and the receiver

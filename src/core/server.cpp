@@ -5,6 +5,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <string>
@@ -15,6 +16,7 @@
 #include "core/server_session.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/status.hpp"
 
 namespace harmony {
 
@@ -56,12 +58,16 @@ struct TuningServer::LoopShard {
     std::string reply;      ///< per-burst reply scratch (capacity reused)
     ServerConnection session;
     bool closing = false;   ///< flush wbuf, then close (BYE or poisoned)
-    bool want_write = false;  ///< EPOLLOUT currently armed
+    bool reads_paused = false;  ///< EPOLLIN dropped (backpressure)
+    std::uint32_t mask = EPOLLIN;      ///< interest mask currently armed
+    std::uint64_t last_activity = 0;   ///< wheel tick of the last inbound byte
   };
 
   TuningServer* server;
   net::EventLoop loop;
   std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  net::TimerWheel wheel;          ///< idle-session deadlines, keyed by fd
+  std::uint64_t idle_ticks = 0;   ///< idle timeout in wheel ticks; 0 = off
 
   void adopt(net::Socket client, int session_no);
   void handle_io(int fd, std::uint32_t events);
@@ -77,23 +83,43 @@ struct TuningServer::LoopShard {
   /// False on write error (connection should close).
   [[nodiscard]] bool flush(Conn& c);
   void close_conn(int fd);
+
+  /// Append to the connection's write queue, keeping the server-wide
+  /// pending-output accounting (and the STATUS backpressure board) in step.
+  void queue_out(Conn& c, std::string_view data);
+  void account(std::int64_t delta);
+  /// Flip reads_paused when the connection crosses the per-conn or global
+  /// pending-output caps (pause above cap, resume below half of it).
+  void update_backpressure(Conn& c);
+  /// Re-arm epoll to (paused ? 0 : EPOLLIN) | (pending output ? EPOLLOUT).
+  void update_interest(int fd, Conn& c);
+  /// Periodic shard tick: timer wheel, paused-read resume sweep, buffer
+  /// compaction. Runs on the shard thread (EventLoop::set_tick).
+  void on_tick();
+  void on_idle_deadline(int fd);
 };
 
 void TuningServer::LoopShard::adopt(net::Socket client, int session_no) {
   if (!client.set_nonblocking()) return;  // dtor closes the socket
   const int fd = client.fd();
   auto conn = std::make_unique<Conn>(server->opts_, session_no, std::move(client));
+  // Batched framing is an event-stack capability (the legacy stack leaves it
+  // off and BATCH answers ERR there — that is the negotiation signal).
+  conn->session.enable_batch(true);
   conn->session.set_sender(
       [this, fd, session_no](std::string_view payload) {
         deliver(fd, session_no, std::string(payload));
         return true;  // delivery is asynchronous; failures surface as detach
       });
+  conn->last_activity = wheel.now();
   conns[fd] = std::move(conn);
   if (!loop.add(fd, EPOLLIN,
                 [this, fd](std::uint32_t events) { handle_io(fd, events); })) {
     conns.erase(fd);
     server->active_connections_.fetch_sub(1);
+    return;
   }
+  if (idle_ticks != 0) wheel.schedule(fd, idle_ticks);
 }
 
 void TuningServer::LoopShard::handle_io(int fd, std::uint32_t events) {
@@ -101,7 +127,7 @@ void TuningServer::LoopShard::handle_io(int fd, std::uint32_t events) {
   if (it == conns.end()) return;  // stale event for a closed connection
   Conn& c = *it->second;
 
-  if ((events & EPOLLIN) != 0) {
+  if ((events & EPOLLIN) != 0 && !c.reads_paused) {
     if (!read_input(c)) {
       close_conn(fd);
       return;
@@ -116,12 +142,114 @@ void TuningServer::LoopShard::handle_io(int fd, std::uint32_t events) {
     return;
   }
 
-  // Keep EPOLLOUT armed exactly while output is pending.
-  const bool want_write = !c.wbuf.empty();
-  if (want_write != c.want_write) {
-    c.want_write = want_write;
-    (void)loop.modify(fd, EPOLLIN | (want_write ? EPOLLOUT : 0u));
+  update_backpressure(c);
+  update_interest(fd, c);
+}
+
+void TuningServer::LoopShard::queue_out(Conn& c, std::string_view data) {
+  c.wbuf.append(data);
+  account(static_cast<std::int64_t>(data.size()));
+}
+
+void TuningServer::LoopShard::account(std::int64_t delta) {
+  server->pending_out_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  obs::StatusRegistry::global().backpressure().pending_out_bytes.fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void TuningServer::LoopShard::update_backpressure(Conn& c) {
+  const std::size_t cap = server->opts_.max_pending_out_bytes;
+  const std::size_t gcap = server->opts_.max_total_pending_out_bytes;
+  if (cap == 0 && gcap == 0) return;
+  const auto pending =
+      server->pending_out_bytes_.load(std::memory_order_relaxed);
+  auto& bp = obs::StatusRegistry::global().backpressure();
+  if (!c.reads_paused) {
+    const bool over_conn = cap != 0 && c.wbuf.size() > cap;
+    // The global cap only pauses connections that are themselves holding
+    // queued output — an idle client never pays for a hog's backlog.
+    const bool over_global = gcap != 0 && !c.wbuf.empty() &&
+                             pending > static_cast<std::int64_t>(gcap);
+    if (over_conn || over_global) {
+      c.reads_paused = true;
+      bp.paused.fetch_add(1, std::memory_order_relaxed);
+      bp.paused_total.fetch_add(1, std::memory_order_relaxed);
+      obs::count("server.reads_paused");
+      obs::log_warn("server", "pending output over cap, deferring reads",
+                    c.session.session_id());
+    }
+    return;
   }
+  // Resume with hysteresis: half the per-conn cap, and the global total back
+  // under its cap, so a connection hovering at the edge does not flap.
+  const bool under_conn = cap == 0 || c.wbuf.size() <= cap / 2;
+  const bool under_global =
+      gcap == 0 || pending <= static_cast<std::int64_t>(gcap);
+  if (under_conn && under_global) {
+    c.reads_paused = false;
+    bp.paused.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void TuningServer::LoopShard::update_interest(int fd, Conn& c) {
+  const std::uint32_t want = (c.reads_paused ? 0u : static_cast<std::uint32_t>(EPOLLIN)) |
+                             (c.wbuf.empty() ? 0u : static_cast<std::uint32_t>(EPOLLOUT));
+  if (want != c.mask) {
+    c.mask = want;
+    // A zero mask still delivers EPOLLHUP/EPOLLERR, so a paused, fully
+    // drained connection whose peer hangs up is closed promptly.
+    (void)loop.modify(fd, want);
+  }
+}
+
+void TuningServer::LoopShard::on_tick() {
+  if (idle_ticks != 0) {
+    wheel.advance([this](int fd) { on_idle_deadline(fd); });
+  }
+  const std::size_t keep = server->opts_.buffer_keep_bytes;
+  for (auto& [fd, cp] : conns) {
+    Conn& c = *cp;
+    if (keep != 0) {
+      // Burst hangover: both buffers are compacted back toward the keep
+      // target once the data that grew them has drained.
+      c.wbuf.shrink(keep);
+      if (c.rbuf.empty() && c.rbuf.capacity() > keep) c.rbuf.shrink_to_fit();
+    }
+    if (c.reads_paused) {
+      // Global-cap pauses have no fd event to resume on (another conn's
+      // drain is what frees the budget) — the sweep is their resume path.
+      update_backpressure(c);
+      update_interest(fd, c);
+    }
+  }
+}
+
+void TuningServer::LoopShard::on_idle_deadline(int fd) {
+  const auto it = conns.find(fd);
+  if (it == conns.end()) return;
+  Conn& c = *it->second;
+  // ATTACHed fleet workers are push channels and legitimately quiet.
+  if (c.session.worker_id() != 0) {
+    wheel.schedule(fd, idle_ticks);
+    return;
+  }
+  const std::uint64_t idle = wheel.now() - c.last_activity;
+  if (idle < idle_ticks) {
+    wheel.schedule(fd, idle_ticks - idle);  // active since the deadline: snooze
+    return;
+  }
+  obs::count("server.idle_reaped");
+  obs::StatusRegistry::global().backpressure().reaped_total.fetch_add(
+      1, std::memory_order_relaxed);
+  obs::log_warn("server", "idle timeout, evicting session",
+                c.session.session_id());
+  queue_out(c, "ERR idle timeout\n");
+  c.closing = true;
+  if (!flush(c) || c.wbuf.empty()) {
+    close_conn(fd);
+    return;
+  }
+  update_interest(fd, c);
 }
 
 void TuningServer::LoopShard::deliver(int fd, int gen, std::string payload) {
@@ -137,16 +265,13 @@ void TuningServer::LoopShard::push_payload(int fd, int gen,
   // detached) since the push was queued, possibly with the fd reused.
   if (it == conns.end() || it->second->gen != gen) return;
   Conn& c = *it->second;
-  c.wbuf.append(payload);
+  queue_out(c, payload);
   if (!flush(c) || (c.closing && c.wbuf.empty())) {
     close_conn(fd);
     return;
   }
-  const bool want_write = !c.wbuf.empty();
-  if (want_write != c.want_write) {
-    c.want_write = want_write;
-    (void)loop.modify(fd, EPOLLIN | (want_write ? EPOLLOUT : 0u));
-  }
+  update_backpressure(c);
+  update_interest(fd, c);
 }
 
 bool TuningServer::LoopShard::read_input(Conn& c) {
@@ -158,6 +283,7 @@ bool TuningServer::LoopShard::read_input(Conn& c) {
       if (obs::enabled()) bytes_in_counter().add(static_cast<std::uint64_t>(n));
       c.rbuf.append(chunk, static_cast<std::size_t>(n));
       ingested += static_cast<std::size_t>(n);
+      c.last_activity = wheel.now();
       continue;
     }
     if (n == 0) return false;  // peer closed
@@ -194,7 +320,7 @@ void TuningServer::LoopShard::process_lines(Conn& c) {
     if (!c.session.handle_line(line, c.reply)) c.closing = true;
   }
   if (!c.reply.empty()) {
-    c.wbuf.append(c.reply);
+    queue_out(c, c.reply);
     c.reply.clear();
   }
   // Compact: drop the consumed prefix once fully drained (cheap, keeps the
@@ -225,6 +351,7 @@ bool TuningServer::LoopShard::flush(Conn& c) {
     if (n > 0) {
       if (obs::enabled()) bytes_out_counter().add(static_cast<std::uint64_t>(n));
       c.wbuf.consume(static_cast<std::size_t>(n));
+      account(-static_cast<std::int64_t>(n));
       continue;
     }
     if (errno == EINTR) continue;
@@ -235,6 +362,16 @@ bool TuningServer::LoopShard::flush(Conn& c) {
 }
 
 void TuningServer::LoopShard::close_conn(int fd) {
+  const auto it = conns.find(fd);
+  if (it != conns.end()) {
+    Conn& c = *it->second;
+    if (!c.wbuf.empty()) account(-static_cast<std::int64_t>(c.wbuf.size()));
+    if (c.reads_paused) {
+      obs::StatusRegistry::global().backpressure().paused.fetch_sub(
+          1, std::memory_order_relaxed);
+    }
+  }
+  wheel.cancel(fd);
   loop.remove(fd);
   conns.erase(fd);  // Conn dtor closes the socket and unpublishes status
   server->active_connections_.fetch_sub(1);
@@ -264,6 +401,12 @@ bool TuningServer::start() {
 
 bool TuningServer::start_event_mode() {
   const int n = std::max(1, opts_.reactor_threads);
+  const long long tick_ms = std::max<long long>(10, opts_.reap_tick_ms);
+  const std::uint64_t idle_ticks =
+      opts_.idle_timeout_ms > 0
+          ? std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(opts_.idle_timeout_ms / tick_ms))
+          : 0;
   shards_.clear();
   for (int i = 0; i < n; ++i) {
     auto shard = std::make_unique<LoopShard>(this);
@@ -271,6 +414,11 @@ bool TuningServer::start_event_mode() {
       shards_.clear();
       return false;
     }
+    shard->idle_ticks = idle_ticks;
+    // The tick drives the timer wheel, the paused-read resume sweep and
+    // buffer compaction — all shard-thread-local, set up before run().
+    shard->loop.set_tick(static_cast<int>(tick_ms),
+                         [s = shard.get()] { s->on_tick(); });
     shards_.push_back(std::move(shard));
   }
   if (!listener_.set_nonblocking()) {
@@ -332,8 +480,21 @@ void TuningServer::stop() {
       if (t.joinable()) t.join();
     }
     // Loop threads are joined: connection state is safe to tear down from
-    // here. Conn destructors close sockets and unpublish live status.
-    for (auto& shard : shards_) shard->conns.clear();
+    // here (no tick, wheel or deferred callback can fire anymore). Conn
+    // destructors close sockets and unpublish live status; settle the
+    // backpressure accounting for whatever output never drained.
+    auto& bp = obs::StatusRegistry::global().backpressure();
+    for (auto& shard : shards_) {
+      for (auto& [fd, conn] : shard->conns) {
+        if (!conn->wbuf.empty()) {
+          bp.pending_out_bytes.fetch_sub(
+              static_cast<std::int64_t>(conn->wbuf.size()),
+              std::memory_order_relaxed);
+        }
+        if (conn->reads_paused) bp.paused.fetch_sub(1, std::memory_order_relaxed);
+      }
+      shard->conns.clear();
+    }
     shards_.clear();
     reactor_threads_.clear();
     active_connections_.store(0);

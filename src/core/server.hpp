@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,54 @@ struct ServerOptions {
   /// Cap on concurrently served connections in either mode; connects over
   /// the limit are answered `ERR server busy` and disconnected. 0 = no cap.
   int max_connections = 0;
+
+  // ---- backpressure (event mode) ------------------------------------------
+  // A client that writes requests faster than it reads replies grows its
+  // connection's ByteRing without bound. Instead of buffering forever, the
+  // shard stops reading from an over-cap connection (drops EPOLLIN) until
+  // its queue drains below half the cap — pipelined replies stall, the
+  // client's own sends eventually block on its socket buffer, and memory
+  // stays bounded without a single byte of wire behaviour changing.
+
+  /// Per-connection pending-output cap in bytes; reads are deferred while a
+  /// connection's write queue exceeds this. 0 disables the per-conn cap.
+  std::size_t max_pending_out_bytes = 1 << 20;
+
+  /// Global pending-output cap across all connections of this server;
+  /// connections with queued output get their reads deferred while the
+  /// total exceeds this (resumed by the drain path and the tick sweep).
+  /// 0 disables the global cap.
+  std::size_t max_total_pending_out_bytes = 0;
+
+  /// Write/read buffer capacity retained per connection after a burst
+  /// drains (the tick sweep shrinks larger, now-idle buffers back to this).
+  std::size_t buffer_keep_bytes = 16 * 1024;
+
+  // ---- admission / eviction (event mode) -----------------------------------
+
+  /// Idle-session reaping: a connection with no inbound traffic for this
+  /// long is answered `ERR idle timeout` and closed. Resolution is
+  /// `reap_tick_ms` (coarse timer wheel). ATTACHed fleet workers are exempt
+  /// (they are push channels and legitimately quiet). 0 disables reaping.
+  long long idle_timeout_ms = 0;
+
+  /// Reactor tick interval: the timer wheel, deferred-read resume sweep and
+  /// buffer compaction all run on this cadence (per shard, on the shard's
+  /// own thread). Clamped to >= 10.
+  long long reap_tick_ms = 1000;
+
+  /// Per-tenant live-session quota, keyed by the optional TENANT verb; a
+  /// TENANT line that would exceed it is answered `ERR retry-after <s>` and
+  /// the connection closed (graceful shed — the client knows when to come
+  /// back). 0 = unlimited.
+  int tenant_quota = 0;
+
+  /// Seconds suggested in the `ERR retry-after` shed reply.
+  int retry_after_s = 1;
+
+  /// Upper bound on report/fetch pairs in one BATCH line (see protocol.hpp).
+  /// Advertised by the bare `BATCH` negotiation probe.
+  int max_batch = 512;
 
   /// Fleet dispatcher (not owned, may be null). When set, connections may
   /// ATTACH as evaluation workers and the dispatcher pushes WORK lines back
@@ -139,6 +188,9 @@ class TuningServer {
   std::atomic<bool> running_{false};
   std::atomic<int> sessions_{0};
   std::atomic<int> active_connections_{0};
+  /// Bytes queued in every connection's ByteRing across all shards; the
+  /// global-backpressure check reads it, shards add/sub as queues move.
+  std::atomic<std::int64_t> pending_out_bytes_{0};
 
   // Legacy mode: accept thread plus one worker per connection. Finished
   // workers are reaped on the accept path so the list stays bounded by the

@@ -1,5 +1,7 @@
 #include "core/server_session.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -31,6 +33,7 @@ const char* verb_hdr_name(std::string_view verb) {
   if (verb == "REPORT+FETCH") return "server.verb.report_fetch_s";
   if (verb == "FETCH") return "server.verb.fetch_s";
   if (verb == "REPORT") return "server.verb.report_s";
+  if (verb == "BATCH") return "server.verb.batch_s";
   return "server.verb.result_s";
 }
 
@@ -55,6 +58,9 @@ ServerConnection::~ServerConnection() {
     // in flight, so a killed worker never strands a candidate.
     opts_->fleet->detach(worker_id_);
     obs::log_warn("server", "worker detached (connection closed)", session_id_);
+  }
+  if (tenant_ != nullptr) {
+    tenant_->sessions.fetch_sub(1, std::memory_order_relaxed);
   }
   obs::log_info("server", "session closed", session_id_);
 }
@@ -83,7 +89,7 @@ void ServerConnection::publish(const char* phase_override) {
   if (best_moved) published_best_ = search_->best_objective();
 }
 
-void ServerConnection::append_fetch_reply(std::string& out, bool count_fresh) {
+bool ServerConnection::append_fetch_reply(std::string& out, bool count_fresh) {
   // ask() is idempotent while a candidate is outstanding (re-fetch resends
   // it) and returns nullopt once the iteration budget is spent or the
   // strategy stops proposing.
@@ -99,12 +105,13 @@ void ServerConnection::append_fetch_reply(std::string& out, bool count_fresh) {
   }
   if (!proposal) {
     reply(out, "DONE");
-    return;
+    return false;
   }
   if (count_fresh && !re_fetch) obs::count("server.fetches");
   out.append("CONFIG ");
   proto::encode_config(space_, *proposal, out);
   out.push_back('\n');
+  return true;
 }
 
 bool ServerConnection::handle_report_value(std::string_view field,
@@ -131,7 +138,105 @@ bool ServerConnection::handle_report_value(std::string_view field,
   ++roundtrips_;
   obs::count("server.roundtrips");
   obs::observe("server.report_value", *value);
+  if (tenant_ != nullptr) tenant_->evals.fetch_add(1, std::memory_order_relaxed);
   publish();
+  return true;
+}
+
+void ServerConnection::handle_batch(std::string& out) {
+  if (!batch_enabled_) {
+    // Legacy (thread-per-connection) transport: the framing is not
+    // negotiated there, and the probe's ERR is the negotiation signal.
+    reply(out, "ERR batch unsupported on this transport");
+    return;
+  }
+  const int max_batch = std::max(1, opts_->max_batch);
+  if (msg_.args.empty()) {
+    // Bare BATCH is the negotiation probe: advertise the size cap.
+    reply(out, "OK batch " + std::to_string(max_batch));
+    return;
+  }
+  const auto n = proto::parse_i64(msg_.args[0]);
+  if (!n || *n < 1 || *n > max_batch) {
+    reply(out, "ERR bad batch count");
+    return;
+  }
+  if (msg_.args.size() - 1 != static_cast<std::size_t>(*n)) {
+    // Truncated (or over-long) frame. One ERR for the whole line; nothing
+    // was consumed, so the client can re-send the frame intact.
+    reply(out, "ERR batch count mismatch");
+    return;
+  }
+  if (!search_ || !controller_->awaiting_tell()) {
+    reply(out, "ERR nothing to report");
+    return;
+  }
+  // Validate every value before telling the search anything: a batch is
+  // atomic, so a malformed field (e.g. a trace token interleaved between
+  // values) rejects the whole line instead of half-applying it.
+  for (std::size_t i = 1; i < msg_.args.size(); ++i) {
+    if (!proto::parse_f64(msg_.args[i])) {
+      reply(out, "ERR bad objective value in batch");
+      return;
+    }
+  }
+  obs::count("server.batch_lines");
+  // n report/fetch pairs -> n reply lines (CONFIG or DONE), same order. Once
+  // the search finishes mid-batch the remaining values are dropped and
+  // answered DONE — they measured configurations of a search that is over.
+  bool done = false;
+  for (std::size_t i = 1; i < msg_.args.size(); ++i) {
+    if (done) {
+      reply(out, "DONE");
+      continue;
+    }
+    if (!handle_report_value(msg_.args[i], out, "BATCH")) {
+      done = true;  // cannot happen after the validation pass, but stay safe
+      continue;
+    }
+    obs::count("server.report_fetches");
+    done = !append_fetch_reply(out, /*count_fresh=*/true);
+  }
+}
+
+bool ServerConnection::handle_tenant(std::string& out) {
+  if (tenant_ != nullptr) {
+    reply(out, "ERR tenant already set");
+    return true;
+  }
+  if (search_) {
+    reply(out, "ERR session already started");
+    return true;
+  }
+  if (msg_.args.size() != 1 || msg_.args[0].size() > 64) {
+    reply(out, "ERR TENANT takes one name (<= 64 chars)");
+    return true;
+  }
+  const std::string name(msg_.args[0]);
+  auto& registry = obs::StatusRegistry::global();
+  obs::StatusRegistry::TenantSlot* slot = registry.tenant_slot(name);
+  // Atomic admission: claim the seat first, back out if that burst the
+  // quota. No lock is held across the check, and losing racers shed.
+  const std::int64_t occupied =
+      slot->sessions.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (opts_->tenant_quota > 0 && occupied > opts_->tenant_quota) {
+    slot->sessions.fetch_sub(1, std::memory_order_relaxed);
+    slot->shed.fetch_add(1, std::memory_order_relaxed);
+    registry.backpressure().shed_total.fetch_add(1, std::memory_order_relaxed);
+    obs::count("server.shed_retry_after");
+    obs::log_warn("server",
+                  "tenant " + name + " over quota, shedding (retry-after " +
+                      std::to_string(opts_->retry_after_s) + "s)",
+                  session_id_);
+    reply(out, "ERR retry-after " + std::to_string(opts_->retry_after_s) +
+                   " tenant quota exceeded");
+    return false;  // graceful shed: close after the reply flushes
+  }
+  tenant_ = slot;
+  status_.update([&](obs::SessionStatus& s) { s.tenant = name; });
+  obs::count("server.tenant_admits");
+  obs::log_info("server", "tenant " + name, session_id_);
+  reply(out, "OK tenant " + name);
   return true;
 }
 
@@ -262,6 +367,7 @@ void ServerConnection::finish_request(std::string_view verb,
   latency_->record(dt_s);
   auto& board = obs::StatusRegistry::global().latency();
   board.request_s.record(dt_s);
+  if (tenant_ != nullptr) tenant_->request_s.record(dt_s);
 
   // Refreshing the published quantiles scans the histogram, so do it on the
   // first request and then every 64th instead of every round trip.
@@ -297,6 +403,16 @@ void ServerConnection::finish_request(std::string_view verb,
 }
 
 bool ServerConnection::handle_line(std::string_view line, std::string& out) {
+#ifndef NDEBUG
+  // Shard-affinity check (debug builds): every line of a session must be
+  // handled by one thread for the no-locks-on-the-hot-path contract to be
+  // sound. The first line binds the session to its shard's thread.
+  if (home_thread_ == std::thread::id{}) {
+    home_thread_ = std::this_thread::get_id();
+  }
+  assert(home_thread_ == std::this_thread::get_id() &&
+         "session state crossed reactor shards");
+#endif
   if (!proto::parse_line(line, msg_)) return true;  // blank line: ignore
   obs::count("server.messages");
   const auto handle_timer = obs::time_scope("server.handle_s");
@@ -305,7 +421,8 @@ bool ServerConnection::handle_line(std::string_view line, std::string& out) {
   // Request verbs (the steady-state tuning/eval path) are latency-tracked
   // end to end; every other verb answers without touching the clock.
   const bool request_verb = verb == "REPORT+FETCH" || verb == "FETCH" ||
-                            verb == "REPORT" || verb == "RESULT";
+                            verb == "REPORT" || verb == "RESULT" ||
+                            verb == "BATCH";
   trace_ = obs::TraceContext{};
   if (request_verb && !msg_.args.empty() &&
       proto::is_trace_token(msg_.args.back())) {
@@ -367,8 +484,12 @@ bool ServerConnection::handle_line(std::string_view line, std::string& out) {
     }
     if (handle_report_value(msg_.args[0], out, verb)) {
       obs::count("server.report_fetches");
-      append_fetch_reply(out, /*count_fresh=*/true);
+      (void)append_fetch_reply(out, /*count_fresh=*/true);
     }
+  } else if (verb == "BATCH") {
+    handle_batch(out);
+  } else if (verb == "TENANT") {
+    if (!handle_tenant(out)) return false;
   } else if (verb == "HELLO") {
     const std::string app = msg_.args.empty() ? "" : std::string(msg_.args[0]);
     status_.update([&](obs::SessionStatus& s) { s.app = app; });

@@ -21,6 +21,10 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#ifndef NDEBUG
+#include <thread>
+#endif
+#include <vector>
 
 #include "core/controller.hpp"
 #include "core/param_space.hpp"
@@ -65,13 +69,29 @@ class ServerConnection {
   /// Nonzero once this connection ATTACHed as a fleet worker.
   [[nodiscard]] std::uint64_t worker_id() const noexcept { return worker_id_; }
 
+  /// Enable the batched REPORT+FETCH framing (BATCH verb). The event-loop
+  /// transport turns it on at adoption; the legacy stack leaves it off, so
+  /// BATCH there answers a clean ERR (the negotiation probe tells clients
+  /// which stack they reached). Set before any handle_line.
+  void enable_batch(bool on) noexcept { batch_enabled_ = on; }
+  [[nodiscard]] bool batch_enabled() const noexcept { return batch_enabled_; }
+
+  /// Tenant rollup slot once a TENANT line was admitted (null otherwise).
+  [[nodiscard]] const obs::StatusRegistry::TenantSlot* tenant() const noexcept {
+    return tenant_;
+  }
+
  private:
   void publish(const char* phase_override = nullptr);
-  void append_fetch_reply(std::string& out, bool count_fresh);
+  /// True when a CONFIG line was appended, false for DONE.
+  bool append_fetch_reply(std::string& out, bool count_fresh);
   bool handle_report_value(std::string_view field, std::string& out,
                            std::string_view verb);
   void handle_attach(std::string& out);
   void handle_result(std::string& out);
+  void handle_batch(std::string& out);
+  /// False when the connection must close (over-quota shed).
+  [[nodiscard]] bool handle_tenant(std::string& out);
 
   /// Close out one request verb: record its handle time into the
   /// per-connection and process-wide latency histograms, refresh the
@@ -115,6 +135,20 @@ class ServerConnection {
   double stage_ask_us_ = 0.0;
   std::uint64_t requests_ = 0;
   std::unique_ptr<obs::HdrHistogram> latency_;
+
+  // Multi-tenancy + batched framing. tenant_ is resolved once at TENANT
+  // time (registry table lock) and only its atomics are touched from then
+  // on — the request hot path stays free of shared mutexes.
+  obs::StatusRegistry::TenantSlot* tenant_ = nullptr;
+  bool batch_enabled_ = false;
+
+#ifndef NDEBUG
+  // Debug-build shard-affinity check: a session's verbs must all be handled
+  // by the thread that first touched it (its reactor shard, or its legacy
+  // worker thread). Crossing shards would mean connection state is shared
+  // without locks — assert instead of racing.
+  std::thread::id home_thread_{};
+#endif
 };
 
 }  // namespace harmony

@@ -166,6 +166,35 @@ StatusRegistry::WorkerHandle StatusRegistry::publish_worker(
   return WorkerHandle(this, raw);
 }
 
+StatusRegistry::TenantSlot* StatusRegistry::tenant_slot(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(name, std::make_unique<TenantSlot>(name)).first;
+    bump();
+  }
+  return it->second.get();
+}
+
+std::vector<StatusRegistry::TenantSnapshot> StatusRegistry::tenants() const {
+  std::vector<TenantSnapshot> out;
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  out.reserve(tenants_.size());
+  for (const auto& [name, slot] : tenants_) {
+    TenantSnapshot snap;
+    snap.name = name;
+    snap.sessions = slot->sessions.load(std::memory_order_relaxed);
+    snap.evals = slot->evals.load(std::memory_order_relaxed);
+    snap.shed = slot->shed.load(std::memory_order_relaxed);
+    if (slot->request_s.count() > 0) {
+      snap.p50_us = slot->request_s.quantile(0.50) * 1e6;
+      snap.p99_us = slot->request_s.quantile(0.99) * 1e6;
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
 void StatusRegistry::drop_session(SessionSlot* slot) {
   const std::lock_guard<std::mutex> lock(table_mutex_);
   for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
@@ -230,6 +259,7 @@ void StatusRegistry::write_json(std::ostream& os) const {
     if (i != 0) os << ",";
     os << "{\"id\":\"" << json_escape(s.id) << "\""
        << ",\"app\":\"" << json_escape(s.app) << "\""
+       << ",\"tenant\":\"" << json_escape(s.tenant) << "\""
        << ",\"strategy\":\"" << json_escape(s.strategy) << "\""
        << ",\"phase\":\"" << json_escape(s.phase) << "\""
        << ",\"best_config\":\"" << json_escape(s.best_config) << "\""
@@ -252,7 +282,26 @@ void StatusRegistry::write_json(std::ostream& os) const {
        << (w.last_beat_s >= 0.0 ? json_number(now_s - w.last_beat_s) : "null")
        << "}";
   }
-  os << "],\"latency\":{";
+  os << "],\"tenants\":[";
+  const auto tens = tenants();
+  for (std::size_t i = 0; i < tens.size(); ++i) {
+    const auto& t = tens[i];
+    if (i != 0) os << ",";
+    os << "{\"name\":\"" << json_escape(t.name) << "\""
+       << ",\"sessions\":" << t.sessions << ",\"evals\":" << t.evals
+       << ",\"shed\":" << t.shed << ",\"p50_us\":" << json_number(t.p50_us)
+       << ",\"p99_us\":" << json_number(t.p99_us) << "}";
+  }
+  os << "],\"backpressure\":{";
+  os << "\"pending_out_bytes\":"
+     << backpressure_.pending_out_bytes.load(std::memory_order_relaxed)
+     << ",\"paused\":" << backpressure_.paused.load(std::memory_order_relaxed)
+     << ",\"paused_total\":"
+     << backpressure_.paused_total.load(std::memory_order_relaxed)
+     << ",\"idle_reaped\":"
+     << backpressure_.reaped_total.load(std::memory_order_relaxed)
+     << ",\"shed\":" << backpressure_.shed_total.load(std::memory_order_relaxed);
+  os << "},\"latency\":{";
   const auto& lat = latency_.request_s;
   os << "\"p50_us\":" << json_number(lat.quantile(0.50) * 1e6)
      << ",\"p95_us\":" << json_number(lat.quantile(0.95) * 1e6)

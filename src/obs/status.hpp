@@ -45,6 +45,7 @@ namespace harmony::obs {
 struct SessionStatus {
   std::string id;           ///< unique id, e.g. "server/3" or "offline/1"
   std::string app;          ///< application / bench name when known
+  std::string tenant;       ///< TENANT name the session admitted under ("" none)
   std::string strategy;     ///< SearchStrategy::name() steering the session
   std::string phase;        ///< strategy-specific phase ("reflect", "batch 7")
   std::string best_config;  ///< formatted incumbent configuration
@@ -153,6 +154,51 @@ class StatusRegistry {
   };
   [[nodiscard]] LatencyBoard& latency() noexcept { return latency_; }
 
+  /// One tenant's live rollup. Slots are created on first use and never
+  /// erased (bounded by the number of distinct tenant names), so the
+  /// server's hot path holds a raw pointer and touches only the atomics and
+  /// the lock-free histogram — no table lock, no slot mutex, nothing shared
+  /// across reactor shards but cache lines.
+  struct TenantSlot {
+    explicit TenantSlot(std::string tenant_name) : name(std::move(tenant_name)) {}
+    const std::string name;
+    std::atomic<std::int64_t> sessions{0};  ///< live admitted sessions
+    std::atomic<std::uint64_t> evals{0};    ///< completed report round trips
+    std::atomic<std::uint64_t> shed{0};     ///< quota rejections (retry-after)
+    HdrHistogram request_s;                 ///< per-tenant request latency
+  };
+
+  /// Copy-out snapshot of one tenant slot for STATUS serialization.
+  struct TenantSnapshot {
+    std::string name;
+    std::int64_t sessions = 0;
+    std::uint64_t evals = 0;
+    std::uint64_t shed = 0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+  };
+
+  /// Create-or-get the slot for `name`. Takes the table mutex only when
+  /// called — the server resolves it once per TENANT verb, not per request.
+  [[nodiscard]] TenantSlot* tenant_slot(const std::string& name);
+
+  /// Snapshots of every tenant seen so far, ordered by name.
+  [[nodiscard]] std::vector<TenantSnapshot> tenants() const;
+
+  /// Transport backpressure + admission board, serialized by write_json as
+  /// the top-level "backpressure" object. All-atomic: reactor shards bump
+  /// these from their own threads with no shared locks.
+  struct BackpressureBoard {
+    std::atomic<std::int64_t> pending_out_bytes{0};  ///< queued across conns
+    std::atomic<std::int64_t> paused{0};        ///< conns with reads deferred
+    std::atomic<std::uint64_t> paused_total{0};  ///< cumulative pause events
+    std::atomic<std::uint64_t> reaped_total{0};  ///< idle sessions evicted
+    std::atomic<std::uint64_t> shed_total{0};    ///< admissions refused
+  };
+  [[nodiscard]] BackpressureBoard& backpressure() noexcept {
+    return backpressure_;
+  }
+
   /// Claim a session slot. Ids must be unique among live sessions; a clash
   /// gets a "#<n>" suffix rather than an error so publishers never fail.
   [[nodiscard]] SessionHandle publish_session(const std::string& id);
@@ -206,10 +252,12 @@ class StatusRegistry {
   mutable std::mutex table_mutex_;
   std::map<std::string, std::unique_ptr<SessionSlot>> sessions_;
   std::map<std::string, std::unique_ptr<WorkerSlot>> workers_;
+  std::map<std::string, std::unique_ptr<TenantSlot>> tenants_;
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> sessions_started_{0};
   std::uint64_t clash_suffix_ = 0;
   LatencyBoard latency_;
+  BackpressureBoard backpressure_;
 };
 
 }  // namespace harmony::obs

@@ -159,4 +159,118 @@ TEST(EventLoopDefer, HdrDeferWaitRecordedWhenObsEnabled) {
   EXPECT_GE(hist.count(), count_disabled + kDefers);
 }
 
+// ---- TimerWheel -----------------------------------------------------------
+// The wheel drives idle-session reaping: coarse ticks, lazy re-bucketing for
+// deadlines beyond one lap, and re-arm-from-callback (the "snooze" the server
+// uses for sessions that were active since their deadline was set).
+
+using harmony::net::TimerWheel;
+
+TEST(TimerWheel, FiresAtTheScheduledTick) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  wheel.schedule(7, 3);
+  EXPECT_EQ(wheel.size(), 1u);
+  for (int tick = 1; tick <= 5; ++tick) {
+    wheel.advance([&](int key) { fired.push_back(key * 100 + tick); });
+  }
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 703);  // key 7, at tick 3, exactly once
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheel, CancelPreventsFiring) {
+  TimerWheel wheel;
+  int fired = 0;
+  wheel.schedule(1, 2);
+  wheel.schedule(2, 2);
+  wheel.cancel(1);
+  for (int tick = 0; tick < 4; ++tick) {
+    wheel.advance([&](int key) {
+      EXPECT_EQ(key, 2);
+      ++fired;
+    });
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, RearmMovesTheDeadline) {
+  TimerWheel wheel;
+  int fired_at = -1;
+  wheel.schedule(5, 2);
+  wheel.schedule(5, 6);  // re-arm before the first deadline: only 6 counts
+  for (int tick = 1; tick <= 8; ++tick) {
+    wheel.advance([&](int) { fired_at = tick; });
+  }
+  EXPECT_EQ(fired_at, 6);
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheel, DelaysBeyondOneLapRebucket) {
+  // 4 slots, delay 10: entry lands in bucket (10 % 4) and must survive two
+  // earlier visits to that bucket before firing on the third lap.
+  TimerWheel wheel(4);
+  int fired_at = -1;
+  wheel.schedule(9, 10);
+  for (int tick = 1; tick <= 12; ++tick) {
+    wheel.advance([&](int) {
+      EXPECT_EQ(fired_at, -1);
+      fired_at = tick;
+    });
+  }
+  EXPECT_EQ(fired_at, 10);
+}
+
+TEST(TimerWheel, SnoozeFromCallbackReschedules) {
+  TimerWheel wheel;
+  std::vector<int> fire_ticks;
+  wheel.schedule(3, 1);
+  for (int tick = 1; tick <= 7; ++tick) {
+    wheel.advance([&](int key) {
+      fire_ticks.push_back(tick);
+      if (fire_ticks.size() < 3) wheel.schedule(key, 2);  // snooze twice
+    });
+  }
+  EXPECT_EQ(fire_ticks, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+// ---- EventLoop::set_tick ----------------------------------------------------
+
+TEST(EventLoopTick, PeriodicTickFiresRepeatedlyOnLoopThread) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+
+  std::atomic<int> ticks{0};
+  std::thread::id tick_tid;
+  loop.set_tick(10, [&] {
+    tick_tid = std::this_thread::get_id();
+    ticks.fetch_add(1, std::memory_order_relaxed);
+  });
+  std::thread runner([&] { loop.run(); });
+  const std::thread::id runner_tid = runner.get_id();
+
+  EXPECT_TRUE(eventually([&] { return ticks.load() >= 5; }));
+  loop.stop();
+  runner.join();
+  EXPECT_EQ(tick_tid, runner_tid);
+}
+
+TEST(EventLoopTick, TickCoexistsWithDefers) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+  std::atomic<int> ticks{0};
+  loop.set_tick(5, [&] { ticks.fetch_add(1, std::memory_order_relaxed); });
+  std::thread runner([&] { loop.run(); });
+
+  std::atomic<int> deferred{0};
+  for (int i = 0; i < 200; ++i) {
+    loop.defer([&] { deferred.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_TRUE(
+      eventually([&] { return deferred.load() == 200 && ticks.load() >= 3; }));
+  loop.stop();
+  runner.join();
+}
+
 }  // namespace

@@ -271,6 +271,58 @@ TEST(Net, ByteRingSteadyStateDoesNotGrow) {
   EXPECT_EQ(ring.capacity(), cap);
 }
 
+TEST(Net, ByteRingShrinkDecaysCapacityAfterBurst) {
+  ByteRing ring;
+  ring.append(std::string(256 * 1024, 'x'));  // burst grows the storage
+  ring.consume(ring.size());
+  ASSERT_GE(ring.capacity(), 256u * 1024u);
+  ring.shrink(16 * 1024);
+  EXPECT_LE(ring.capacity(), 16u * 1024u);
+  // Still fully usable after compaction.
+  ring.append("hello");
+  struct iovec iov[2];
+  ASSERT_GE(ring.drain_iov(iov), 1);
+  EXPECT_EQ(std::string(static_cast<const char*>(iov[0].iov_base),
+                        iov[0].iov_len),
+            "hello");
+}
+
+TEST(Net, ByteRingShrinkPreservesWrappedPendingData) {
+  ByteRing ring;
+  ring.append(std::string(64 * 1024, 'a'));
+  ring.consume(64 * 1024 - 10);  // 10 bytes of 'a' near the end of storage
+  ring.append("0123456789");     // wraps around the end
+  ASSERT_EQ(ring.size(), 20u);
+  ring.shrink(1024);
+  EXPECT_LE(ring.capacity(), 1024u);
+  struct iovec iov[2];
+  const int segs = ring.drain_iov(iov);
+  std::string gathered;
+  for (int i = 0; i < segs; ++i) {
+    gathered.append(static_cast<const char*>(iov[i].iov_base), iov[i].iov_len);
+  }
+  EXPECT_EQ(gathered, std::string(10, 'a') + "0123456789");
+}
+
+TEST(Net, ByteRingShrinkIsANoOpWhenDataExceedsTarget) {
+  ByteRing ring;
+  ring.append(std::string(8 * 1024, 'x'));
+  const auto cap = ring.capacity();
+  ring.shrink(1024);  // 8 KiB pending > 1 KiB target: must not drop data
+  EXPECT_EQ(ring.capacity(), cap);
+  EXPECT_EQ(ring.size(), 8u * 1024u);
+}
+
+TEST(Net, ByteRingShrinkToZeroFreesEmptyRing) {
+  ByteRing ring;
+  ring.append(std::string(4096, 'x'));
+  ring.consume(4096);
+  ring.shrink(0);
+  EXPECT_EQ(ring.capacity(), 0u);
+  ring.append("still works");
+  EXPECT_EQ(ring.size(), 11u);
+}
+
 TEST(Net, LargePayloadRoundtrip) {
   auto lr = listen_loopback(0);
   const std::string big(1 << 18, 'x');

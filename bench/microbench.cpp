@@ -6,9 +6,12 @@
 #include <sys/socket.h>
 
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "core/harmony.hpp"
 #include "core/net.hpp"
+#include "engine/eval_cache.hpp"
 #include "minigs2/minigs2.hpp"
 #include "minipetsc/minipetsc.hpp"
 #include "minipop/minipop.hpp"
@@ -58,6 +61,105 @@ void BM_EvalCacheLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvalCacheLookup);
+
+// Shared space for the eval hot-path cases: the paper's Fig. 6 GS2 space.
+harmony::ParamSpace hotpath_space() {
+  harmony::ParamSpace space;
+  space.add(harmony::Parameter::Integer("negrid", 4, 16));
+  space.add(harmony::Parameter::Integer("ntheta", 10, 32, 2));
+  space.add(harmony::Parameter::Integer("nodes", 1, 64));
+  return space;
+}
+
+// Index-space key derivation alone (scratch reuse: no allocation).
+void BM_PointKeyDerive(benchmark::State& state) {
+  const auto space = hotpath_space();
+  harmony::Rng rng(5);
+  std::vector<harmony::Config> configs;
+  for (int i = 0; i < 256; ++i) configs.push_back(space.random_config(rng));
+  harmony::PointKey key;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    key.assign(space, configs[i++ & 255]);
+    benchmark::DoNotOptimize(key.hash());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointKeyDerive);
+
+// The string key the index space replaced, for comparison.
+void BM_StringKeyDerive(benchmark::State& state) {
+  const auto space = hotpath_space();
+  harmony::Rng rng(5);
+  std::vector<harmony::Config> configs;
+  for (int i = 0; i < 256; ++i) configs.push_back(space.random_config(rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.key(configs[i++ & 255]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StringKeyDerive);
+
+// Full lookup+store cycle on the flat PointKey cache (the EvalCache hot
+// path): one store and repeated lookups per lattice point.
+void BM_FlatCacheLookupStore(benchmark::State& state) {
+  const auto space = hotpath_space();
+  harmony::Rng rng(7);
+  std::vector<harmony::Config> configs;
+  for (int i = 0; i < 512; ++i) configs.push_back(space.random_config(rng));
+  harmony::EvalCache cache(space);
+  harmony::PointKey key;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& c = configs[i++ & 511];
+    key.assign(space, c);
+    if (cache.lookup(key) == nullptr) {
+      cache.store(key, harmony::EvaluationResult{});
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatCacheLookupStore);
+
+// The representation this PR replaced: unordered_map<string, result> keyed
+// by ParamSpace::key. Kept as the comparison baseline for the gate.
+void BM_StringKeyedCacheLookupStore(benchmark::State& state) {
+  const auto space = hotpath_space();
+  harmony::Rng rng(7);
+  std::vector<harmony::Config> configs;
+  for (int i = 0; i < 512; ++i) configs.push_back(space.random_config(rng));
+  std::unordered_map<std::string, harmony::EvaluationResult> cache;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& c = configs[i++ & 511];
+    const std::string key = space.key(c);
+    if (cache.find(key) == cache.end()) {
+      cache.emplace(key, harmony::EvaluationResult{});
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StringKeyedCacheLookupStore);
+
+// Single-threaded hit path through the concurrent cache: derive + shard pick
+// + probe, with the hash computed once at derivation.
+void BM_ConcurrentEvalCacheHit(benchmark::State& state) {
+  const auto space = hotpath_space();
+  harmony::engine::ConcurrentEvalCache cache(space);
+  harmony::Rng rng(9);
+  std::vector<harmony::Config> configs;
+  for (int i = 0; i < 256; ++i) {
+    configs.push_back(space.random_config(rng));
+    cache.insert(configs.back(), harmony::EvaluationResult{});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(configs[i++ & 255]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentEvalCacheHit);
 
 void BM_SpMV(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

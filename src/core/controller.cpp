@@ -79,14 +79,15 @@ SearchController::SearchController(const ParamSpace& space, ControllerLimits lim
   }
 }
 
-void SearchController::note_result(const Config& c, const EvaluationResult& r,
+void SearchController::note_result(Config c, const EvaluationResult& r,
                                    bool cached) {
-  history_.record(c, r, cached);
-  if (r.valid && r.objective < best_value_) {
+  const bool improved = r.valid && r.objective < best_value_;
+  if (improved) {
     best_value_ = r.objective;
     best_result_ = r;
     best_ = c;
   }
+  history_.record(std::move(c), r, cached);
 }
 
 ControllerResult SearchController::run(SearchStrategy& strategy,
@@ -137,26 +138,35 @@ ControllerResult SearchController::run(BatchSearchStrategy& strategy,
     }
 
     // Resolve the batch against the controller cache; only misses reach the
-    // backend (element order within the miss sub-batch is preserved).
-    std::vector<EvalOutcome> outcomes(batch.size());
-    std::vector<double> t_start_us(batch.size(), 0.0);
-    std::vector<bool> hit(batch.size(), false);
-    std::vector<Config> misses;
-    std::vector<std::size_t> miss_at;
-    misses.reserve(batch.size());
+    // backend (element order within the miss sub-batch is preserved). All
+    // bookkeeping lives in reused scratch: each candidate's PointKey is
+    // derived once and reused for the lookup and the post-measurement store,
+    // and no per-batch vector is reallocated in steady state.
+    auto& outcomes = scratch_.outcomes;
+    auto& t_start_us = scratch_.t_start_us;
+    auto& misses = scratch_.misses;
+    auto& miss_at = scratch_.miss_at;
+    auto& miss_keys = scratch_.miss_keys;
+    outcomes.clear();
+    outcomes.resize(batch.size());
+    t_start_us.assign(batch.size(), 0.0);
+    misses.clear();
+    miss_at.clear();
+    miss_keys.clear();
     for (std::size_t i = 0; i < batch.size(); ++i) {
       t_start_us[i] = tracer_ != nullptr ? tracer_->now_us() : 0.0;
       if (cache_ != nullptr) {
-        if (auto cached = cache_->lookup(batch[i])) {
+        scratch_.key.assign(*space_, batch[i]);
+        if (const EvaluationResult* cached = cache_->lookup(scratch_.key)) {
           outcomes[i].result = *cached;
           outcomes[i].ran = false;
-          hit[i] = true;
           ++cache_hits_;
           if (!hooks_.cache_hits_counter.empty()) {
             obs::count(hooks_.cache_hits_counter);
           }
           continue;
         }
+        miss_keys.push_back(scratch_.key);
       }
       misses.push_back(batch[i]);
       miss_at.push_back(i);
@@ -169,12 +179,14 @@ ControllerResult SearchController::run(BatchSearchStrategy& strategy,
       for (std::size_t m = 0; m < misses.size(); ++m) {
         outcomes[miss_at[m]] = std::move(measured[m]);
         if (cache_ != nullptr && outcomes[miss_at[m]].ran) {
-          cache_->store(misses[m], outcomes[miss_at[m]].result);
+          cache_->store(miss_keys[m], outcomes[miss_at[m]].result);
         }
       }
     }
 
-    std::vector<EvaluationResult> results(batch.size());
+    auto& results = scratch_.results;
+    results.clear();
+    results.resize(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const EvalOutcome& o = outcomes[i];
       if (tracer_ != nullptr && !backend.traces()) {
@@ -248,11 +260,12 @@ void SearchController::tell(SearchStrategy& strategy, const EvaluationResult& r,
                      r.valid, /*cache_hit=*/speculative, /*thread_lane=*/0, now,
                      now});
   }
-  if (!speculative) {
-    ++evaluations_;
-    note_result(*pending_, r, /*cached=*/false);
-  }
+  if (!speculative) ++evaluations_;
+  // Report first, then move the pending config into History — the strategy
+  // needs the config intact, and handing History our copy makes the whole
+  // tell() round trip Config-copy-free.
   strategy.report(*pending_, r);
+  if (!speculative) note_result(std::move(*pending_), r, /*cached=*/false);
   pending_.reset();
 }
 

@@ -31,6 +31,7 @@
 #include "core/evaluation.hpp"
 #include "core/history.hpp"
 #include "core/param_space.hpp"
+#include "core/point_key.hpp"
 #include "core/strategy.hpp"
 #include "core/types.hpp"
 
@@ -213,7 +214,11 @@ class SearchController {
   [[nodiscard]] History take_history() { return std::move(history_); }
 
  private:
-  void note_result(const Config& c, const EvaluationResult& r, bool cached);
+  /// Record a measurement. Takes the config by value: the batch loop copies
+  /// it (the batch is reported to the strategy afterwards), the tell() path
+  /// moves its pending config in — steady-state ask/tell round trips then
+  /// perform no Config copy at all.
+  void note_result(Config c, const EvaluationResult& r, bool cached);
 
   const ParamSpace* space_;
   ControllerLimits limits_;
@@ -231,6 +236,20 @@ class SearchController {
   int proposals_ = 0;
   std::size_t cache_hits_ = 0;
   std::optional<Config> pending_;  // ask/tell: proposal awaiting its result
+
+  // Batch-loop scratch, reused across iterations so the steady-state loop
+  // allocates only what grows the tables (the vectors keep their capacity
+  // and PointKeys keep their slot storage between batches).
+  struct BatchScratch {
+    std::vector<EvalOutcome> outcomes;
+    std::vector<double> t_start_us;
+    std::vector<Config> misses;            ///< cache misses, in batch order
+    std::vector<std::size_t> miss_at;      ///< batch index of each miss
+    std::vector<PointKey> miss_keys;       ///< index-space keys of the misses
+    std::vector<EvaluationResult> results; ///< per-slot results for report_batch
+    PointKey key;                          ///< per-candidate derivation scratch
+  };
+  BatchScratch scratch_;
 };
 
 }  // namespace harmony

@@ -20,8 +20,10 @@
 #include "core/history.hpp"
 #include "core/nelder_mead.hpp"
 #include "core/offline_driver.hpp"
+#include "core/flat_map.hpp"
 #include "core/param_space.hpp"
 #include "core/parameter.hpp"
+#include "core/point_key.hpp"
 #include "core/protocol.hpp"
 #include "core/random_search.hpp"
 #include "core/report.hpp"

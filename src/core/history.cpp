@@ -2,12 +2,13 @@
 
 #include <limits>
 #include <ostream>
+#include <utility>
 
 namespace harmony {
 
-void History::record(const Config& c, const EvaluationResult& r, bool cached) {
+void History::record(Config c, const EvaluationResult& r, bool cached) {
   HistoryEntry e;
-  e.config = c;
+  e.config = std::move(c);
   e.result = r;
   e.cached = cached;
   if (!cached) ++iterations_;
@@ -15,7 +16,7 @@ void History::record(const Config& c, const EvaluationResult& r, bool cached) {
   if (r.valid && (!have_best_ || r.objective < best_value_)) {
     have_best_ = true;
     best_value_ = r.objective;
-    best_ = c;
+    best_ = e.config;
     e.improved = true;
   }
   entries_.push_back(std::move(e));

@@ -30,7 +30,9 @@ class History {
  public:
   explicit History(const ParamSpace& space) : space_(&space) {}
 
-  void record(const Config& c, const EvaluationResult& r, bool cached);
+  /// Append one evaluation. Takes the config by value so hot callers (the
+  /// controller's tell() path) can move theirs in instead of copying.
+  void record(Config c, const EvaluationResult& r, bool cached);
 
   [[nodiscard]] const std::vector<HistoryEntry>& entries() const noexcept {
     return entries_;

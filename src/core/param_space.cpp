@@ -43,15 +43,19 @@ Config ParamSpace::snap(const std::vector<double>& coords) const {
 }
 
 std::vector<double> ParamSpace::coords(const Config& c) const {
+  std::vector<double> out;
+  coords(c, out);
+  return out;
+}
+
+void ParamSpace::coords(const Config& c, std::vector<double>& out) const {
   if (c.size() != params_.size()) {
     throw std::invalid_argument("ParamSpace::coords: dimension mismatch");
   }
-  std::vector<double> out;
-  out.reserve(params_.size());
+  out.resize(params_.size());
   for (std::size_t i = 0; i < params_.size(); ++i) {
-    out.push_back(params_[i].value_to_coord(c.values[i]));
+    out[i] = params_[i].value_to_coord(c.values[i]);
   }
-  return out;
 }
 
 Config ParamSpace::default_config() const {
@@ -80,12 +84,12 @@ double ParamSpace::total_points() const {
 }
 
 std::string ParamSpace::key(const Config& c) const {
-  std::ostringstream os;
+  std::string out;
   for (std::size_t i = 0; i < c.values.size(); ++i) {
-    if (i != 0) os << '|';
-    os << to_string(c.values[i]);
+    if (i != 0) out += '|';
+    to_string(c.values[i], out);
   }
-  return os.str();
+  return out;
 }
 
 bool ParamSpace::contains(const Config& c) const {

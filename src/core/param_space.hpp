@@ -42,6 +42,10 @@ class ParamSpace {
   /// Continuous coordinates of a configuration.
   [[nodiscard]] std::vector<double> coords(const Config& c) const;
 
+  /// Scratch-reuse variant: fill `out` (resized to dim()) instead of
+  /// allocating — hot loops (surrogate queries) pass the same vector back.
+  void coords(const Config& c, std::vector<double>& out) const;
+
   /// Configuration with every parameter at its default value.
   [[nodiscard]] Config default_config() const;
 

@@ -1,0 +1,106 @@
+#include "core/point_key.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace harmony {
+
+namespace {
+
+/// splitmix64 finalizer — cheap, well-distributed per-slot mixing.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Canonicalize a real value through the exact rendering ParamSpace::key
+/// uses (`ostringstream << double` == printf "%g" in the classic locale) and
+/// return the bit pattern of the re-parsed double. Two reals get the same
+/// bits exactly when they render to the same string — including -0.0 vs 0.0
+/// ("−0" vs "0") and values that differ only past the 6th significant digit.
+/// Stack buffers only: no heap allocation.
+[[nodiscard]] std::uint64_t canonical_real_bits(double v) noexcept {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  const double canon = std::strtod(buf, nullptr);
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof canon);
+  std::memcpy(&bits, &canon, sizeof bits);
+  return bits;
+}
+
+}  // namespace
+
+std::uint64_t* PointKey::prepare(std::size_t n) {
+  if (n <= kInlineSlots) {
+    size_ = static_cast<std::uint32_t>(n);
+    // A lingering heap block (from a previous larger assign) stays owned for
+    // reuse but unused; data() must keep reading one consistent buffer, so
+    // spill-once keys keep writing through the heap block.
+    return heap_ ? heap_.get() : inline_;
+  }
+  if (!heap_ || heap_cap_ < n) {  // !heap_: a move-from leaves heap_cap_ stale
+    heap_ = std::make_unique<std::uint64_t[]>(n);
+    heap_cap_ = static_cast<std::uint32_t>(n);
+  }
+  size_ = static_cast<std::uint32_t>(n);
+  return heap_.get();
+}
+
+void PointKey::assign(const ParamSpace& space, const Config& c) {
+  const std::size_t n = c.values.size();
+  if (n != space.dim()) {
+    throw std::invalid_argument("PointKey: dimension mismatch");
+  }
+  std::uint64_t* slots = prepare(n);
+  std::uint64_t h = kEmptyHash;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Parameter& p = space.param(i);
+    const Value& v = c.values[i];
+    std::uint64_t slot = 0;
+    switch (p.type()) {
+      case ParamType::Int:
+        if (!std::holds_alternative<std::int64_t>(v)) {
+          throw std::invalid_argument("PointKey: expected int for " + p.name());
+        }
+        slot = static_cast<std::uint64_t>(std::get<std::int64_t>(v));
+        break;
+      case ParamType::Real:
+        if (!std::holds_alternative<double>(v)) {
+          throw std::invalid_argument("PointKey: expected real for " + p.name());
+        }
+        slot = canonical_real_bits(std::get<double>(v));
+        break;
+      case ParamType::Enum: {
+        if (!std::holds_alternative<std::string>(v)) {
+          throw std::invalid_argument("PointKey: expected enum label for " + p.name());
+        }
+        const auto& label = std::get<std::string>(v);
+        const auto& choices = p.choices();
+        const auto it = std::find(choices.begin(), choices.end(), label);
+        if (it == choices.end()) {
+          throw std::invalid_argument("PointKey: unknown choice '" + label + "' for " +
+                                      p.name());
+        }
+        slot = static_cast<std::uint64_t>(std::distance(choices.begin(), it));
+        break;
+      }
+    }
+    slots[i] = slot;
+    h = mix64(h ^ slot);
+  }
+  hash_ = mix64(h ^ static_cast<std::uint64_t>(n));
+}
+
+void PointKey::copy_from(const PointKey& other) {
+  std::uint64_t* slots = prepare(other.size_);
+  std::memcpy(slots, other.data(), other.size_ * sizeof(std::uint64_t));
+  hash_ = other.hash_;
+}
+
+}  // namespace harmony

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file point_key.hpp
+/// Compact index-space identity of a lattice point — the allocation-free
+/// replacement for ParamSpace::key(Config) on every tuner-internal hot path
+/// (evaluation caches, batch dedup, pending-result tables). A PointKey is a
+/// fixed small-buffer array of per-parameter lattice coordinates plus a
+/// 64-bit hash precomputed once at derivation, so a cache probe costs one
+/// integer compare per parameter instead of formatting and hashing a heap
+/// string.
+///
+/// Per-parameter slot encoding (one 64-bit slot per parameter, in space
+/// order):
+///  * Int  — the value itself (the lattice index up to the affine lo/step
+///           offset, which cancels out of equality);
+///  * Enum — the label's choice index;
+///  * Real — the bit pattern of the value canonicalized through the same
+///           6-significant-digit "%g" rendering ParamSpace::key uses, so two
+///           reals share a PointKey exactly when they share a string key.
+///
+/// Equality classes are therefore identical to ParamSpace::key: for any two
+/// configurations a, b of the same space,
+///     PointKey(space, a) == PointKey(space, b)
+///       <=>  space.key(a) == space.key(b)
+/// (tests/core/test_point_key.cpp sweeps this property over int/real/enum
+/// spaces, including snapped reals and out-of-range repair).
+///
+/// ParamSpace::key() itself survives — but only for human-readable output:
+/// logs, CSV exports and debugging. Nothing on the search hot path derives a
+/// string key anymore.
+///
+/// Spaces with up to kInlineSlots parameters (every paper space, and every
+/// bench space in this repo) stay entirely inline: deriving, copying and
+/// hashing a PointKey performs no heap allocation. Larger spaces spill to a
+/// heap block once and reuse it through assign().
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "core/param_space.hpp"
+#include "core/types.hpp"
+
+namespace harmony {
+
+class PointKey {
+ public:
+  /// Parameter count kept inline (no heap). Chosen to cover the paper's
+  /// spaces (2-6 parameters) with the key still two cache lines total.
+  static constexpr std::size_t kInlineSlots = 6;
+
+  /// Empty key: equal only to other empty keys derived from a 0-dim space.
+  PointKey() = default;
+
+  /// Derive the key of `c` in `space`. Throws std::invalid_argument on a
+  /// dimension mismatch or an enum label the parameter does not contain.
+  PointKey(const ParamSpace& space, const Config& c) { assign(space, c); }
+
+  PointKey(const PointKey& other) { copy_from(other); }
+  PointKey& operator=(const PointKey& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+  PointKey(PointKey&& other) noexcept { move_from(other); }
+  PointKey& operator=(PointKey&& other) noexcept {
+    if (this != &other) move_from(other);
+    return *this;
+  }
+
+  /// Re-derive in place, reusing any heap block already owned — the scratch
+  /// path hot loops use so steady-state key derivation never allocates.
+  void assign(const ParamSpace& space, const Config& c);
+
+  /// Reset to the empty key (keeps a heap block for later assign() reuse).
+  void clear() noexcept {
+    size_ = 0;
+    hash_ = kEmptyHash;
+  }
+
+  /// Precomputed hash — also the value PointKeyHash returns, so unordered
+  /// and flat tables never rehash the slots.
+  [[nodiscard]] std::uint64_t hash() const noexcept { return hash_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Lattice coordinate of parameter `i` (no bounds check).
+  [[nodiscard]] std::uint64_t slot(std::size_t i) const noexcept {
+    return data()[i];
+  }
+
+  [[nodiscard]] bool operator==(const PointKey& other) const noexcept {
+    if (hash_ != other.hash_ || size_ != other.size_) return false;
+    const std::uint64_t* a = data();
+    const std::uint64_t* b = other.data();
+    for (std::uint32_t i = 0; i < size_; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  // splitmix64-seeded FNV-style mix of the empty key.
+  static constexpr std::uint64_t kEmptyHash = 0x9e3779b97f4a7c15ull;
+
+  [[nodiscard]] const std::uint64_t* data() const noexcept {
+    return heap_ ? heap_.get() : inline_;
+  }
+  [[nodiscard]] std::uint64_t* data() noexcept {
+    return heap_ ? heap_.get() : inline_;
+  }
+
+  /// Ensure storage for `n` slots; returns the slot array.
+  std::uint64_t* prepare(std::size_t n);
+
+  void copy_from(const PointKey& other);
+
+  /// Steal other's storage and leave it as a valid empty key.
+  void move_from(PointKey& other) noexcept {
+    for (std::size_t i = 0; i < kInlineSlots; ++i) inline_[i] = other.inline_[i];
+    heap_ = std::move(other.heap_);
+    size_ = other.size_;
+    heap_cap_ = other.heap_cap_;
+    hash_ = other.hash_;
+    other.heap_cap_ = 0;
+    other.clear();
+  }
+
+  std::uint64_t inline_[kInlineSlots] = {};
+  std::unique_ptr<std::uint64_t[]> heap_;  ///< engaged only when dim > inline
+  std::uint32_t size_ = 0;
+  std::uint32_t heap_cap_ = 0;
+  std::uint64_t hash_ = kEmptyHash;
+};
+
+/// Hasher adapter: the hash is already computed and stored in the key.
+struct PointKeyHash {
+  [[nodiscard]] std::size_t operator()(const PointKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hash());
+  }
+};
+
+}  // namespace harmony

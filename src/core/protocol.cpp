@@ -23,20 +23,9 @@ std::vector<std::string> split(std::string_view s, char sep) {
   return out;
 }
 
-/// Append one Value with the same rendering as `os << value` (ints verbatim,
-/// doubles in %g with 6 significant digits) without heap allocation.
-void append_value(const Value& v, std::string& out) {
-  char buf[64];
-  if (std::holds_alternative<std::int64_t>(v)) {
-    const auto r = std::to_chars(buf, buf + sizeof(buf), std::get<std::int64_t>(v));
-    out.append(buf, static_cast<std::size_t>(r.ptr - buf));
-  } else if (std::holds_alternative<double>(v)) {
-    const int n = std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v));
-    if (n > 0) out.append(buf, static_cast<std::size_t>(n));
-  } else {
-    out.append(std::get<std::string>(v));
-  }
-}
+/// Append one Value without heap allocation — the shared append-into-buffer
+/// renderer in core/types.cpp (same text to_string(v) returns).
+void append_value(const Value& v, std::string& out) { harmony::to_string(v, out); }
 
 template <typename Args>
 std::optional<Config> decode_config_impl(const ParamSpace& space, const Args& args) {

@@ -345,12 +345,17 @@ void ServerConnection::record_stage_span(const char* name, double dur_us) {
 
 void ServerConnection::finish_request(std::string_view verb,
                                       std::chrono::steady_clock::time_point t0) {
+  // End timestamp before duration: both read steady_clock, so a preemption
+  // between the two reads can only lengthen dt_us, which reconstructs the
+  // root's start *earlier*. The stage children read in the opposite order
+  // (duration first), shifting them later — so however the scheduler
+  // interleaves, children never appear to start before their root.
+  const double root_end_us = trace_.sampled() && opts_->tracer != nullptr
+                                 ? opts_->tracer->now_us()
+                                 : 0.0;
   const double dt_us = us_since(t0);
   const double dt_s = dt_us * 1e-6;
 
-  // Root span first, while now_us() still matches the dt measurement — the
-  // histogram bookkeeping below takes microseconds and would otherwise shift
-  // the span late enough for its children to "start before" it.
   if (trace_.sampled() && opts_->tracer != nullptr) {
     obs::SearchTracer* tr = opts_->tracer;
     obs::SpanEvent sp;
@@ -359,8 +364,8 @@ void ServerConnection::finish_request(std::string_view verb,
     sp.parent_span = trace_.parent_span;
     sp.name = "server.handle";
     sp.detail = std::string(verb);
-    sp.t_end_us = tr->now_us();
-    sp.t_start_us = sp.t_end_us - dt_us;
+    sp.t_end_us = root_end_us;
+    sp.t_start_us = root_end_us - dt_us;
     tr->record_span(sp);
   }
 

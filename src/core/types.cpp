@@ -1,29 +1,42 @@
 #include "core/types.hpp"
 
-#include <sstream>
+#include <charconv>
+#include <cstdio>
 
 namespace harmony {
 
-std::string to_string(const Value& v) {
-  std::ostringstream os;
+void to_string(const Value& v, std::string& out) {
+  char buf[64];
   if (std::holds_alternative<std::int64_t>(v)) {
-    os << std::get<std::int64_t>(v);
+    const auto r = std::to_chars(buf, buf + sizeof(buf), std::get<std::int64_t>(v));
+    out.append(buf, static_cast<std::size_t>(r.ptr - buf));
   } else if (std::holds_alternative<double>(v)) {
-    os << std::get<double>(v);
+    // "%g" matches `ostringstream << double` (6 significant digits) — the
+    // rendering the wire protocol and golden fixtures were recorded with.
+    const int n = std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v));
+    if (n > 0) out.append(buf, static_cast<std::size_t>(n));
   } else {
-    os << std::get<std::string>(v);
+    out.append(std::get<std::string>(v));
   }
-  return os.str();
+}
+
+std::string to_string(const Value& v) {
+  std::string out;
+  to_string(v, out);
+  return out;
 }
 
 std::string to_string(const Config& c, const std::vector<std::string>& names) {
-  std::ostringstream os;
+  std::string out;
   for (std::size_t i = 0; i < c.values.size(); ++i) {
-    if (i != 0) os << ' ';
-    if (i < names.size()) os << names[i] << '=';
-    os << to_string(c.values[i]);
+    if (i != 0) out += ' ';
+    if (i < names.size()) {
+      out += names[i];
+      out += '=';
+    }
+    to_string(c.values[i], out);
   }
-  return os.str();
+  return out;
 }
 
 }  // namespace harmony

@@ -29,6 +29,12 @@ struct Config {
 /// Render a single value for logs and the wire protocol.
 [[nodiscard]] std::string to_string(const Value& v);
 
+/// Append-into-buffer variant for hot paths (the wire encoder, cache-key
+/// rendering): appends the same text `to_string(v)` returns — ints verbatim,
+/// doubles in %g with 6 significant digits, enum labels as-is — without
+/// allocating intermediate strings.
+void to_string(const Value& v, std::string& out);
+
 /// Render a configuration as "name=value name=value ..." given names; if
 /// names are unavailable pass an empty vector to get positional "v0 v1 ...".
 [[nodiscard]] std::string to_string(const Config& c,

@@ -67,18 +67,24 @@ std::vector<Config> SpeculativeNelderMead::propose_batch(std::size_t max_n) {
   drive();  // consume anything already known before speculating further
   if (nm_.converged() || max_n == 0) return {};
   std::vector<Config> batch;
+  batch_keys_.clear();
   for (auto& c : nm_.speculative_candidates()) {
     if (batch.size() >= max_n) break;
-    const std::string key = space_->key(c);
-    if (results_.count(key) != 0) continue;  // already evaluated: free replay
+    scratch_key_.assign(*space_, c);
+    if (results_.find(scratch_key_) != nullptr) {
+      continue;  // already evaluated: free replay
+    }
     bool dup = false;
-    for (const auto& b : batch) {
-      if (space_->key(b) == key) {
+    for (const auto& k : batch_keys_) {
+      if (k == scratch_key_) {
         dup = true;
         break;
       }
     }
-    if (!dup) batch.push_back(std::move(c));
+    if (!dup) {
+      batch_keys_.push_back(scratch_key_);
+      batch.push_back(std::move(c));
+    }
   }
   // speculative_candidates() lists the serially-needed point first and
   // drive() guarantees it is not in results_, so `batch` is never empty here
@@ -92,7 +98,8 @@ void SpeculativeNelderMead::report_batch(const std::vector<Config>& configs,
     throw std::invalid_argument("SpeculativeNelderMead: batch size mismatch");
   }
   for (std::size_t i = 0; i < configs.size(); ++i) {
-    results_[space_->key(configs[i])] = results[i];
+    scratch_key_.assign(*space_, configs[i]);
+    results_.insert_or_assign(scratch_key_, results[i]);
   }
   drive();
 }
@@ -104,9 +111,10 @@ void SpeculativeNelderMead::drive() {
   while (!nm_.converged()) {
     const auto c = nm_.propose();
     if (!c) break;
-    const auto it = results_.find(space_->key(*c));
-    if (it == results_.end()) break;  // next batch will contain this point
-    nm_.report(*c, it->second);
+    scratch_key_.assign(*space_, *c);
+    const auto* r = results_.find(scratch_key_);
+    if (r == nullptr) break;  // next batch will contain this point
+    nm_.report(*c, *r);
   }
 }
 

@@ -19,13 +19,14 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/constraint.hpp"
 #include "core/evaluation.hpp"
+#include "core/flat_map.hpp"
 #include "core/nelder_mead.hpp"
 #include "core/param_space.hpp"
+#include "core/point_key.hpp"
 #include "core/strategy.hpp"
 #include "core/types.hpp"
 
@@ -114,7 +115,11 @@ class SpeculativeNelderMead final : public BatchSearchStrategy {
 
   const ParamSpace* space_;
   NelderMead nm_;
-  std::unordered_map<std::string, EvaluationResult> results_;
+  /// Memoized results in index space: probing the pending-results table is a
+  /// hash compare plus a few integer compares, with no string materialized.
+  FlatPointMap<EvaluationResult> results_;
+  PointKey scratch_key_;               ///< reused across lookups (no alloc)
+  std::vector<PointKey> batch_keys_;   ///< keys of the batch being built
 };
 
 }  // namespace harmony::engine

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.hpp"
 
@@ -10,24 +11,25 @@ namespace harmony::engine {
 ConcurrentEvalCache::ConcurrentEvalCache(const ParamSpace& space, std::size_t shards)
     : space_(&space), shards_(shards == 0 ? 1 : shards) {}
 
-ConcurrentEvalCache::Shard& ConcurrentEvalCache::shard_for(const std::string& key) const {
-  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+ConcurrentEvalCache::Outcome ConcurrentEvalCache::evaluate(
+    const Config& c, const std::function<EvaluationResult()>& compute) {
+  // Derive once: the PointKey carries the hash used for the shard pick and
+  // every probe below (stack-local, no allocation for paper-sized spaces).
+  return evaluate(PointKey(*space_, c), compute);
 }
 
 ConcurrentEvalCache::Outcome ConcurrentEvalCache::evaluate(
-    const Config& c, const std::function<EvaluationResult()>& compute) {
+    const PointKey& key, const std::function<EvaluationResult()>& compute) {
   if (!compute) throw std::invalid_argument("ConcurrentEvalCache: null compute");
-  const std::string key = space_->key(c);
   Shard& shard = shard_for(key);
 
   std::promise<EvaluationResult> promise;
   {
     std::unique_lock<std::mutex> lock(shard.mutex);
-    const auto it = shard.table.find(key);
-    if (it != shard.table.end()) {
+    if (const auto* entry = shard.table.find(key)) {
       // Completed entry -> plain hit; still running -> coalesce onto it.
-      const bool ready = it->second.wait_for(std::chrono::seconds(0)) ==
-                         std::future_status::ready;
+      const bool ready =
+          entry->wait_for(std::chrono::seconds(0)) == std::future_status::ready;
       if (ready) {
         ++hits_;
         obs::count("engine.cache.hits");
@@ -35,7 +37,7 @@ ConcurrentEvalCache::Outcome ConcurrentEvalCache::evaluate(
         ++coalesced_;
         obs::count("engine.cache.coalesced");
       }
-      auto fut = it->second;
+      auto fut = *entry;
       // Release the shard before a potentially long wait: holding it would
       // stall every other key hashed to this shard.
       lock.unlock();
@@ -46,7 +48,7 @@ ConcurrentEvalCache::Outcome ConcurrentEvalCache::evaluate(
     }
     ++misses_;
     obs::count("engine.cache.misses");
-    shard.table.emplace(key, promise.get_future().share());
+    shard.table.insert_or_assign(key, promise.get_future().share());
   }
 
   try {
@@ -69,26 +71,32 @@ ConcurrentEvalCache::Outcome ConcurrentEvalCache::evaluate(
 }
 
 void ConcurrentEvalCache::insert(const Config& c, const EvaluationResult& r) {
-  const std::string key = space_->key(c);
+  insert(PointKey(*space_, c), r);
+}
+
+void ConcurrentEvalCache::insert(const PointKey& key, const EvaluationResult& r) {
   Shard& shard = shard_for(key);
   std::promise<EvaluationResult> ready;
   ready.set_value(r);
   const std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.table[key] = ready.get_future().share();
+  shard.table.insert_or_assign(key, ready.get_future().share());
 }
 
 std::optional<EvaluationResult> ConcurrentEvalCache::lookup(const Config& c) const {
-  const std::string key = space_->key(c);
+  return lookup(PointKey(*space_, c));
+}
+
+std::optional<EvaluationResult> ConcurrentEvalCache::lookup(const PointKey& key) const {
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.table.find(key);
-  if (it == shard.table.end() ||
-      it->second.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+  const auto* entry = shard.table.find(key);
+  if (entry == nullptr ||
+      entry->wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
     ++misses_;
     return std::nullopt;
   }
   ++hits_;
-  return it->second.get();
+  return entry->get();
 }
 
 std::size_t ConcurrentEvalCache::size() const {

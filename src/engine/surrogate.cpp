@@ -8,25 +8,32 @@
 namespace harmony::engine {
 
 KnnSurrogate::KnnSurrogate(const ParamSpace& space, KnnSurrogateOptions opts)
-    : space_(&space), opts_(opts) {
+    : space_(&space), opts_(opts), dim_(space.dim()) {
   if (space.empty()) {
     throw std::invalid_argument("KnnSurrogate: empty parameter space");
   }
   if (opts.k == 0) throw std::invalid_argument("KnnSurrogate: k must be >= 1");
+  norm_min_.reserve(dim_);
+  norm_scale_.reserve(dim_);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    const Parameter& p = space.param(d);
+    const double span = p.coord_max() - p.coord_min();
+    norm_min_.push_back(p.coord_min());
+    norm_scale_.push_back(span > 0.0 ? 1.0 / span : 0.0);
+  }
 }
 
-std::vector<double> KnnSurrogate::normalized(const Config& c) const {
-  std::vector<double> coords = space_->coords(c);
-  for (std::size_t d = 0; d < coords.size(); ++d) {
-    const Parameter& p = space_->param(d);
-    const double span = p.coord_max() - p.coord_min();
-    coords[d] = span > 0.0 ? (coords[d] - p.coord_min()) / span : 0.0;
+const double* KnnSurrogate::normalized(const Config& c) const {
+  space_->coords(c, query_);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    query_[d] = (query_[d] - norm_min_[d]) * norm_scale_[d];
   }
-  return coords;
+  return query_.data();
 }
 
 void KnnSurrogate::observe(const Config& c, double objective) {
-  points_.push_back(normalized(c));
+  const double* q = normalized(c);
+  points_.insert(points_.end(), q, q + dim_);
   values_.push_back(objective);
 }
 
@@ -38,43 +45,46 @@ void KnnSurrogate::fit_history(const History& h) {
 
 std::optional<double> KnnSurrogate::predict(const Config& c) const {
   if (values_.size() < opts_.min_samples) return std::nullopt;
-  const std::vector<double> q = normalized(c);
+  const double* q = normalized(c);
 
-  // Squared distance to every sample; partial-select the k nearest.
-  std::vector<std::pair<double, std::size_t>> dist;
-  dist.reserve(points_.size());
-  for (std::size_t i = 0; i < points_.size(); ++i) {
+  // Squared distance to every sample; partial-select the k nearest. The
+  // sample matrix is row-contiguous, so this is one linear pass.
+  dist_.clear();
+  dist_.reserve(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const double* p = points_.data() + i * dim_;
     double d2 = 0.0;
-    for (std::size_t d = 0; d < q.size(); ++d) {
-      const double delta = points_[i][d] - q[d];
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const double delta = p[d] - q[d];
       d2 += delta * delta;
     }
-    dist.emplace_back(d2, i);
+    dist_.emplace_back(d2, i);
   }
-  const std::size_t k = std::min(opts_.k, dist.size());
-  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k),
-                    dist.end());
+  const std::size_t k = std::min(opts_.k, dist_.size());
+  std::partial_sort(dist_.begin(), dist_.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist_.end());
 
   // Inverse-distance weighting; an exact lattice match dominates entirely.
   double wsum = 0.0;
   double vsum = 0.0;
   for (std::size_t j = 0; j < k; ++j) {
-    const double d = std::sqrt(dist[j].first);
-    if (d < 1e-12) return values_[dist[j].second];
+    const double d = std::sqrt(dist_[j].first);
+    if (d < 1e-12) return values_[dist_[j].second];
     const double w = 1.0 / std::pow(d, opts_.idw_power);
     wsum += w;
-    vsum += w * values_[dist[j].second];
+    vsum += w * values_[dist_[j].second];
   }
   return vsum / wsum;
 }
 
 double KnnSurrogate::uncertainty(const Config& c) const {
-  if (points_.empty()) return std::numeric_limits<double>::infinity();
-  const std::vector<double> q = normalized(c);
+  if (values_.empty()) return std::numeric_limits<double>::infinity();
+  const double* q = normalized(c);
   double nearest = std::numeric_limits<double>::infinity();
-  for (const auto& p : points_) {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const double* p = points_.data() + i * dim_;
     double d2 = 0.0;
-    for (std::size_t d = 0; d < q.size(); ++d) {
+    for (std::size_t d = 0; d < dim_; ++d) {
       const double delta = p[d] - q[d];
       d2 += delta * delta;
     }

@@ -79,13 +79,26 @@ class KnnSurrogate final : public Surrogate {
   [[nodiscard]] std::string name() const override { return "knn"; }
 
  private:
-  /// Per-dimension [0, 1] normalization of the coordinate embedding.
-  [[nodiscard]] std::vector<double> normalized(const Config& c) const;
+  /// Normalize `c`'s coordinate embedding to [0, 1] per dimension into the
+  /// query scratch; returns a pointer to dim() doubles.
+  [[nodiscard]] const double* normalized(const Config& c) const;
 
   const ParamSpace* space_;
   KnnSurrogateOptions opts_;
-  std::vector<std::vector<double>> points_;  ///< normalized coordinates
-  std::vector<double> values_;               ///< observed objectives
+  std::size_t dim_;                ///< coordinates per sample
+  std::vector<double> norm_min_;   ///< per-dim coord_min, precomputed
+  std::vector<double> norm_scale_; ///< per-dim 1/span (0 for degenerate dims)
+  /// Sample i's normalized coordinates live at points_[i*dim_ .. +dim_):
+  /// one contiguous block, so the k-NN scan streams linearly instead of
+  /// chasing a pointer per sample.
+  std::vector<double> points_;
+  std::vector<double> values_;     ///< observed objectives
+
+  // Query scratch, reused across calls. Not thread-safe, including the
+  // const methods: a model is owned and queried by one search thread
+  // (SurrogateEvalBackend calls it from the controller thread only).
+  mutable std::vector<double> query_;
+  mutable std::vector<std::pair<double, std::size_t>> dist_;
 };
 
 }  // namespace harmony::engine

@@ -1,8 +1,5 @@
 #include "fleet/worker_backend.hpp"
 
-#include <string>
-#include <unordered_map>
-
 #include "obs/metrics.hpp"
 
 namespace harmony::fleet {
@@ -30,29 +27,33 @@ std::vector<EvalOutcome> WorkerEvalBackend::evaluate(
   std::vector<EvalOutcome> out(batch.size());
 
   // Resolve the batch against the cache and collapse in-batch duplicates:
-  // one wire dispatch per distinct lattice key, every other slot is filled
-  // from the first one's result.
+  // one wire dispatch per distinct lattice point, every other slot is filled
+  // from the first one's result. The PointKey of each element is derived
+  // exactly once and reused for the cache probe, the first-miss dedup table
+  // and the post-dispatch insert — no string key anywhere.
   std::vector<Config> misses;
   std::vector<std::size_t> miss_slot;       // batch index of each miss
-  std::unordered_map<std::string, std::size_t> first_miss;  // key -> miss idx
   std::vector<std::pair<std::size_t, std::size_t>> dup_of;  // slot, miss idx
+  first_miss_.clear();
+  miss_keys_.clear();
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    const std::string key = space_->key(batch[i]);
+    scratch_key_.assign(*space_, batch[i]);
     if (opts_.use_cache) {
-      if (const auto hit = cache_.lookup(batch[i])) {
+      if (const auto hit = cache_.lookup(scratch_key_)) {
         out[i].result = *hit;
         out[i].ran = false;
         continue;
       }
     }
-    const auto it = first_miss.find(key);
-    if (it != first_miss.end()) {
-      dup_of.emplace_back(i, it->second);
+    const auto [first, inserted] = first_miss_.try_emplace(scratch_key_);
+    if (!inserted) {
+      dup_of.emplace_back(i, *first);
       coalesced_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    first_miss.emplace(key, misses.size());
+    *first = misses.size();
     miss_slot.push_back(i);
+    miss_keys_.push_back(scratch_key_);
     misses.push_back(batch[i]);
   }
 
@@ -62,7 +63,7 @@ std::vector<EvalOutcome> WorkerEvalBackend::evaluate(
     for (std::size_t m = 0; m < results.size(); ++m) {
       out[miss_slot[m]] = results[m];
       if (opts_.use_cache && results[m].ran) {
-        cache_.insert(misses[m], results[m].result);
+        cache_.insert(miss_keys_[m], results[m].result);
       }
     }
   }

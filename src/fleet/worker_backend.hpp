@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "core/controller.hpp"
+#include "core/flat_map.hpp"
+#include "core/point_key.hpp"
 #include "engine/eval_cache.hpp"
 #include "fleet/dispatcher.hpp"
 
@@ -50,6 +52,13 @@ class WorkerEvalBackend final : public EvalBackend {
   WorkerBackendOptions opts_;
   engine::ConcurrentEvalCache cache_;
   std::atomic<std::size_t> coalesced_{0};  ///< in-batch duplicate proposals
+
+  // Per-batch scratch, reused across evaluate() calls so the steady-state
+  // dedup pass allocates nothing. evaluate() is called from the controller
+  // thread only (the EvalBackend contract), so unsynchronized reuse is safe.
+  PointKey scratch_key_;
+  FlatPointMap<std::size_t> first_miss_;    ///< key -> index into misses
+  std::vector<PointKey> miss_keys_;         ///< keys of dispatched misses
 };
 
 }  // namespace harmony::fleet

@@ -136,7 +136,9 @@ TEST(TraceContextPlumbing, PipelinedClientsProduceCompleteSpanChains) {
     bool saw_ask = false;
     for (const auto* child : it->second) {
       EXPECT_EQ(child->trace_id, trace_id);
-      // Children sit inside the root's bounds (0.5 us reconstruction slop).
+      // Children sit inside the root's bounds. The read ordering in
+      // finish_request / record_stage_span guarantees containment under any
+      // scheduler interleaving; 0.5 us covers double rounding only.
       EXPECT_GE(child->t_start_us, root->t_start_us - 0.5);
       EXPECT_LE(child->t_end_us, root->t_end_us + 0.5);
       saw_tell = saw_tell || child->name == "server.tell";
